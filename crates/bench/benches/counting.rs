@@ -1,0 +1,47 @@
+//! E2 timing: wall-clock cost of the Counting-Upper-Bound protocol (Theorem 1, Remark 1)
+//! and of the Counting-on-a-Line variant (Lemma 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use nc_core::{Simulation, SimulationConfig};
+use nc_popproto::counting::{run_counting, CountingUpperBound};
+use nc_protocols::counting_line::CountingOnALine;
+
+fn counting_upper_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting/upper-bound");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_counting(&CountingUpperBound::new(4), n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn counting_on_a_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting/on-a-line");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim =
+                    Simulation::new(CountingOnALine::new(4), SimulationConfig::new(n).with_seed(seed));
+                sim.run_until_any_halted()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counting_upper_bound, counting_on_a_line);
+criterion_main!(benches);

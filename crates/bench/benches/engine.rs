@@ -1,0 +1,34 @@
+//! Simulator-throughput benchmark: raw scheduler steps per second of the geometric
+//! network-constructor engine under the Global Line and Square protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use nc_core::{Simulation, SimulationConfig};
+use nc_protocols::line::GlobalLine;
+use nc_protocols::square::Square;
+
+fn engine_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/steps");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("global-line", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(1));
+                sim.run_steps(5_000);
+                sim.stats().steps
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(1));
+                sim.run_steps(5_000);
+                sim.stats().steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_steps);
+criterion_main!(benches);

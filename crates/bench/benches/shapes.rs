@@ -1,0 +1,72 @@
+//! E6 timing: the stabilizing constructors of Section 4 (Global Line, Square, Square2)
+//! and the self-replication of Section 7 (E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use nc_core::{Simulation, SimulationConfig};
+use nc_geometry::library;
+use nc_protocols::line::GlobalLine;
+use nc_protocols::self_replication::replicate;
+use nc_protocols::square::Square;
+use nc_protocols::square2::Square2;
+
+fn basic_constructors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapes/stabilize");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[9usize, 16, 25] {
+        group.bench_with_input(BenchmarkId::new("global-line", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(seed));
+                sim.run_until_stable()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(seed));
+                sim.run_until_stable()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("square2", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(n).with_seed(seed));
+                sim.run_until_stable()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn self_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapes/self-replication");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("rectangle-3x2", |b| {
+        let shape = library::rectangle_shape(3, 2);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            replicate(&shape, 12, seed)
+        });
+    });
+    group.bench_function("l-shape-3x3", |b| {
+        let shape = library::l_shape(3, 3);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            replicate(&shape, 18, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, basic_constructors, self_replication);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E9/E13 timing: the universal constructor of Theorem 4 and the pattern painter of
+//! Remark 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use nc_protocols::pattern::{checkerboard_pattern, paint};
+use nc_protocols::universal::{construct, UniversalConstructor};
+use nc_tm::library;
+use std::sync::Arc;
+
+fn universal_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal/shape");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[16usize, 25] {
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                construct(
+                    UniversalConstructor::shape(n as u64, Arc::from(library::star_computer())),
+                    n,
+                    seed,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("square-only", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                construct(UniversalConstructor::square_only(n as u64), n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn pattern_painting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal/pattern");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[16usize, 25] {
+        group.bench_with_input(BenchmarkId::new("checkerboard", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                paint(checkerboard_pattern(), n as u64, n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, universal_construction, pattern_painting);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E6: the basic stabilizing constructors of Section 4 (Global Line, Square, Square2).
+
+use super::{f1, Experiment, Table};
+use nc_core::{Protocol, Simulation, SimulationConfig};
+use nc_protocols::line::GlobalLine;
+use nc_protocols::square::Square;
+use nc_protocols::square2::Square2;
+
+fn measure<P: Protocol + Clone>(protocol: P, n: usize, trials: u32, seed: u64) -> (f64, f64, f64) {
+    let mut steps = 0.0;
+    let mut effective = 0.0;
+    let mut stabilized = 0u32;
+    for t in 0..trials {
+        let mut sim = Simulation::new(
+            protocol.clone(),
+            SimulationConfig::new(n)
+                .with_seed(seed + u64::from(t))
+                .with_max_steps(200_000_000),
+        );
+        let report = sim.run_until_stable();
+        steps += report.steps as f64;
+        effective += report.effective_steps as f64;
+        stabilized += u32::from(report.stabilized);
+    }
+    (
+        steps / f64::from(trials),
+        effective / f64::from(trials),
+        f64::from(stabilized) / f64::from(trials),
+    )
+}
+
+/// E6 — Section 4 / Figure 2: interactions to stabilization of the basic constructors.
+///
+/// The Global Line and the two square protocols are stabilizing, not terminating; the
+/// measurable quantity is how many scheduler steps (and how many effective interactions)
+/// they need before the output shape stops changing, and how Protocol 2's turning marks
+/// change the effective-interaction count relative to Protocol 1.
+#[must_use]
+pub fn e6(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[9, 16, 25], 3)
+    } else {
+        (&[9, 16, 25, 36, 64], 10)
+    };
+    let mut table = Table::new(&[
+        "protocol",
+        "n",
+        "trials",
+        "stabilized",
+        "mean steps",
+        "mean effective",
+    ]);
+    for &n in sizes {
+        let (s, e, r) = measure(GlobalLine::new(), n, trials, 0xE6);
+        table.row(&["global-line".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+        let (s, e, r) = measure(Square::new(), n, trials, 0x1E6);
+        table.row(&["square (P1)".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+        let (s, e, r) = measure(Square2::new(), n, trials, 0x2E6);
+        table.row(&["square2 (P2)".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+    }
+    Experiment {
+        id: "E6",
+        artefact: "Section 4 & Figure 2: Global Line / Square / Square2 stabilization cost",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_reports_all_three_protocols() {
+        let e = e6(true);
+        assert!(e.table.contains("global-line"));
+        assert!(e.table.contains("square (P1)"));
+        assert!(e.table.contains("square2 (P2)"));
+    }
+}

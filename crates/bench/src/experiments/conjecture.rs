@@ -1,0 +1,50 @@
+//! E12: experimental evidence for Conjecture 1 (no leaderless terminating counting).
+
+use super::{f1, f3, Experiment, Table};
+use nc_popproto::conjecture::{evidence_for_conjecture, LeaderlessCounting};
+
+/// E12 — Conjecture 1: in a leaderless terminating protocol, the probability that some
+/// agent terminates after only a constant number of its own interactions does not vanish
+/// as `n` grows — which is exactly why such a protocol cannot count `n` w.h.p.
+#[must_use]
+pub fn e12(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[20, 50, 100], 30)
+    } else {
+        (&[20, 50, 100, 200, 500], 200)
+    };
+    let window = 3;
+    let mut table = Table::new(&[
+        "n",
+        "window b",
+        "trials",
+        "P[some agent terminates after ≤ 2b own interactions]",
+        "mean steps to first termination",
+    ]);
+    for &n in sizes {
+        let evidence = evidence_for_conjecture(&LeaderlessCounting::new(2, window), n, trials, 0xE12);
+        table.row(&[
+            n.to_string(),
+            window.to_string(),
+            trials.to_string(),
+            f3(evidence.early_termination_rate),
+            f1(evidence.mean_steps_to_first_termination),
+        ]);
+    }
+    Experiment {
+        id: "E12",
+        artefact: "Conjecture 1: constant probability of constant-interaction termination without a leader",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_renders_one_row_per_size() {
+        let e = e12(true);
+        assert_eq!(e.table.lines().count(), 2 + 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! E7: Counting-on-a-Line (Section 6.1, Lemma 1).
+
+use super::{f1, f3, Experiment, Table};
+use nc_core::{Simulation, SimulationConfig};
+use nc_protocols::counting_line::{final_count, CountingOnALine};
+use nc_tm::arith::bit_width;
+
+/// E7 — Lemma 1: the geometric counting protocol terminates with the count stored in
+/// binary on an active line of length `⌊lg r0⌋ + 1`.
+#[must_use]
+pub fn e7(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[16, 32], 3)
+    } else {
+        (&[16, 32, 64, 128], 8)
+    };
+    let b = 4;
+    let mut table = Table::new(&[
+        "n",
+        "trials",
+        "halted",
+        "success (2·r0 ≥ n)",
+        "mean r0/n",
+        "tape length = ⌊lg r0⌋+1",
+        "mean steps",
+    ]);
+    for &n in sizes {
+        let mut halted = 0u32;
+        let mut success = 0u32;
+        let mut tape_ok = 0u32;
+        let mut rel = 0.0;
+        let mut steps = 0.0;
+        for t in 0..trials {
+            let mut sim = Simulation::new(
+                CountingOnALine::new(b),
+                SimulationConfig::new(n)
+                    .with_seed(0xE7 + u64::from(t))
+                    .with_max_steps(500_000_000),
+            );
+            let report = sim.run_until_any_halted();
+            steps += report.steps as f64;
+            if let Some(counters) = final_count(&sim) {
+                halted += 1;
+                success += u32::from(2 * counters.r0 >= n as u64);
+                rel += counters.r0 as f64 / n as f64;
+                tape_ok += u32::from(counters.capacity() == bit_width(counters.r0) as u32);
+            }
+        }
+        table.row(&[
+            n.to_string(),
+            trials.to_string(),
+            f3(f64::from(halted) / f64::from(trials)),
+            f3(f64::from(success) / f64::from(trials)),
+            f3(rel / f64::from(trials.max(1))),
+            f3(f64::from(tape_ok) / f64::from(trials)),
+            f1(steps / f64::from(trials)),
+        ]);
+    }
+    Experiment {
+        id: "E7",
+        artefact: "Lemma 1: Counting-on-a-Line — termination, log-length tape, stored count",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_renders() {
+        let e = e7(true);
+        assert!(e.table.contains("tape length"));
+    }
+}

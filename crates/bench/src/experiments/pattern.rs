@@ -1,0 +1,63 @@
+//! E13: pattern construction (Remark 4).
+
+use super::{Experiment, Table};
+use nc_protocols::pattern::{
+    checkerboard_pattern, paint, quadrants_pattern, rings_pattern, stripes_pattern,
+};
+
+/// E13 — Remark 4: instead of releasing off pixels, the constructor paints the square
+/// with a finite palette; the painted square must match the pattern computer exactly.
+#[must_use]
+pub fn e13(quick: bool) -> Experiment {
+    let n: usize = if quick { 16 } else { 49 };
+    let mut table = Table::new(&[
+        "pattern",
+        "palette",
+        "n",
+        "d",
+        "terminated",
+        "painted pixels",
+        "mismatches",
+        "steps",
+    ]);
+    for (idx, pattern) in [
+        checkerboard_pattern(),
+        stripes_pattern(3),
+        rings_pattern(4),
+        quadrants_pattern(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let name = pattern.name().to_string();
+        let palette = pattern.palette_size();
+        let report = paint(pattern, n as u64, n, 0xE13 + idx as u64);
+        table.row(&[
+            name,
+            palette.to_string(),
+            n.to_string(),
+            report.d.to_string(),
+            report.terminated.to_string(),
+            report.painted.painted_count().to_string(),
+            report.mismatches.to_string(),
+            report.steps.to_string(),
+        ]);
+    }
+    Experiment {
+        id: "E13",
+        artefact: "Remark 4: multi-color pattern painting on the √n×√n square",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_paints_all_stock_patterns() {
+        let e = e13(true);
+        assert!(e.table.contains("checkerboard"));
+        assert!(e.table.contains("quadrants"));
+    }
+}

@@ -1,0 +1,72 @@
+//! E11: shape self-replication (Section 7, Figure 10).
+
+use super::{f1, Experiment, Table};
+use nc_geometry::{library, Shape};
+use nc_protocols::self_replication::{replicate, ShapeReplication};
+
+/// E11 — Section 7: replicating library shapes. A successful run produces two disjoint
+/// congruent copies out of a population of `2·|R_G|` nodes, with waste `2·(|R_G| − |G|)`.
+#[must_use]
+pub fn e11(quick: bool) -> Experiment {
+    let shapes: Vec<(&str, Shape)> = if quick {
+        vec![
+            ("rectangle 3×2", library::rectangle_shape(3, 2)),
+            ("L 3×3", library::l_shape(3, 3)),
+            ("line 4", library::line_shape(4)),
+        ]
+    } else {
+        vec![
+            ("rectangle 3×2", library::rectangle_shape(3, 2)),
+            ("square 3×3", library::square_shape(3)),
+            ("L 3×3", library::l_shape(3, 3)),
+            ("L 4×3", library::l_shape(4, 3)),
+            ("T 5/2", library::t_shape(5, 2)),
+            ("plus arm 1", library::plus_shape(1)),
+            ("U 3×3", library::u_shape(3, 3)),
+            ("staircase 3", library::staircase_shape(3)),
+            ("line 5", library::line_shape(5)),
+        ]
+    };
+    let mut table = Table::new(&[
+        "shape",
+        "|G|",
+        "|R_G|",
+        "population 2·|R_G|",
+        "copies",
+        "waste",
+        "expected waste",
+        "steps",
+    ]);
+    for (idx, (name, shape)) in shapes.iter().enumerate() {
+        let protocol = ShapeReplication::new(shape);
+        let n = protocol.required_population();
+        let report = replicate(shape, n, 0xE11 + idx as u64);
+        table.row(&[
+            (*name).to_string(),
+            shape.len().to_string(),
+            protocol.rectangle_size().to_string(),
+            n.to_string(),
+            report.copies.to_string(),
+            report.waste.to_string(),
+            (2 * (protocol.rectangle_size() - shape.len())).to_string(),
+            f1(report.steps as f64),
+        ]);
+    }
+    Experiment {
+        id: "E11",
+        artefact: "Section 7 & Figure 10: self-replication of arbitrary connected shapes",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_reports_expected_waste_column() {
+        let e = e11(true);
+        assert!(e.table.contains("expected waste"));
+        assert!(e.table.contains("rectangle 3×2"));
+    }
+}

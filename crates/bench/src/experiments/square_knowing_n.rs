@@ -1,0 +1,95 @@
+//! E8: the terminating Square-Knowing-n constructor (Section 6.2, Lemma 2).
+
+use super::{f1, f3, Experiment, Table};
+use nc_protocols::replication_line::{count_free_lines, LineReplication};
+use nc_protocols::universal::{construct, UniversalConstructor};
+use nc_core::{NodeId, Simulation, SimulationConfig};
+use nc_geometry::Dir;
+
+/// E8 — Lemma 2 / Figures 5–6: knowing `n`, the constructor terminates having built the
+/// `√n × √n` square; the companion line-replication machinery (Protocol 5) mass-produces
+/// rows of the right length.
+#[must_use]
+pub fn e8(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[16, 25], 3)
+    } else {
+        (&[16, 25, 36, 64, 100], 8)
+    };
+    let mut table = Table::new(&[
+        "n",
+        "d",
+        "trials",
+        "terminated",
+        "is d×d square",
+        "waste",
+        "mean steps",
+    ]);
+    for &n in sizes {
+        let mut finished = 0u32;
+        let mut correct = 0u32;
+        let mut waste = 0usize;
+        let mut steps = 0.0;
+        let mut dim = 0u64;
+        for t in 0..trials {
+            let protocol = UniversalConstructor::square_only(n as u64);
+            dim = protocol.dimension();
+            let report = construct(protocol, n, 0xE8 + u64::from(t));
+            finished += u32::from(report.finished);
+            correct += u32::from(report.shape.is_full_square(report.d as u32));
+            waste += report.waste;
+            steps += report.steps as f64;
+        }
+        table.row(&[
+            n.to_string(),
+            dim.to_string(),
+            trials.to_string(),
+            f3(f64::from(finished) / f64::from(trials)),
+            f3(f64::from(correct) / f64::from(trials)),
+            f1(waste as f64 / f64::from(trials)),
+            f1(steps / f64::from(trials)),
+        ]);
+    }
+    // Companion measurement: how many full-length replicas Protocol 5 produces from one
+    // seed line within a fixed step budget (the replication machinery of Figures 5–6).
+    let mut rep = Table::new(&["seed length", "n", "steps", "free full-length replicas"]);
+    let (len, n, budget) = if quick { (4usize, 16usize, 200_000u64) } else { (6, 36, 2_000_000) };
+    let mut sim = Simulation::new(
+        LineReplication::new(len),
+        SimulationConfig::new(n).with_seed(0x8E8),
+    );
+    for k in 1..len {
+        sim.world_mut()
+            .setup_bond(
+                NodeId::new((k - 1) as u32),
+                Dir::Right,
+                NodeId::new(k as u32),
+                Dir::Left,
+            )
+            .expect("seed line placement");
+    }
+    sim.run_steps(budget);
+    rep.row(&[
+        len.to_string(),
+        n.to_string(),
+        budget.to_string(),
+        count_free_lines(&sim, len).to_string(),
+    ]);
+    Experiment {
+        id: "E8",
+        artefact: "Lemma 2 & Figures 5–6: terminating √n×√n square; Protocol 5 line replication",
+        table: format!("{}\n{}", table.render(), rep.render()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_renders_both_tables() {
+        let e = e8(true);
+        assert!(e.table.contains("is d×d square"));
+        assert!(e.table.contains("free full-length replicas"));
+    }
+}

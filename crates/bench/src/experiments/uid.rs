@@ -1,0 +1,109 @@
+//! E4 and E5: counting with unique identifiers (Theorems 2 and 3).
+
+use super::{f1, f3, Experiment, Table};
+use nc_popproto::uid_counting::{
+    run_improved_uid, run_simple_uid, ImprovedUidCounting, SimpleUidCounting,
+};
+
+/// E4 — Theorem 2: the simple UID protocol terminates with an exact count w.h.p. but pays
+/// an expected termination time of `Θ(n^b)` interactions.
+#[must_use]
+pub fn e4(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[6, 8, 10], 10)
+    } else {
+        (&[6, 8, 10, 12, 16], 40)
+    };
+    let b = 2;
+    let mut table = Table::new(&["n", "b", "trials", "terminated", "exact count", "mean steps", "n^b"]);
+    for &n in sizes {
+        let mut terminated = 0u32;
+        let mut exact = 0u32;
+        let mut steps = 0.0;
+        for t in 0..trials {
+            let outcome = run_simple_uid(
+                &SimpleUidCounting::new(b),
+                n,
+                0xE4 + u64::from(t),
+                200_000_000,
+            );
+            terminated += u32::from(outcome.terminated);
+            exact += u32::from(outcome.exact);
+            steps += outcome.steps as f64;
+        }
+        table.row(&[
+            n.to_string(),
+            b.to_string(),
+            trials.to_string(),
+            f3(f64::from(terminated) / f64::from(trials)),
+            f3(f64::from(exact) / f64::from(trials)),
+            f1(steps / f64::from(trials)),
+            (n.pow(b as u32)).to_string(),
+        ]);
+    }
+    Experiment {
+        id: "E4",
+        artefact: "Theorem 2: simple UID counting — exact w.h.p., Θ(n^b) termination time",
+        table: table.render(),
+    }
+}
+
+/// E5 — Theorem 3 / Protocol 3: the improved UID protocol; only the maximum id halts and
+/// its output `2·count1` is an upper bound on `n` w.h.p., within `O(n² log n)` steps.
+#[must_use]
+pub fn e5(quick: bool) -> Experiment {
+    let (sizes, trials): (&[usize], u32) = if quick {
+        (&[20, 50, 100], 20)
+    } else {
+        (&[20, 50, 100, 200, 400], 100)
+    };
+    let b = 4;
+    let mut table = Table::new(&[
+        "n",
+        "b",
+        "trials",
+        "halted",
+        "halter is max id",
+        "2·count1 ≥ n",
+        "mean steps",
+    ]);
+    for &n in sizes {
+        let mut halted = 0u32;
+        let mut is_max = 0u32;
+        let mut success = 0u32;
+        let mut steps = 0.0;
+        let budget = 256 * (n as u64) * (n as u64);
+        for t in 0..trials {
+            let outcome = run_improved_uid(&ImprovedUidCounting::new(b), n, 0xE5 + u64::from(t), budget);
+            halted += u32::from(outcome.halted);
+            is_max += u32::from(outcome.halter_is_max);
+            success += u32::from(outcome.success);
+            steps += outcome.steps as f64;
+        }
+        table.row(&[
+            n.to_string(),
+            b.to_string(),
+            trials.to_string(),
+            f3(f64::from(halted) / f64::from(trials)),
+            f3(f64::from(is_max) / f64::from(trials)),
+            f3(f64::from(success) / f64::from(trials)),
+            f1(steps / f64::from(trials)),
+        ]);
+    }
+    Experiment {
+        id: "E5",
+        artefact: "Theorem 3 / Protocol 3: improved UID counting — max id halts with an upper bound",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_and_e5_render() {
+        assert!(e4(true).table.contains("n^b"));
+        assert!(e5(true).table.contains("halter is max id"));
+    }
+}

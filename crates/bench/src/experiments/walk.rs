@@ -1,0 +1,61 @@
+//! E3: the random-walk failure analysis behind Theorem 1 (Figure 4).
+
+use super::{Experiment, Table};
+use nc_popproto::walk::{
+    per_visit_failure_probability, simulate_counting_walk, simulate_ehrenfest_walk,
+    theorem1_failure_bound,
+};
+
+/// E3 — Theorem 1 proof / Figure 4: empirical failure probability of the counting walk
+/// versus the head start `b`, compared with the gambler's-ruin per-visit closed form and
+/// the `1/n^(b−2)` bound the theorem uses.
+#[must_use]
+pub fn e3(quick: bool) -> Experiment {
+    let (sizes, trials): (&[u64], u32) = if quick {
+        (&[100, 400], 4_000)
+    } else {
+        (&[100, 400, 1600], 100_000)
+    };
+    let head_starts: &[u64] = &[3, 4, 5, 6];
+    let mut table = Table::new(&[
+        "n",
+        "b",
+        "empirical fail (exact walk)",
+        "empirical fail (Ehrenfest)",
+        "per-visit ruin bound",
+        "Theorem 1 bound 1/n^(b-2)",
+    ]);
+    for &n in sizes {
+        for &b in head_starts {
+            let exact = simulate_counting_walk(n, b, trials, 0xE3);
+            let ehrenfest = simulate_ehrenfest_walk(n, b, trials, 0xE3 + 1);
+            table.row(&[
+                n.to_string(),
+                b.to_string(),
+                format!("{:.6}", exact.failure_rate),
+                format!("{:.6}", ehrenfest.failure_rate),
+                format!("{:.2e}", per_visit_failure_probability(n, b)),
+                format!("{:.2e}", theorem1_failure_bound(n, b)),
+            ]);
+        }
+    }
+    Experiment {
+        id: "E3",
+        artefact: "Theorem 1 proof & Figure 4: failure probability vs head start b",
+        table: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_failure_decreases_with_b() {
+        let exact_b3 = simulate_counting_walk(200, 3, 4_000, 7).failure_rate;
+        let exact_b5 = simulate_counting_walk(200, 5, 4_000, 7).failure_rate;
+        assert!(exact_b5 <= exact_b3, "larger head start must not fail more often");
+        let e = e3(true);
+        assert!(e.table.contains("Theorem 1 bound"));
+    }
+}

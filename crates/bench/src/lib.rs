@@ -1,0 +1,18 @@
+//! Experiment harness and benchmarks for the reproduction of Michail (2015).
+//!
+//! The paper is a theory paper without numeric result tables; its "evaluation" consists
+//! of theorems, remarks and figures. Every theorem/remark/figure with measurable content
+//! is turned into an experiment (E1–E13, see `DESIGN.md` §4 and `EXPERIMENTS.md`), and
+//! this crate regenerates each of them:
+//!
+//! * the [`experiments`] module contains one function per experiment, each returning a
+//!   plain-text table;
+//! * the `experiments` binary (`cargo run -p nc-bench --release --bin experiments`)
+//!   runs any subset of them from the command line;
+//! * the Criterion benches (`benches/`) time the underlying machinery (simulator
+//!   throughput, counting, basic shape constructors, universal construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,70 @@
+//! Error type of the core crate.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A population of at least the stated size is required.
+    PopulationTooSmall {
+        /// Required minimum population.
+        required: usize,
+        /// Actual population.
+        actual: usize,
+    },
+    /// A node index outside the population was referenced.
+    UnknownNode(NodeId),
+    /// A port was used that does not exist in the configured dimension.
+    InvalidPort {
+        /// The offending node.
+        node: NodeId,
+        /// The port name.
+        port: &'static str,
+    },
+    /// The run hit its step budget before reaching the requested condition.
+    StepBudgetExhausted {
+        /// The number of steps executed.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::PopulationTooSmall { required, actual } => write!(
+                f,
+                "population of {actual} nodes is too small, at least {required} required"
+            ),
+            CoreError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CoreError::InvalidPort { node, port } => {
+                write!(f, "port {port} does not exist on node {node} in this dimension")
+            }
+            CoreError::StepBudgetExhausted { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::PopulationTooSmall {
+            required: 4,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("too small"));
+        assert!(CoreError::UnknownNode(NodeId::new(3)).to_string().contains("n3"));
+        assert!(CoreError::StepBudgetExhausted { steps: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

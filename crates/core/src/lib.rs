@@ -1,0 +1,73 @@
+//! The geometric network-constructor model of Michail (2015) and a discrete-event
+//! simulator for it.
+//!
+//! A *solution of automata* consists of `n` finite-state nodes, each with four (2D) or six
+//! (3D) ports. An adversary (here: a seeded uniform-random, hence fair-with-probability-1)
+//! scheduler repeatedly picks a *permissible* pair of node-ports — one whose bond is
+//! already active, or one that could be activated so that the union of the two rigid
+//! components is still a valid grid shape — and the two nodes apply a common transition
+//! function that may update their states and the state (active/inactive) of the bond
+//! between the chosen ports.
+//!
+//! The crate provides:
+//!
+//! * [`Protocol`] — the trait a constructor implements (Definition 1 of the paper);
+//! * [`World`] — a configuration: node states, bonds, and rigid component embeddings;
+//! * [`Simulation`] — a protocol + world + scheduler, with run-to-stabilization /
+//!   run-to-termination helpers and execution statistics;
+//! * [`scheduler`] — the uniform random scheduler (and deterministic ones for tests).
+//!
+//! # Example: a two-node handshake
+//!
+//! ```
+//! use nc_core::{NodeId, Protocol, Simulation, SimulationConfig, Transition};
+//! use nc_geometry::Dir;
+//!
+//! /// Nodes start as `Idle`; any two idle nodes bond and become `Done`.
+//! struct Handshake;
+//!
+//! #[derive(Clone, PartialEq, Debug)]
+//! enum S { Idle, Done }
+//!
+//! impl Protocol for Handshake {
+//!     type State = S;
+//!     fn initial_state(&self, _node: NodeId, _n: usize) -> S { S::Idle }
+//!     fn transition(&self, a: &S, _pa: Dir, b: &S, _pb: Dir, bonded: bool)
+//!         -> Option<Transition<S>>
+//!     {
+//!         if !bonded && *a == S::Idle && *b == S::Idle {
+//!             Some(Transition { a: S::Done, b: S::Done, bond: true })
+//!         } else {
+//!             None
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Handshake, SimulationConfig::new(2).with_seed(1));
+//! let report = sim.run_until_stable();
+//! assert!(report.stabilized);
+//! assert_eq!(sim.world().bond_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod error;
+mod node;
+mod protocol;
+pub mod scheduler;
+mod simulation;
+mod stats;
+mod world;
+
+pub use component::{Component, Placement};
+pub use error::CoreError;
+pub use node::NodeId;
+pub use protocol::{Protocol, Transition};
+pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
+pub use stats::ExecutionStats;
+pub use world::{Interaction, Permissibility, World};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,58 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (process) of the population.
+///
+/// Nodes are numbered `0..n`. The identifier is an artefact of the simulator — the
+/// protocols themselves are anonymous unless they explicitly model unique identifiers
+/// (as Section 5.3 of the paper does).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    #[must_use]
+    pub const fn new(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The zero-based index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = NodeId::new(3);
+        let b = NodeId::from(7);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "n3");
+        assert_eq!(format!("{b:?}"), "n7");
+    }
+}

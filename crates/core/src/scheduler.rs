@@ -1,0 +1,177 @@
+//! Schedulers: who interacts next.
+//!
+//! The paper's fairness condition is satisfied with probability 1 by the *uniform random
+//! scheduler*, which at every step selects independently and uniformly at random one of
+//! the interactions permitted by the current configuration. That scheduler is also the
+//! probabilistic assumption behind every "with high probability" statement, so it is the
+//! default here. A greedy deterministic scheduler is provided for fast-forwarding tests.
+
+use crate::{Interaction, Protocol, World};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A scheduler selects the next permissible interaction of a configuration.
+pub trait Scheduler {
+    /// Selects the next interaction, or `None` when no permissible pair exists (which can
+    /// only happen for a population of a single node).
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction>;
+}
+
+/// The uniform random scheduler of the paper.
+///
+/// Implemented by rejection sampling: an unordered pair of node-ports is drawn uniformly
+/// from all `(n·k choose 2)` candidates (where `k` is the number of ports per node) and
+/// re-drawn until a permissible one is found. Conditioning a uniform distribution on the
+/// permissible subset yields exactly the uniform distribution over permissible pairs, so
+/// no enumeration of the permissible set is needed.
+#[derive(Debug)]
+pub struct UniformScheduler {
+    rng: StdRng,
+    /// Safety valve: give up after this many rejected samples (only reachable for n = 1).
+    max_attempts: u32,
+}
+
+impl UniformScheduler {
+    /// Creates a scheduler from a seed (fixed seeds make executions reproducible).
+    #[must_use]
+    pub fn seeded(seed: u64) -> UniformScheduler {
+        UniformScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            max_attempts: 10_000_000,
+        }
+    }
+
+    /// Creates a scheduler from operating-system entropy.
+    #[must_use]
+    pub fn from_entropy() -> UniformScheduler {
+        UniformScheduler {
+            rng: StdRng::from_entropy(),
+            max_attempts: 10_000_000,
+        }
+    }
+
+    /// Access to the underlying random number generator (used by protocols that need
+    /// auxiliary randomness in experiments).
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        let n = world.len();
+        if n < 2 {
+            return None;
+        }
+        let ports = world.dim().dirs();
+        for _ in 0..self.max_attempts {
+            let a = self.rng.gen_range(0..n);
+            let b = self.rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let pa = ports[self.rng.gen_range(0..ports.len())];
+            let pb = ports[self.rng.gen_range(0..ports.len())];
+            if let Some(interaction) =
+                world.interaction(crate::NodeId::new(a as u32), pa, crate::NodeId::new(b as u32), pb)
+            {
+                return Some(interaction);
+            }
+        }
+        None
+    }
+}
+
+/// A deterministic scheduler that always picks an *effective* interaction if one exists
+/// (scanning nodes in index order). Useful to fast-forward constructions in unit tests
+/// where the probabilistic schedule is irrelevant; it is fair on every execution it
+/// completes because it only stops when no effective interaction remains.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyScheduler;
+
+impl Scheduler for GreedyScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        world.find_effective_interaction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, Transition};
+    use nc_geometry::Dir;
+
+    struct Pairing;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum S {
+        Single,
+        Paired,
+    }
+
+    impl Protocol for Pairing {
+        type State = S;
+
+        fn initial_state(&self, _node: NodeId, _n: usize) -> S {
+            S::Single
+        }
+
+        fn transition(&self, a: &S, _pa: Dir, b: &S, _pb: Dir, bonded: bool) -> Option<Transition<S>> {
+            if !bonded && *a == S::Single && *b == S::Single {
+                Some(Transition {
+                    a: S::Paired,
+                    b: S::Paired,
+                    bond: true,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_scheduler_is_reproducible() {
+        let world = World::new(Pairing, 6);
+        let mut s1 = UniformScheduler::seeded(42);
+        let mut s2 = UniformScheduler::seeded(42);
+        for _ in 0..20 {
+            assert_eq!(s1.next_interaction(&world), s2.next_interaction(&world));
+        }
+    }
+
+    #[test]
+    fn uniform_scheduler_returns_none_for_singleton_population() {
+        let world = World::new(Pairing, 1);
+        let mut s = UniformScheduler::seeded(1);
+        assert_eq!(s.next_interaction(&world), None);
+    }
+
+    #[test]
+    fn uniform_scheduler_only_returns_permissible_pairs() {
+        let mut world = World::new(Pairing, 8);
+        let mut s = UniformScheduler::seeded(7);
+        for _ in 0..200 {
+            let interaction = s.next_interaction(&world).expect("pairs exist");
+            assert!(world
+                .permissibility(interaction.a, interaction.pa, interaction.b, interaction.pb)
+                .is_some());
+            world.apply(&interaction);
+            assert!(world.check_invariants());
+        }
+    }
+
+    #[test]
+    fn greedy_scheduler_finds_effective_until_stable() {
+        let mut world = World::new(Pairing, 6);
+        let mut greedy = GreedyScheduler;
+        let mut effective = 0;
+        while let Some(i) = greedy.next_interaction(&world) {
+            let outcome = world.apply(&i);
+            assert!(outcome.effective);
+            effective += 1;
+            assert!(effective <= 3, "at most n/2 pairings possible");
+        }
+        assert_eq!(effective, 3);
+        assert!(world.is_stable());
+    }
+}

@@ -1,0 +1,384 @@
+//! Driving executions: protocol + world + scheduler + statistics.
+
+use crate::scheduler::{Scheduler, UniformScheduler};
+use crate::{ExecutionStats, Protocol, World};
+use nc_geometry::Shape;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Population size `n`.
+    pub n: usize,
+    /// Seed of the uniform random scheduler.
+    pub seed: u64,
+    /// Hard ceiling on the number of scheduler steps for the `run_until_*` helpers.
+    pub max_steps: u64,
+    /// Initial interval (in steps) between stability checks; the interval doubles after
+    /// every unsuccessful check so that the `O(n²)` stability scan stays amortised.
+    pub stability_check_interval: u64,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration for `n` nodes with a default seed, a step budget of
+    /// `10⁹` steps and an initial stability-check interval proportional to `n`.
+    #[must_use]
+    pub fn new(n: usize) -> SimulationConfig {
+        SimulationConfig {
+            n,
+            seed: 0xC0FFEE,
+            max_steps: 1_000_000_000,
+            stability_check_interval: (n as u64).max(16) * 8,
+        }
+    }
+
+    /// Sets the scheduler seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SimulationConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the step budget used by the `run_until_*` helpers.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> SimulationConfig {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the initial stability-check interval.
+    #[must_use]
+    pub fn with_stability_check_interval(mut self, interval: u64) -> SimulationConfig {
+        self.stability_check_interval = interval.max(1);
+        self
+    }
+}
+
+/// Why a `run_until_*` helper returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The configuration is stable: no effective interaction exists any more.
+    Stable,
+    /// The caller's predicate became true.
+    Predicate,
+    /// Every node reached a halted state.
+    AllHalted,
+    /// The step budget was exhausted before the requested condition held.
+    StepBudget,
+    /// The scheduler produced no interaction (population of a single node).
+    NoInteraction,
+}
+
+/// Summary of a `run_until_*` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Scheduler steps taken during this call.
+    pub steps: u64,
+    /// Effective steps taken during this call.
+    pub effective_steps: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Whether the final configuration is stable (always true when `reason` is
+    /// [`StopReason::Stable`], checked explicitly for the other reasons only when cheap).
+    pub stabilized: bool,
+}
+
+/// A running execution of a protocol under a scheduler.
+pub struct Simulation<P: Protocol, S: Scheduler = UniformScheduler> {
+    world: World<P>,
+    scheduler: S,
+    stats: ExecutionStats,
+    config: SimulationConfig,
+}
+
+impl<P: Protocol> Simulation<P, UniformScheduler> {
+    /// Creates a simulation with the uniform random scheduler of the paper.
+    #[must_use]
+    pub fn new(protocol: P, config: SimulationConfig) -> Simulation<P, UniformScheduler> {
+        let scheduler = UniformScheduler::seeded(config.seed);
+        Simulation::with_scheduler(protocol, config, scheduler)
+    }
+}
+
+impl<P: Protocol, S: Scheduler> Simulation<P, S> {
+    /// Creates a simulation with a custom scheduler.
+    #[must_use]
+    pub fn with_scheduler(protocol: P, config: SimulationConfig, scheduler: S) -> Simulation<P, S> {
+        Simulation {
+            world: World::new(protocol, config.n),
+            scheduler,
+            stats: ExecutionStats::default(),
+            config,
+        }
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn world(&self) -> &World<P> {
+        &self.world
+    }
+
+    /// Mutable access to the configuration (used by phased protocol compositions and by
+    /// tests that need to pre-arrange a configuration).
+    #[must_use]
+    pub fn world_mut(&mut self) -> &mut World<P> {
+        &mut self.world
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats
+    }
+
+    /// The configuration this simulation was created with.
+    #[must_use]
+    pub fn config(&self) -> SimulationConfig {
+        self.config
+    }
+
+    /// Executes a single scheduler step. Returns `false` when the scheduler could not
+    /// produce an interaction (single-node population).
+    pub fn step(&mut self) -> bool {
+        let Some(interaction) = self.scheduler.next_interaction(&self.world) else {
+            return false;
+        };
+        let outcome = self.world.apply(&interaction);
+        self.stats.steps += 1;
+        if outcome.effective {
+            self.stats.effective_steps += 1;
+        }
+        if outcome.bond_activated {
+            self.stats.bonds_activated += 1;
+        }
+        if outcome.bond_deactivated {
+            self.stats.bonds_deactivated += 1;
+        }
+        if outcome.merged {
+            self.stats.merges += 1;
+        }
+        if outcome.split {
+            self.stats.splits += 1;
+        }
+        true
+    }
+
+    /// Executes up to `steps` scheduler steps; returns how many were actually executed.
+    pub fn run_steps(&mut self, steps: u64) -> u64 {
+        for executed in 0..steps {
+            if !self.step() {
+                return executed;
+            }
+        }
+        steps
+    }
+
+    /// Runs until the given predicate on the configuration holds (checked after every
+    /// step and once before the first), until the step budget is exhausted, or until the
+    /// scheduler runs dry.
+    pub fn run_until(&mut self, mut predicate: impl FnMut(&World<P>) -> bool) -> RunReport {
+        let start = self.stats;
+        let mut reason = StopReason::StepBudget;
+        if predicate(&self.world) {
+            reason = StopReason::Predicate;
+        } else {
+            while self.stats.steps - start.steps < self.config.max_steps {
+                if !self.step() {
+                    reason = StopReason::NoInteraction;
+                    break;
+                }
+                if predicate(&self.world) {
+                    reason = StopReason::Predicate;
+                    break;
+                }
+            }
+        }
+        self.report_since(start, reason, false)
+    }
+
+    /// Runs until the configuration is stable (no effective interaction remains).
+    ///
+    /// Stability is detected by scanning all pairs, so the scan is only performed at
+    /// geometrically increasing step intervals; the reported step count therefore
+    /// overshoots the exact stabilization step by at most a constant factor.
+    pub fn run_until_stable(&mut self) -> RunReport {
+        let start = self.stats;
+        let mut interval = self.config.stability_check_interval;
+        loop {
+            if self.world.is_stable() {
+                return self.report_since(start, StopReason::Stable, true);
+            }
+            if self.stats.steps - start.steps >= self.config.max_steps {
+                return self.report_since(start, StopReason::StepBudget, false);
+            }
+            let budget_left = self.config.max_steps - (self.stats.steps - start.steps);
+            let chunk = interval.min(budget_left);
+            let executed = self.run_steps(chunk);
+            if executed < chunk {
+                let stable = self.world.is_stable();
+                return self.report_since(start, StopReason::NoInteraction, stable);
+            }
+            interval = interval.saturating_mul(2);
+        }
+    }
+
+    /// Runs until every node is halted (used by terminating protocols in which all nodes
+    /// eventually halt), the step budget is exhausted, or the scheduler runs dry.
+    pub fn run_until_all_halted(&mut self) -> RunReport {
+        let report = self.run_until(|w| w.all_halted());
+        self.fixup_halt_reason(report)
+    }
+
+    /// Runs until at least one node is halted (terminating protocols in which the unique
+    /// leader detects termination), the step budget is exhausted, or the scheduler runs
+    /// dry.
+    pub fn run_until_any_halted(&mut self) -> RunReport {
+        let report = self.run_until(|w| !w.halted_nodes().is_empty());
+        self.fixup_halt_reason(report)
+    }
+
+    fn fixup_halt_reason(&self, mut report: RunReport) -> RunReport {
+        if report.reason == StopReason::Predicate {
+            report.reason = StopReason::AllHalted;
+        }
+        report
+    }
+
+    /// The current output shape (largest component of output-state nodes).
+    #[must_use]
+    pub fn output_shape(&self) -> Shape {
+        self.world.output_shape()
+    }
+
+    fn report_since(&self, start: ExecutionStats, reason: StopReason, stabilized: bool) -> RunReport {
+        RunReport {
+            steps: self.stats.steps - start.steps,
+            effective_steps: self.stats.effective_steps - start.effective_steps,
+            reason,
+            stabilized: stabilized || reason == StopReason::Stable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::GreedyScheduler;
+    use crate::{NodeId, Transition};
+    use nc_geometry::Dir;
+
+    /// Leader-driven line: the head grabs free nodes right-port-to-left-port (as in the
+    /// paper's simplified spanning-line protocol); when the line has `target` nodes the
+    /// head halts.
+    struct ChainOf {
+        target: usize,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum S {
+        Head(usize),
+        Body,
+        Free,
+        Done,
+    }
+
+    impl Protocol for ChainOf {
+        type State = S;
+
+        fn initial_state(&self, node: NodeId, _n: usize) -> S {
+            if node.index() == 0 {
+                S::Head(1)
+            } else {
+                S::Free
+            }
+        }
+
+        fn transition(&self, a: &S, pa: Dir, b: &S, pb: Dir, bonded: bool) -> Option<Transition<S>> {
+            match (a, b) {
+                (S::Head(k), S::Free) if !bonded && pa == Dir::Right && pb == Dir::Left => {
+                    let next = if k + 1 == self.target {
+                        S::Done
+                    } else {
+                        S::Head(k + 1)
+                    };
+                    Some(Transition {
+                        a: S::Body,
+                        b: next,
+                        bond: true,
+                    })
+                }
+                _ => None,
+            }
+        }
+
+        fn is_halted(&self, state: &S) -> bool {
+            matches!(state, S::Done)
+        }
+    }
+
+    #[test]
+    fn run_until_stable_builds_the_chain() {
+        let mut sim = Simulation::new(ChainOf { target: 5 }, SimulationConfig::new(5).with_seed(3));
+        let report = sim.run_until_stable();
+        assert!(report.stabilized);
+        assert_eq!(report.reason, StopReason::Stable);
+        assert!(report.steps >= report.effective_steps);
+        assert!(sim.output_shape().is_line(5));
+        assert_eq!(sim.stats().merges, 4);
+    }
+
+    #[test]
+    fn run_until_any_halted_detects_termination() {
+        let mut sim = Simulation::new(ChainOf { target: 4 }, SimulationConfig::new(6).with_seed(9));
+        let report = sim.run_until_any_halted();
+        assert_eq!(report.reason, StopReason::AllHalted);
+        assert_eq!(sim.world().halted_nodes().len(), 1);
+        // The chain has exactly `target` nodes even though the population is larger.
+        let chain = sim
+            .world()
+            .shape_of(sim.world().halted_nodes()[0], false);
+        assert!(chain.is_line(4));
+    }
+
+    #[test]
+    fn greedy_scheduler_fast_forwards() {
+        let mut sim = Simulation::with_scheduler(
+            ChainOf { target: 6 },
+            SimulationConfig::new(6),
+            GreedyScheduler,
+        );
+        let report = sim.run_until_stable();
+        assert!(report.stabilized);
+        // Greedy schedules only effective interactions.
+        assert_eq!(report.steps, report.effective_steps);
+        assert_eq!(report.effective_steps, 5);
+    }
+
+    #[test]
+    fn step_budget_is_respected() {
+        let mut sim = Simulation::new(
+            ChainOf { target: 4 },
+            SimulationConfig::new(4).with_seed(1).with_max_steps(3),
+        );
+        let report = sim.run_until(|w| w.all_halted());
+        assert!(matches!(report.reason, StopReason::StepBudget | StopReason::Predicate));
+        assert!(report.steps <= 3);
+    }
+
+    #[test]
+    fn single_node_population_runs_dry() {
+        let mut sim = Simulation::new(ChainOf { target: 2 }, SimulationConfig::new(1));
+        assert!(!sim.step());
+        let report = sim.run_until_stable();
+        assert_eq!(report.reason, StopReason::Stable);
+    }
+
+    #[test]
+    fn run_until_predicate_counts_from_current_call() {
+        let mut sim = Simulation::new(ChainOf { target: 3 }, SimulationConfig::new(3).with_seed(11));
+        let first = sim.run_until(|w| w.bond_count() >= 1);
+        assert_eq!(first.reason, StopReason::Predicate);
+        let second = sim.run_until(|w| w.bond_count() >= 2);
+        assert_eq!(second.reason, StopReason::Predicate);
+        assert_eq!(sim.stats().steps, first.steps + second.steps);
+    }
+}

@@ -1,0 +1,879 @@
+//! The configuration of the system: node states, bonds, and rigid component embeddings.
+
+use crate::{Component, NodeId, Placement, Protocol};
+use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
+use std::collections::VecDeque;
+
+/// Why a pair of node-ports is allowed to interact at the current configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Permissibility {
+    /// The two ports are already joined by an active bond.
+    Bonded,
+    /// The two nodes belong to the same component and the two ports face each other at
+    /// unit distance (so activating the bond keeps the component a valid shape).
+    SameComponentAdjacent,
+    /// The two nodes belong to different components which can be rigidly placed so that
+    /// the two ports face each other at unit distance without any two nodes overlapping.
+    /// The transform maps the second node's component frame into the first node's frame.
+    Merge {
+        /// Rotation applied to the second component.
+        rotation: Rotation,
+        /// Translation applied after the rotation.
+        translation: Coord,
+    },
+}
+
+/// A scheduled interaction: an unordered pair of node-ports plus the geometric reason it
+/// is permissible. Produced by [`World::permissibility`] or a scheduler and consumed by
+/// [`World::apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// First participant.
+    pub a: NodeId,
+    /// Port of the first participant.
+    pub pa: Dir,
+    /// Second participant.
+    pub b: NodeId,
+    /// Port of the second participant.
+    pub pb: Dir,
+    /// Why the pair may interact.
+    pub permissibility: Permissibility,
+}
+
+/// The effect an applied interaction had on the configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InteractionOutcome {
+    /// Whether the interaction was effective (changed a state or the bond).
+    pub effective: bool,
+    /// Whether a bond was activated.
+    pub bond_activated: bool,
+    /// Whether a bond was deactivated.
+    pub bond_deactivated: bool,
+    /// Whether two components merged.
+    pub merged: bool,
+    /// Whether a component split in two.
+    pub split: bool,
+}
+
+/// A configuration `(C_V, C_E)` of the model together with the rigid embedding of every
+/// connected component, for a fixed protocol.
+pub struct World<P: Protocol> {
+    protocol: P,
+    dim: Dim,
+    states: Vec<P::State>,
+    placements: Vec<Placement>,
+    comp_of: Vec<usize>,
+    components: Vec<Option<Component>>,
+    links: Vec<[Option<(NodeId, Dir)>; 6]>,
+    bond_count: usize,
+    rotations: Vec<Rotation>,
+}
+
+impl<P: Protocol> World<P> {
+    /// Creates the initial configuration on `n` nodes: every node free (a singleton
+    /// component), in its protocol-defined initial state, with all bonds inactive.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(protocol: P, n: usize) -> World<P> {
+        assert!(n > 0, "the population must contain at least one node");
+        let dim = protocol.dim();
+        let states = (0..n)
+            .map(|i| protocol.initial_state(NodeId::new(i as u32), n))
+            .collect();
+        let components = (0..n)
+            .map(|i| Some(Component::singleton(NodeId::new(i as u32))))
+            .collect();
+        World {
+            rotations: Rotation::all(dim),
+            protocol,
+            dim,
+            states,
+            placements: vec![Placement::origin(); n],
+            comp_of: (0..n).collect(),
+            components,
+            links: vec![[None; 6]; n],
+            bond_count: 0,
+        }
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the population is empty (never true: constructors require `n ≥ 1`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The dimensionality of the model.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The protocol driving this world.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current state of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the population.
+    #[must_use]
+    pub fn state(&self, node: NodeId) -> &P::State {
+        &self.states[node.index()]
+    }
+
+    /// Overrides the state of `node`. Intended for test setups and for composing phased
+    /// protocols that hand over a configuration.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the population.
+    pub fn set_state(&mut self, node: NodeId, state: P::State) {
+        self.states[node.index()] = state;
+    }
+
+    /// Iterates over all node states in node order.
+    pub fn states(&self) -> impl Iterator<Item = &P::State> {
+        self.states.iter()
+    }
+
+    /// All node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId::new)
+    }
+
+    /// Number of active bonds in the configuration.
+    #[must_use]
+    pub fn bond_count(&self) -> usize {
+        self.bond_count
+    }
+
+    /// The peer currently bonded to `node`'s port `port`, if any.
+    #[must_use]
+    pub fn bonded_peer(&self, node: NodeId, port: Dir) -> Option<(NodeId, Dir)> {
+        self.links[node.index()][port.index()]
+    }
+
+    /// The placement of `node` within its component's frame.
+    #[must_use]
+    pub fn placement(&self, node: NodeId) -> Placement {
+        self.placements[node.index()]
+    }
+
+    /// The identifier of the component containing `node`.
+    #[must_use]
+    pub fn component_id(&self, node: NodeId) -> usize {
+        self.comp_of[node.index()]
+    }
+
+    /// The component containing `node`.
+    #[must_use]
+    pub fn component(&self, node: NodeId) -> &Component {
+        self.components[self.comp_of[node.index()]]
+            .as_ref()
+            .expect("component slot of a live node must be occupied")
+    }
+
+    /// Number of connected components (free nodes count as singleton components).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Decides whether the unordered pair of node-ports may interact in the current
+    /// configuration and, if so, why.
+    ///
+    /// Returns `None` when the pair is not permissible (same node, port outside the
+    /// dimension, non-aligned ports of one component, or unavoidable overlap between the
+    /// two components).
+    #[must_use]
+    pub fn permissibility(&self, a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> Option<Permissibility> {
+        if a == b || !self.dim.contains(pa) || !self.dim.contains(pb) {
+            return None;
+        }
+        if a.index() >= self.len() || b.index() >= self.len() {
+            return None;
+        }
+        if self.links[a.index()][pa.index()] == Some((b, pb)) {
+            return Some(Permissibility::Bonded);
+        }
+        let pl_a = self.placements[a.index()];
+        let pl_b = self.placements[b.index()];
+        let ga = pl_a.rot.apply_dir(pa);
+        if self.comp_of[a.index()] == self.comp_of[b.index()] {
+            // Same component: the ports must already face each other at unit distance.
+            let aligned = pl_b.pos == pl_a.pos + ga.unit() && pl_b.rot.apply_dir(pb) == ga.opposite();
+            return aligned.then_some(Permissibility::SameComponentAdjacent);
+        }
+        // Different components: try to place b's component so the ports face each other.
+        let comp_a = self.component(a);
+        let comp_b = self.component(b);
+        let target = pl_a.pos + ga.unit();
+        if comp_a.is_occupied(target) {
+            return None;
+        }
+        let from = pl_b.rot.apply_dir(pb);
+        let to = ga.opposite();
+        for &rotation in &self.rotations {
+            if rotation.apply_dir(from) != to {
+                continue;
+            }
+            let translation = target - rotation.apply_coord(pl_b.pos);
+            let collision = comp_b
+                .iter()
+                .any(|(_, pos)| comp_a.is_occupied(rotation.apply_coord(pos) + translation));
+            if !collision {
+                return Some(Permissibility::Merge {
+                    rotation,
+                    translation,
+                });
+            }
+        }
+        None
+    }
+
+    /// Convenience wrapper building an [`Interaction`] when the pair is permissible.
+    #[must_use]
+    pub fn interaction(&self, a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> Option<Interaction> {
+        self.permissibility(a, pa, b, pb).map(|permissibility| Interaction {
+            a,
+            pa,
+            b,
+            pb,
+            permissibility,
+        })
+    }
+
+    /// Applies a (currently permissible) interaction: consults the protocol's transition
+    /// function — in both orders, since pairs are unordered — and updates states, bonds
+    /// and component embeddings accordingly.
+    ///
+    /// Interactions involving a halted participant are ineffective by definition.
+    pub fn apply(&mut self, interaction: &Interaction) -> InteractionOutcome {
+        let Interaction { a, pa, b, pb, permissibility } = *interaction;
+        let mut outcome = InteractionOutcome::default();
+        if self.protocol.is_halted(&self.states[a.index()])
+            || self.protocol.is_halted(&self.states[b.index()])
+        {
+            return outcome;
+        }
+        let bonded = matches!(permissibility, Permissibility::Bonded);
+        let sa = &self.states[a.index()];
+        let sb = &self.states[b.index()];
+        let attempt = self
+            .protocol
+            .transition(sa, pa, sb, pb, bonded)
+            .map(|t| (t, false))
+            .or_else(|| self.protocol.transition(sb, pb, sa, pa, bonded).map(|t| (t, true)));
+        let Some((transition, swapped)) = attempt else {
+            return outcome;
+        };
+        let (new_a, new_b) = if swapped {
+            (transition.b, transition.a)
+        } else {
+            (transition.a, transition.b)
+        };
+        outcome.effective = new_a != self.states[a.index()]
+            || new_b != self.states[b.index()]
+            || transition.bond != bonded;
+        self.states[a.index()] = new_a;
+        self.states[b.index()] = new_b;
+        match (bonded, transition.bond) {
+            (true, true) | (false, false) => {}
+            (true, false) => {
+                self.deactivate_bond(a, pa, b, pb, &mut outcome);
+            }
+            (false, true) => {
+                if let Permissibility::Merge { rotation, translation } = permissibility {
+                    self.merge_components(a, b, rotation, translation);
+                    outcome.merged = true;
+                }
+                self.links[a.index()][pa.index()] = Some((b, pb));
+                self.links[b.index()][pb.index()] = Some((a, pa));
+                self.bond_count += 1;
+                outcome.bond_activated = true;
+            }
+        }
+        outcome
+    }
+
+    fn merge_components(&mut self, a: NodeId, b: NodeId, rotation: Rotation, translation: Coord) {
+        let comp_a_id = self.comp_of[a.index()];
+        let comp_b_id = self.comp_of[b.index()];
+        debug_assert_ne!(comp_a_id, comp_b_id);
+        let comp_b = self.components[comp_b_id]
+            .take()
+            .expect("component slot of a live node must be occupied");
+        let comp_a = self.components[comp_a_id]
+            .as_mut()
+            .expect("component slot of a live node must be occupied");
+        for (node, pos) in comp_b.iter() {
+            let new_pos = rotation.apply_coord(pos) + translation;
+            let placement = &mut self.placements[node.index()];
+            placement.pos = new_pos;
+            placement.rot = rotation.compose(placement.rot);
+            self.comp_of[node.index()] = comp_a_id;
+            comp_a.insert(node, new_pos);
+        }
+    }
+
+    fn deactivate_bond(
+        &mut self,
+        a: NodeId,
+        pa: Dir,
+        b: NodeId,
+        pb: Dir,
+        outcome: &mut InteractionOutcome,
+    ) {
+        debug_assert_eq!(self.links[a.index()][pa.index()], Some((b, pb)));
+        self.links[a.index()][pa.index()] = None;
+        self.links[b.index()][pb.index()] = None;
+        self.bond_count -= 1;
+        outcome.bond_deactivated = true;
+        // The component may have split: collect everything still reachable from `a`.
+        let comp_id = self.comp_of[a.index()];
+        let mut reachable = vec![false; self.len()];
+        reachable[a.index()] = true;
+        let mut queue = VecDeque::from([a]);
+        let mut reached_b = false;
+        while let Some(node) = queue.pop_front() {
+            if node == b {
+                reached_b = true;
+                break;
+            }
+            for link in &self.links[node.index()] {
+                if let Some((peer, _)) = link {
+                    if !reachable[peer.index()] {
+                        reachable[peer.index()] = true;
+                        queue.push_back(*peer);
+                    }
+                }
+            }
+        }
+        if reached_b {
+            return;
+        }
+        // Split: `reachable` now holds exactly `a`'s side; move everything else (i.e.
+        // `b`'s side) of the old component into a new component.
+        outcome.split = true;
+        let old_members: Vec<NodeId> = self.components[comp_id]
+            .as_ref()
+            .expect("component slot of a live node must be occupied")
+            .members()
+            .to_vec();
+        let new_comp_id = self.allocate_component_slot();
+        let mut new_comp = Component::empty();
+        for node in old_members {
+            if self.comp_of[node.index()] == comp_id && !reachable[node.index()] {
+                let pos = self.placements[node.index()].pos;
+                self.components[comp_id]
+                    .as_mut()
+                    .expect("component slot of a live node must be occupied")
+                    .remove(node, pos);
+                new_comp.insert(node, pos);
+                self.comp_of[node.index()] = new_comp_id;
+            }
+        }
+        debug_assert!(!new_comp.is_empty());
+        self.components[new_comp_id] = Some(new_comp);
+    }
+
+    fn allocate_component_slot(&mut self) -> usize {
+        if let Some(idx) = self.components.iter().position(Option::is_none) {
+            idx
+        } else {
+            self.components.push(None);
+            self.components.len() - 1
+        }
+    }
+
+    /// Activates the bond between two node-ports *without consulting the protocol*,
+    /// merging components as needed. Intended for setting up initial configurations
+    /// (pre-built seed lines, the input shape of the self-replication protocols) and for
+    /// handing configurations between sequentially composed phases.
+    ///
+    /// # Errors
+    /// Returns [`crate::CoreError::PopulationTooSmall`] never; returns
+    /// [`crate::CoreError::UnknownNode`] if a node is out of range and
+    /// [`crate::CoreError::InvalidPort`] if the pair is not geometrically permissible or
+    /// is already bonded.
+    pub fn setup_bond(&mut self, a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> crate::Result<()> {
+        if a.index() >= self.len() {
+            return Err(crate::CoreError::UnknownNode(a));
+        }
+        if b.index() >= self.len() {
+            return Err(crate::CoreError::UnknownNode(b));
+        }
+        match self.permissibility(a, pa, b, pb) {
+            Some(Permissibility::Merge { rotation, translation }) => {
+                self.merge_components(a, b, rotation, translation);
+            }
+            Some(Permissibility::SameComponentAdjacent) => {}
+            Some(Permissibility::Bonded) | None => {
+                return Err(crate::CoreError::InvalidPort {
+                    node: a,
+                    port: pa.short_name(),
+                });
+            }
+        }
+        self.links[a.index()][pa.index()] = Some((b, pb));
+        self.links[b.index()][pb.index()] = Some((a, pa));
+        self.bond_count += 1;
+        Ok(())
+    }
+
+    /// Searches the whole configuration for an effective permissible interaction.
+    ///
+    /// This is an `O(n² · ports²)` scan used to decide stability (a configuration with no
+    /// effective interaction can never change again) and by the greedy scheduler in tests.
+    #[must_use]
+    pub fn find_effective_interaction(&self) -> Option<Interaction> {
+        let ports = self.dim.dirs();
+        for ai in 0..self.len() {
+            let a = NodeId::new(ai as u32);
+            if self.protocol.is_halted(&self.states[ai]) {
+                continue;
+            }
+            for bi in (ai + 1)..self.len() {
+                let b = NodeId::new(bi as u32);
+                if self.protocol.is_halted(&self.states[bi]) {
+                    continue;
+                }
+                for &pa in ports {
+                    for &pb in ports {
+                        let Some(permissibility) = self.permissibility(a, pa, b, pb) else {
+                            continue;
+                        };
+                        let bonded = matches!(permissibility, Permissibility::Bonded);
+                        let sa = &self.states[ai];
+                        let sb = &self.states[bi];
+                        let attempt = self
+                            .protocol
+                            .transition(sa, pa, sb, pb, bonded)
+                            .map(|t| (t, false))
+                            .or_else(|| {
+                                self.protocol.transition(sb, pb, sa, pa, bonded).map(|t| (t, true))
+                            });
+                        // Count identity transitions as ineffective.
+                        let effective = attempt.is_some_and(|(t, swapped)| {
+                            let (new_a, new_b) = if swapped { (&t.b, &t.a) } else { (&t.a, &t.b) };
+                            t.bond != bonded || new_a != sa || new_b != sb
+                        });
+                        if effective {
+                            return Some(Interaction { a, pa, b, pb, permissibility });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the configuration is stable: no permissible interaction is effective, so
+    /// the configuration (and in particular its output shape) can never change again.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.find_effective_interaction().is_none()
+    }
+
+    /// Whether every node is in a halted state.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.states.iter().all(|s| self.protocol.is_halted(s))
+    }
+
+    /// Nodes currently in a halted state.
+    #[must_use]
+    pub fn halted_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.protocol.is_halted(self.state(n)))
+            .collect()
+    }
+
+    /// The shape of the component containing `node`, expressed in the component frame.
+    ///
+    /// When `only_output` is set, only members in output states (and bonds between them)
+    /// are included, matching the paper's definition of the output of a configuration.
+    #[must_use]
+    pub fn shape_of(&self, node: NodeId, only_output: bool) -> Shape {
+        let comp = self.component(node);
+        let mut shape = Shape::new();
+        let included = |n: NodeId| !only_output || self.protocol.is_output(self.state(n));
+        for (member, pos) in comp.iter() {
+            if included(member) {
+                shape.insert_cell(pos);
+            }
+        }
+        for (member, pos) in comp.iter() {
+            if !included(member) {
+                continue;
+            }
+            for link in &self.links[member.index()] {
+                if let Some((peer, _)) = link {
+                    if included(*peer) && self.comp_of[peer.index()] == self.comp_of[member.index()]
+                    {
+                        let peer_pos = self.placements[peer.index()].pos;
+                        let _ = shape.insert_edge(pos, peer_pos);
+                    }
+                }
+            }
+        }
+        shape
+    }
+
+    /// The output shapes of the configuration: for every component, the subgraph induced
+    /// by its output-state members, skipping components with no output members.
+    #[must_use]
+    pub fn output_shapes(&self) -> Vec<Shape> {
+        let mut seen = vec![false; self.components.len()];
+        let mut out = Vec::new();
+        for node in self.nodes() {
+            let cid = self.comp_of[node.index()];
+            if seen[cid] {
+                continue;
+            }
+            seen[cid] = true;
+            let shape = self.shape_of(node, true);
+            if !shape.is_empty() {
+                out.push(shape);
+            }
+        }
+        out
+    }
+
+    /// The largest output shape of the configuration (by number of cells), or the empty
+    /// shape when no node is in an output state.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape {
+        self.output_shapes()
+            .into_iter()
+            .max_by_key(Shape::len)
+            .unwrap_or_default()
+    }
+
+    /// Checks internal consistency of the embedding: every bonded pair of nodes is in the
+    /// same component, at unit distance, with ports facing each other, and no two nodes
+    /// of a component occupy the same cell. Used by tests and debug assertions.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        for node in self.nodes() {
+            let placement = self.placements[node.index()];
+            let comp_id = self.comp_of[node.index()];
+            let comp = self.components[comp_id].as_ref();
+            let Some(comp) = comp else {
+                return false;
+            };
+            if comp.node_at(placement.pos) != Some(node) {
+                return false;
+            }
+            for (idx, link) in self.links[node.index()].iter().enumerate() {
+                let Some((peer, peer_port)) = link else {
+                    continue;
+                };
+                let port = Dir::from_index(idx);
+                if !self.dim.contains(port) {
+                    return false;
+                }
+                if self.comp_of[peer.index()] != comp_id {
+                    return false;
+                }
+                if self.links[peer.index()][peer_port.index()] != Some((node, port)) {
+                    return false;
+                }
+                let peer_placement = self.placements[peer.index()];
+                let facing = placement.rot.apply_dir(port);
+                if peer_placement.pos != placement.pos + facing.unit() {
+                    return false;
+                }
+                if peer_placement.rot.apply_dir(*peer_port) != facing.opposite() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    /// A tiny protocol that bonds chains: a `Head` grabs a `Free` node through its right
+    /// port (any port of the free node), making the grabbed node the new `Head`.
+    struct Chain;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum C {
+        Head,
+        Body,
+        Free,
+    }
+
+    impl Protocol for Chain {
+        type State = C;
+
+        fn initial_state(&self, node: NodeId, _n: usize) -> C {
+            if node.index() == 0 {
+                C::Head
+            } else {
+                C::Free
+            }
+        }
+
+        fn transition(&self, a: &C, pa: Dir, b: &C, _pb: Dir, bonded: bool) -> Option<Transition<C>> {
+            if !bonded && *a == C::Head && pa == Dir::Right && *b == C::Free {
+                Some(Transition {
+                    a: C::Body,
+                    b: C::Head,
+                    bond: true,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn initial_world() {
+        let world = World::new(Chain, 4);
+        assert_eq!(world.len(), 4);
+        assert_eq!(world.component_count(), 4);
+        assert_eq!(world.bond_count(), 0);
+        assert_eq!(world.state(NodeId::new(0)), &C::Head);
+        assert_eq!(world.state(NodeId::new(3)), &C::Free);
+        assert!(world.check_invariants());
+    }
+
+    #[test]
+    fn permissibility_of_free_nodes() {
+        let world = World::new(Chain, 3);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        // Two free nodes may always interact (any ports).
+        for &pa in Dim::Two.dirs() {
+            for &pb in Dim::Two.dirs() {
+                assert!(matches!(
+                    world.permissibility(a, pa, b, pb),
+                    Some(Permissibility::Merge { .. })
+                ));
+            }
+        }
+        // A node never interacts with itself, and z-ports are rejected in 2D.
+        assert_eq!(world.permissibility(a, Dir::Up, a, Dir::Down), None);
+        assert_eq!(world.permissibility(a, Dir::ZPlus, b, Dir::Up), None);
+    }
+
+    #[test]
+    fn apply_merges_and_updates_states() {
+        let mut world = World::new(Chain, 3);
+        let head = NodeId::new(0);
+        let free = NodeId::new(1);
+        let interaction = world.interaction(head, Dir::Right, free, Dir::Left).unwrap();
+        let outcome = world.apply(&interaction);
+        assert!(outcome.effective);
+        assert!(outcome.bond_activated);
+        assert!(outcome.merged);
+        assert_eq!(world.bond_count(), 1);
+        assert_eq!(world.component_count(), 2);
+        assert_eq!(world.state(head), &C::Body);
+        assert_eq!(world.state(free), &C::Head);
+        assert!(world.check_invariants());
+        // The grabbed node sits to the right of the old head in the component frame.
+        assert_eq!(world.placement(free).pos, Coord::new2(1, 0));
+    }
+
+    #[test]
+    fn unordered_pair_is_tried_both_ways() {
+        let mut world = World::new(Chain, 2);
+        let head = NodeId::new(0);
+        let free = NodeId::new(1);
+        // Present the pair with the free node first: the engine must still find the rule.
+        let interaction = world.interaction(free, Dir::Left, head, Dir::Right).unwrap();
+        let outcome = world.apply(&interaction);
+        assert!(outcome.effective);
+        assert_eq!(world.state(free), &C::Head);
+        assert_eq!(world.state(head), &C::Body);
+    }
+
+    #[test]
+    fn ineffective_interactions_change_nothing() {
+        let mut world = World::new(Chain, 3);
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let interaction = world.interaction(a, Dir::Up, b, Dir::Up).unwrap();
+        let outcome = world.apply(&interaction);
+        assert!(!outcome.effective);
+        assert_eq!(world.bond_count(), 0);
+        assert_eq!(world.component_count(), 3);
+    }
+
+    #[test]
+    fn chain_growth_is_geometric() {
+        let mut world = World::new(Chain, 4);
+        // Grow a chain 0-1-2-3 by always bonding the current head's right port to the
+        // next free node's left port.
+        for k in 1..4u32 {
+            let head = NodeId::new(k - 1);
+            let free = NodeId::new(k);
+            let interaction = world.interaction(head, Dir::Right, free, Dir::Left).unwrap();
+            let outcome = world.apply(&interaction);
+            assert!(outcome.effective);
+        }
+        assert_eq!(world.component_count(), 1);
+        assert_eq!(world.bond_count(), 3);
+        assert!(world.check_invariants());
+        let shape = world.shape_of(NodeId::new(0), false);
+        assert!(shape.is_line(4));
+        // All permissible internal pairs are the bonded ones plus nothing else effective.
+        assert!(world.is_stable());
+    }
+
+    #[test]
+    fn collision_prevents_merge() {
+        // Build a chain 0-1-2; nodes 3..5 stay free.
+        let mut world = World::new(Chain, 6);
+        for k in 1..3u32 {
+            let i = world
+                .interaction(NodeId::new(k - 1), Dir::Right, NodeId::new(k), Dir::Left)
+                .unwrap();
+            assert!(world.apply(&i).effective);
+        }
+        assert_eq!(world.component_count(), 4);
+        // Node 0's Right port already faces the occupied cell of node 1, so no other
+        // component can ever attach there.
+        assert_eq!(
+            world.permissibility(NodeId::new(0), Dir::Right, NodeId::new(3), Dir::Left),
+            None
+        );
+        // Side bonding against a free cell is geometrically allowed (even though the
+        // protocol would not make it effective).
+        assert!(world
+            .permissibility(NodeId::new(1), Dir::Up, NodeId::new(4), Dir::Down)
+            .is_some());
+        // A pair of nodes inside the chain that are not adjacent may not interact: no
+        // elasticity, unlike the abstract Network Constructors model.
+        assert_eq!(
+            world.permissibility(NodeId::new(0), Dir::Right, NodeId::new(2), Dir::Left),
+            None
+        );
+    }
+
+    /// A protocol that first bonds two free nodes and later releases the bond.
+    struct BondThenRelease;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum B {
+        Fresh,
+        Bonded,
+        Released,
+    }
+
+    impl Protocol for BondThenRelease {
+        type State = B;
+
+        fn initial_state(&self, _node: NodeId, _n: usize) -> B {
+            B::Fresh
+        }
+
+        fn transition(&self, a: &B, _pa: Dir, b: &B, _pb: Dir, bonded: bool) -> Option<Transition<B>> {
+            match (a, b, bonded) {
+                (B::Fresh, B::Fresh, false) => Some(Transition {
+                    a: B::Bonded,
+                    b: B::Bonded,
+                    bond: true,
+                }),
+                (B::Bonded, B::Bonded, true) => Some(Transition {
+                    a: B::Released,
+                    b: B::Released,
+                    bond: false,
+                }),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn bond_deactivation_splits_component() {
+        let mut world = World::new(BondThenRelease, 2);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let i = world.interaction(a, Dir::Right, b, Dir::Left).unwrap();
+        assert!(world.apply(&i).merged);
+        assert_eq!(world.component_count(), 1);
+        let i = world.interaction(a, Dir::Right, b, Dir::Left).unwrap();
+        assert_eq!(i.permissibility, Permissibility::Bonded);
+        let outcome = world.apply(&i);
+        assert!(outcome.bond_deactivated);
+        assert!(outcome.split);
+        assert_eq!(world.component_count(), 2);
+        assert_eq!(world.bond_count(), 0);
+        assert!(world.check_invariants());
+        assert!(world.is_stable());
+    }
+
+    #[test]
+    fn output_shape_filters_non_output_states() {
+        struct OnlyHeadOutputs;
+        impl Protocol for OnlyHeadOutputs {
+            type State = C;
+            fn initial_state(&self, node: NodeId, n: usize) -> C {
+                Chain.initial_state(node, n)
+            }
+            fn transition(&self, a: &C, pa: Dir, b: &C, pb: Dir, bonded: bool) -> Option<Transition<C>> {
+                Chain.transition(a, pa, b, pb, bonded)
+            }
+            fn is_output(&self, state: &C) -> bool {
+                matches!(state, C::Head | C::Body)
+            }
+        }
+        let mut world = World::new(OnlyHeadOutputs, 3);
+        let i = world
+            .interaction(NodeId::new(0), Dir::Right, NodeId::new(1), Dir::Left)
+            .unwrap();
+        world.apply(&i);
+        // Node 2 is still Free (not an output state), so the output shape is the 2-chain.
+        let shapes = world.output_shapes();
+        assert_eq!(shapes.len(), 1);
+        assert!(shapes[0].is_line(2));
+        assert!(world.output_shape().is_line(2));
+    }
+
+    #[test]
+    fn halted_nodes_do_not_interact() {
+        struct HaltImmediately;
+        impl Protocol for HaltImmediately {
+            type State = bool; // true = halted
+            fn initial_state(&self, node: NodeId, _n: usize) -> bool {
+                node.index() == 0
+            }
+            fn transition(&self, _a: &bool, _pa: Dir, _b: &bool, _pb: Dir, _c: bool) -> Option<Transition<bool>> {
+                Some(Transition {
+                    a: true,
+                    b: true,
+                    bond: true,
+                })
+            }
+            fn is_halted(&self, state: &bool) -> bool {
+                *state
+            }
+        }
+        let mut world = World::new(HaltImmediately, 2);
+        let i = world
+            .interaction(NodeId::new(0), Dir::Right, NodeId::new(1), Dir::Left)
+            .unwrap();
+        // Node 0 is halted, so the interaction must be ineffective.
+        let outcome = world.apply(&i);
+        assert!(!outcome.effective);
+        assert_eq!(world.halted_nodes(), vec![NodeId::new(0)]);
+        assert!(!world.all_halted());
+    }
+}

@@ -1,0 +1,202 @@
+//! Integer grid coordinates.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A point of the 2D or 3D unit grid.
+///
+/// The model places every node of a connected component on a distinct grid point; two
+/// nodes can only be bonded when they sit at unit (Manhattan) distance. 2D shapes simply
+/// keep `z = 0`.
+///
+/// ```
+/// use nc_geometry::Coord;
+/// let a = Coord::new2(1, 2);
+/// let b = Coord::new2(1, 3);
+/// assert_eq!(a.manhattan(b), 1);
+/// assert_eq!(a + Coord::new2(0, 1), b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// The x (paper: `px`/`p−x` axis) coordinate.
+    pub x: i32,
+    /// The y (paper: `py`/`p−y` axis) coordinate.
+    pub y: i32,
+    /// The z (paper: `pz`/`p−z` axis) coordinate; zero for 2D shapes.
+    pub z: i32,
+}
+
+impl Coord {
+    /// The origin `(0, 0, 0)`.
+    pub const ORIGIN: Coord = Coord { x: 0, y: 0, z: 0 };
+
+    /// Creates a 3D coordinate.
+    #[must_use]
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        Coord { x, y, z }
+    }
+
+    /// Creates a 2D coordinate (with `z = 0`).
+    #[must_use]
+    pub const fn new2(x: i32, y: i32) -> Self {
+        Coord { x, y, z: 0 }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use nc_geometry::Coord;
+    /// assert_eq!(Coord::new(0, 0, 0).manhattan(Coord::new(1, -2, 3)), 6);
+    /// ```
+    #[must_use]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y) + self.z.abs_diff(other.z)
+    }
+
+    /// Returns `true` if the two coordinates are at unit distance, i.e. grid-adjacent.
+    #[must_use]
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// Returns `true` if the coordinate lies in the `z = 0` plane.
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        self.z == 0
+    }
+
+    /// The six axis-aligned unit neighbours (3D); the first four lie in the plane.
+    #[must_use]
+    pub fn neighbors3(self) -> [Coord; 6] {
+        [
+            self + Coord::new(0, 1, 0),
+            self + Coord::new(1, 0, 0),
+            self + Coord::new(0, -1, 0),
+            self + Coord::new(-1, 0, 0),
+            self + Coord::new(0, 0, 1),
+            self + Coord::new(0, 0, -1),
+        ]
+    }
+
+    /// The four in-plane unit neighbours (2D).
+    #[must_use]
+    pub fn neighbors2(self) -> [Coord; 4] {
+        [
+            self + Coord::new(0, 1, 0),
+            self + Coord::new(1, 0, 0),
+            self + Coord::new(0, -1, 0),
+            self + Coord::new(-1, 0, 0),
+        ]
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+
+    fn add(self, rhs: Coord) -> Coord {
+        Coord::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+
+    fn sub(self, rhs: Coord) -> Coord {
+        Coord::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Neg for Coord {
+    type Output = Coord;
+
+    fn neg(self) -> Coord {
+        Coord::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.z == 0 {
+            write!(f, "({}, {})", self.x, self.y)
+        } else {
+            write!(f, "({}, {}, {})", self.x, self.y, self.z)
+        }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((x, y): (i32, i32)) -> Self {
+        Coord::new2(x, y)
+    }
+}
+
+impl From<(i32, i32, i32)> for Coord {
+    fn from((x, y, z): (i32, i32, i32)) -> Self {
+        Coord::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Coord::new(3, -1, 2);
+        let b = Coord::new(-5, 4, 0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a - a, Coord::ORIGIN);
+    }
+
+    #[test]
+    fn manhattan_symmetric() {
+        let a = Coord::new(1, 2, 3);
+        let b = Coord::new(-4, 0, 7);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn adjacency() {
+        let a = Coord::new2(0, 0);
+        assert!(a.is_adjacent(Coord::new2(0, 1)));
+        assert!(a.is_adjacent(Coord::new(0, 0, -1)));
+        assert!(!a.is_adjacent(Coord::new2(1, 1)));
+        assert!(!a.is_adjacent(a));
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_distinct() {
+        let c = Coord::new(5, -3, 2);
+        let n3 = c.neighbors3();
+        for (i, a) in n3.iter().enumerate() {
+            assert!(c.is_adjacent(*a));
+            for b in n3.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        let n2 = c.neighbors2();
+        assert!(n2.iter().all(|p| p.z == c.z));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Coord::from((1, 2)), Coord::new2(1, 2));
+        assert_eq!(Coord::from((1, 2, 3)), Coord::new(1, 2, 3));
+        assert!(Coord::new2(4, 4).is_planar());
+        assert!(!Coord::new(0, 0, 1).is_planar());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Coord::new2(1, -2)), "(1, -2)");
+        assert_eq!(format!("{}", Coord::new(1, 2, 3)), "(1, 2, 3)");
+    }
+}

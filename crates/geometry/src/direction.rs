@@ -1,0 +1,258 @@
+//! Directions / ports and the dimension of the model.
+
+use crate::Coord;
+use std::fmt;
+
+/// The dimensionality of the model: 2D nodes have four ports, 3D nodes have six.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Dim {
+    /// Two dimensions: ports `u`, `r`, `d`, `l` (the paper's `py`, `px`, `p−y`, `p−x`).
+    #[default]
+    Two,
+    /// Three dimensions: the 2D ports plus `pz` and `p−z`.
+    Three,
+}
+
+impl Dim {
+    /// The directions (equivalently: ports) available in this dimension, in canonical
+    /// order `Up, Right, Down, Left[, ZPlus, ZMinus]`.
+    #[must_use]
+    pub fn dirs(self) -> &'static [Dir] {
+        match self {
+            Dim::Two => &DIRS_2D,
+            Dim::Three => &DIRS_3D,
+        }
+    }
+
+    /// Number of ports of a node in this dimension (4 or 6).
+    #[must_use]
+    pub fn port_count(self) -> usize {
+        self.dirs().len()
+    }
+
+    /// Returns `true` if `dir` is a legal port in this dimension.
+    #[must_use]
+    pub fn contains(self, dir: Dir) -> bool {
+        self != Dim::Two || dir.is_planar()
+    }
+}
+
+/// A direction of the grid, doubling as a *port* label of a node.
+///
+/// In the paper a node's ports are `py, px, p−y, p−x` (2D), written `u, r, d, l`
+/// for readability, plus `pz, p−z` in 3D. Ports are expressed in the node's *local*
+/// frame: a free node may be arbitrarily rotated, so its local `Up` need not point
+/// towards the global `+y` axis.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// `u` — the `py` port (local `+y`).
+    Up,
+    /// `r` — the `px` port (local `+x`).
+    Right,
+    /// `d` — the `p−y` port (local `−y`).
+    Down,
+    /// `l` — the `p−x` port (local `−x`).
+    Left,
+    /// The `pz` port (local `+z`, 3D only).
+    ZPlus,
+    /// The `p−z` port (local `−z`, 3D only).
+    ZMinus,
+}
+
+/// The four 2D directions in canonical order.
+pub const DIRS_2D: [Dir; 4] = [Dir::Up, Dir::Right, Dir::Down, Dir::Left];
+/// The six 3D directions in canonical order.
+pub const DIRS_3D: [Dir; 6] = [
+    Dir::Up,
+    Dir::Right,
+    Dir::Down,
+    Dir::Left,
+    Dir::ZPlus,
+    Dir::ZMinus,
+];
+
+impl Dir {
+    /// The opposite direction (the paper's `j̄`).
+    ///
+    /// ```
+    /// use nc_geometry::Dir;
+    /// assert_eq!(Dir::Up.opposite(), Dir::Down);
+    /// assert_eq!(Dir::Left.opposite(), Dir::Right);
+    /// ```
+    #[must_use]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+            Dir::Right => Dir::Left,
+            Dir::Left => Dir::Right,
+            Dir::ZPlus => Dir::ZMinus,
+            Dir::ZMinus => Dir::ZPlus,
+        }
+    }
+
+    /// The unit vector of this direction.
+    #[must_use]
+    pub fn unit(self) -> Coord {
+        match self {
+            Dir::Up => Coord::new(0, 1, 0),
+            Dir::Right => Coord::new(1, 0, 0),
+            Dir::Down => Coord::new(0, -1, 0),
+            Dir::Left => Coord::new(-1, 0, 0),
+            Dir::ZPlus => Coord::new(0, 0, 1),
+            Dir::ZMinus => Coord::new(0, 0, -1),
+        }
+    }
+
+    /// The direction of a unit vector, if `v` is one.
+    #[must_use]
+    pub fn from_unit(v: Coord) -> Option<Dir> {
+        DIRS_3D.into_iter().find(|d| d.unit() == v)
+    }
+
+    /// Small stable index (0..6) following the canonical order, useful for dense tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::Up => 0,
+            Dir::Right => 1,
+            Dir::Down => 2,
+            Dir::Left => 3,
+            Dir::ZPlus => 4,
+            Dir::ZMinus => 5,
+        }
+    }
+
+    /// Inverse of [`Dir::index`]; panics if `i >= 6`.
+    ///
+    /// # Panics
+    /// Panics when `i` is not a valid direction index.
+    #[must_use]
+    pub fn from_index(i: usize) -> Dir {
+        DIRS_3D[i]
+    }
+
+    /// Whether the direction lies in the `z = 0` plane (i.e. is a 2D port).
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        !matches!(self, Dir::ZPlus | Dir::ZMinus)
+    }
+
+    /// Whether this direction is perpendicular to `other` (neighbouring ports of a node
+    /// are perpendicular by definition in the model).
+    #[must_use]
+    pub fn is_perpendicular(self, other: Dir) -> bool {
+        self != other && self != other.opposite()
+    }
+
+    /// Clockwise quarter-turn within the plane: `Up → Right → Down → Left → Up`.
+    /// Z directions are left unchanged.
+    #[must_use]
+    pub fn clockwise(self) -> Dir {
+        match self {
+            Dir::Up => Dir::Right,
+            Dir::Right => Dir::Down,
+            Dir::Down => Dir::Left,
+            Dir::Left => Dir::Up,
+            other => other,
+        }
+    }
+
+    /// Counter-clockwise quarter-turn within the plane.
+    #[must_use]
+    pub fn counter_clockwise(self) -> Dir {
+        self.clockwise().opposite().clockwise().opposite().clockwise()
+    }
+
+    /// Short, paper-style name: `u`, `r`, `d`, `l`, `z+`, `z-`.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dir::Up => "u",
+            Dir::Right => "r",
+            Dir::Down => "d",
+            Dir::Left => "l",
+            Dir::ZPlus => "z+",
+            Dir::ZMinus => "z-",
+        }
+    }
+}
+
+impl fmt::Debug for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in DIRS_3D {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_are_distinct_units() {
+        for d in DIRS_3D {
+            assert_eq!(d.unit().manhattan(Coord::ORIGIN), 1);
+            assert_eq!(Dir::from_unit(d.unit()), Some(d));
+            assert_eq!(d.opposite().unit(), -d.unit());
+        }
+        assert_eq!(Dir::from_unit(Coord::new(1, 1, 0)), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, d) in DIRS_3D.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dir::from_index(i), d);
+        }
+    }
+
+    #[test]
+    fn clockwise_cycles() {
+        assert_eq!(Dir::Up.clockwise(), Dir::Right);
+        let mut d = Dir::Up;
+        for _ in 0..4 {
+            d = d.clockwise();
+        }
+        assert_eq!(d, Dir::Up);
+        for d in DIRS_2D {
+            assert_eq!(d.clockwise().counter_clockwise(), d);
+            assert_eq!(d.counter_clockwise(), d.clockwise().opposite());
+        }
+    }
+
+    #[test]
+    fn perpendicularity_matches_paper() {
+        // py ⊥ px, px ⊥ p−y, p−y ⊥ p−x, p−x ⊥ py.
+        assert!(Dir::Up.is_perpendicular(Dir::Right));
+        assert!(Dir::Right.is_perpendicular(Dir::Down));
+        assert!(Dir::Down.is_perpendicular(Dir::Left));
+        assert!(Dir::Left.is_perpendicular(Dir::Up));
+        assert!(!Dir::Up.is_perpendicular(Dir::Down));
+        assert!(!Dir::Up.is_perpendicular(Dir::Up));
+        assert!(Dir::ZPlus.is_perpendicular(Dir::Up));
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(Dim::Two.port_count(), 4);
+        assert_eq!(Dim::Three.port_count(), 6);
+        assert!(Dim::Two.contains(Dir::Left));
+        assert!(!Dim::Two.contains(Dir::ZPlus));
+        assert!(Dim::Three.contains(Dir::ZMinus));
+        assert!(Dim::Two.dirs().iter().all(|d| d.is_planar()));
+    }
+}

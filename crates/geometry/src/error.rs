@@ -1,0 +1,88 @@
+//! Error type of the geometry crate.
+
+use crate::Coord;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating shapes and labeled squares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// An edge endpoint refers to a cell that is not part of the shape.
+    MissingCell(Coord),
+    /// An edge was declared between two cells that are not at unit distance.
+    NotAdjacent(Coord, Coord),
+    /// A labeled square was built from a bit vector of the wrong length.
+    BadSquareLength {
+        /// The declared side length.
+        side: u32,
+        /// The number of bits supplied.
+        bits: usize,
+    },
+    /// A pixel index is outside the `d × d` square.
+    PixelOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The side length of the square.
+        side: u32,
+    },
+    /// The shape is empty where a non-empty shape is required.
+    EmptyShape,
+    /// A shape language produced a disconnected or wrongly sized shape for some `d`.
+    InvalidLanguage {
+        /// The side length at which validation failed.
+        side: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::MissingCell(c) => write!(f, "cell {c} is not part of the shape"),
+            GeometryError::NotAdjacent(a, b) => {
+                write!(f, "cells {a} and {b} are not at unit distance")
+            }
+            GeometryError::BadSquareLength { side, bits } => write!(
+                f,
+                "labeled square of side {side} needs {} bits, got {bits}",
+                (*side as u64) * (*side as u64)
+            ),
+            GeometryError::PixelOutOfRange { index, side } => {
+                write!(f, "pixel index {index} outside a {side}×{side} square")
+            }
+            GeometryError::EmptyShape => write!(f, "the shape is empty"),
+            GeometryError::InvalidLanguage { side, reason } => {
+                write!(f, "invalid shape language at side {side}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            GeometryError::MissingCell(Coord::ORIGIN),
+            GeometryError::NotAdjacent(Coord::ORIGIN, Coord::new2(2, 0)),
+            GeometryError::BadSquareLength { side: 3, bits: 4 },
+            GeometryError::PixelOutOfRange { index: 10, side: 3 },
+            GeometryError::EmptyShape,
+            GeometryError::InvalidLanguage {
+                side: 2,
+                reason: "disconnected".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! {0,1}-labeled rectangles and squares.
+//!
+//! Every 2D shape `G` has a unique minimum enclosing rectangle `R_G` whose nodes are
+//! labeled 1 if they belong to `G` and 0 otherwise, and (non-unique) enclosing squares
+//! `S_G` of side `max dim_G`. Shape languages are defined in the paper by giving, for
+//! every `d ≥ 1`, a single labeled `d × d` square `S_d`, equivalently a `d²`-bit pixel
+//! sequence in zig-zag order.
+
+use crate::{zigzag_coord, zigzag_index, Coord, GeometryError, Result, Shape};
+use std::fmt;
+
+/// A `w × h` grid of on/off pixels (the labeled rectangle `R_G` of the paper).
+///
+/// Pixels are addressed by `(x, y)` with `(0, 0)` at the bottom-left corner.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LabeledGrid {
+    width: u32,
+    height: u32,
+    bits: Vec<bool>,
+}
+
+impl LabeledGrid {
+    /// Creates an all-off grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> LabeledGrid {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        LabeledGrid {
+            width,
+            height,
+            bits: vec![false; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Width (number of columns).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height (number of rows).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn offset(&self, x: u32, y: u32) -> usize {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        (y as usize) * (self.width as usize) + (x as usize)
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn get(&self, x: u32, y: u32) -> bool {
+        self.bits[self.offset(x, y)]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    pub fn set(&mut self, x: u32, y: u32, on: bool) {
+        let o = self.offset(x, y);
+        self.bits[o] = on;
+    }
+
+    /// Number of pixels that are on.
+    #[must_use]
+    pub fn on_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// The shape induced by the on pixels, with every grid edge between adjacent on
+    /// pixels active, anchored at the origin.
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        Shape::from_cells(self.on_cells())
+    }
+
+    /// Iterates over the coordinates of the on pixels.
+    pub fn on_cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.height).flat_map(move |y| {
+            (0..self.width).filter_map(move |x| {
+                if self.get(x, y) {
+                    Some(Coord::new2(x as i32, y as i32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Builds the labeled minimum enclosing rectangle `R_G` of a non-empty planar shape.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError::EmptyShape`] for the empty shape and
+    /// [`GeometryError::InvalidLanguage`] for non-planar shapes.
+    pub fn enclosing_rectangle(shape: &Shape) -> Result<LabeledGrid> {
+        if shape.is_empty() {
+            return Err(GeometryError::EmptyShape);
+        }
+        if !shape.is_planar() {
+            return Err(GeometryError::InvalidLanguage {
+                side: 0,
+                reason: "enclosing rectangles are defined for planar shapes".into(),
+            });
+        }
+        let (min, max) = shape.bounding_box().expect("non-empty shape");
+        let mut grid = LabeledGrid::new((max.x - min.x + 1) as u32, (max.y - min.y + 1) as u32);
+        for c in shape.cells() {
+            grid.set((c.x - min.x) as u32, (c.y - min.y) as u32, true);
+        }
+        Ok(grid)
+    }
+}
+
+impl fmt::Debug for LabeledGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabeledGrid({}×{}, {} on)",
+            self.width,
+            self.height,
+            self.on_count()
+        )
+    }
+}
+
+/// A `d × d` labeled square, i.e. the `S_d` of a shape language, with zig-zag pixel
+/// access.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LabeledSquare {
+    grid: LabeledGrid,
+}
+
+impl LabeledSquare {
+    /// Creates an all-off `d × d` square.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: u32) -> LabeledSquare {
+        LabeledSquare {
+            grid: LabeledGrid::new(d, d),
+        }
+    }
+
+    /// Builds a square from a pixel predicate in `(x, y)` coordinates.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn from_xy_fn(d: u32, f: impl Fn(u32, u32) -> bool) -> LabeledSquare {
+        let mut sq = LabeledSquare::new(d);
+        for y in 0..d {
+            for x in 0..d {
+                sq.grid.set(x, y, f(x, y));
+            }
+        }
+        sq
+    }
+
+    /// Builds a square from a pixel predicate in zig-zag index space (the interface of
+    /// the paper's shape-constructing TMs: pixel `i` of a `d × d` square).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn from_pixel_fn(d: u32, f: impl Fn(u64) -> bool) -> LabeledSquare {
+        LabeledSquare::from_xy_fn(d, |x, y| f(zigzag_index(x, y, d)))
+    }
+
+    /// Builds a square from its zig-zag bit sequence `S_d = (s_0, …, s_{d²−1})`.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError::BadSquareLength`] when `bits.len() != d²`.
+    pub fn from_bits(d: u32, bits: &[bool]) -> Result<LabeledSquare> {
+        if bits.len() != (d as usize) * (d as usize) {
+            return Err(GeometryError::BadSquareLength {
+                side: d,
+                bits: bits.len(),
+            });
+        }
+        Ok(LabeledSquare::from_pixel_fn(d, |i| bits[i as usize]))
+    }
+
+    /// The side length `d`.
+    #[must_use]
+    pub fn side(&self) -> u32 {
+        self.grid.width()
+    }
+
+    /// Reads the pixel with zig-zag index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ d²`.
+    #[must_use]
+    pub fn pixel(&self, i: u64) -> bool {
+        let (x, y) = zigzag_coord(i, self.side());
+        self.grid.get(x, y)
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn get(&self, x: u32, y: u32) -> bool {
+        self.grid.get(x, y)
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    pub fn set(&mut self, x: u32, y: u32, on: bool) {
+        self.grid.set(x, y, on);
+    }
+
+    /// Sets the pixel with zig-zag index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ d²`.
+    pub fn set_pixel(&mut self, i: u64, on: bool) {
+        let (x, y) = zigzag_coord(i, self.side());
+        self.grid.set(x, y, on);
+    }
+
+    /// The zig-zag bit sequence of the square.
+    #[must_use]
+    pub fn bits(&self) -> Vec<bool> {
+        (0..u64::from(self.side()) * u64::from(self.side()))
+            .map(|i| self.pixel(i))
+            .collect()
+    }
+
+    /// Number of on pixels.
+    #[must_use]
+    pub fn on_count(&self) -> usize {
+        self.grid.on_count()
+    }
+
+    /// The shape `G_d` induced by the on pixels (with all grid edges between on pixels).
+    #[must_use]
+    pub fn shape(&self) -> Shape {
+        self.grid.shape()
+    }
+
+    /// Access to the underlying grid.
+    #[must_use]
+    pub fn grid(&self) -> &LabeledGrid {
+        &self.grid
+    }
+
+    /// Whether the on pixels form a connected, non-empty shape whose maximum dimension is
+    /// exactly `d` — the well-formedness condition the paper imposes on `S_d`.
+    #[must_use]
+    pub fn is_valid_language_square(&self) -> bool {
+        let shape = self.shape();
+        !shape.is_empty() && shape.is_connected() && shape.max_dim() == self.side()
+    }
+
+    /// Builds an enclosing square `S_G` of a non-empty planar shape `G`: the minimum
+    /// enclosing rectangle padded with off rows or columns (towards the top/right) up to
+    /// side `max dim_G`. Returns the square together with the offset that maps the
+    /// original shape's cells into square coordinates.
+    ///
+    /// # Errors
+    /// Propagates the errors of [`LabeledGrid::enclosing_rectangle`].
+    pub fn enclosing_square(shape: &Shape) -> Result<(LabeledSquare, Coord)> {
+        let rect = LabeledGrid::enclosing_rectangle(shape)?;
+        let d = rect.width().max(rect.height());
+        let mut sq = LabeledSquare::new(d);
+        for y in 0..rect.height() {
+            for x in 0..rect.width() {
+                if rect.get(x, y) {
+                    sq.set(x, y, true);
+                }
+            }
+        }
+        let (min, _) = shape.bounding_box().expect("non-empty shape");
+        Ok((sq, -min))
+    }
+}
+
+impl fmt::Debug for LabeledSquare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabeledSquare({0}×{0}, {1} on)",
+            self.side(),
+            self.on_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn grid_set_get() {
+        let mut g = LabeledGrid::new(3, 2);
+        assert_eq!(g.on_count(), 0);
+        g.set(2, 1, true);
+        g.set(0, 0, true);
+        assert!(g.get(2, 1));
+        assert!(!g.get(1, 1));
+        assert_eq!(g.on_count(), 2);
+        assert_eq!(g.shape().len(), 2);
+    }
+
+    #[test]
+    fn enclosing_rectangle_matches_bounding_box() {
+        let shape = Shape::from_cells([
+            Coord::new2(5, 5),
+            Coord::new2(6, 5),
+            Coord::new2(6, 6),
+            Coord::new2(6, 7),
+        ]);
+        let rect = LabeledGrid::enclosing_rectangle(&shape).unwrap();
+        assert_eq!(rect.width(), 2);
+        assert_eq!(rect.height(), 3);
+        assert_eq!(rect.on_count(), 4);
+        // R_G's on pixels are congruent to G.
+        assert!(rect.shape().congruent(&shape));
+        assert!(LabeledGrid::enclosing_rectangle(&Shape::new()).is_err());
+    }
+
+    #[test]
+    fn enclosing_square_pads_to_max_dim() {
+        // A horizontal line of length d is already R_G and extends to a d × d square.
+        let line = library::line_shape(4);
+        let (sq, offset) = LabeledSquare::enclosing_square(&line).unwrap();
+        assert_eq!(sq.side(), 4);
+        assert_eq!(sq.on_count(), 4);
+        assert_eq!(offset, Coord::ORIGIN);
+        assert!(sq.is_valid_language_square());
+    }
+
+    #[test]
+    fn zigzag_pixel_access() {
+        let mut sq = LabeledSquare::new(3);
+        sq.set_pixel(3, true); // second row, rightmost column
+        assert!(sq.get(2, 1));
+        assert!(sq.pixel(3));
+        assert_eq!(sq.bits().iter().filter(|&&b| b).count(), 1);
+        let copy = LabeledSquare::from_bits(3, &sq.bits()).unwrap();
+        assert_eq!(copy, sq);
+        assert!(LabeledSquare::from_bits(3, &[true]).is_err());
+    }
+
+    #[test]
+    fn from_fns_agree() {
+        let d = 5;
+        let by_xy = LabeledSquare::from_xy_fn(d, |x, y| x == y);
+        let by_pixel = LabeledSquare::from_pixel_fn(d, |i| {
+            let (x, y) = zigzag_coord(i, d);
+            x == y
+        });
+        assert_eq!(by_xy, by_pixel);
+        assert_eq!(by_xy.on_count(), d as usize);
+    }
+
+    #[test]
+    fn validity_of_language_square() {
+        // A diagonal is disconnected, hence not a valid S_d.
+        let diag = LabeledSquare::from_xy_fn(4, |x, y| x == y);
+        assert!(!diag.is_valid_language_square());
+        // A full square is valid.
+        let full = LabeledSquare::from_xy_fn(4, |_, _| true);
+        assert!(full.is_valid_language_square());
+        // A single on pixel has max dim 1 ≠ 4, hence invalid.
+        let dot = LabeledSquare::from_xy_fn(4, |x, y| x == 0 && y == 0);
+        assert!(!dot.is_valid_language_square());
+    }
+}

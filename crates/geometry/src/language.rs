@@ -1,0 +1,148 @@
+//! Shape languages.
+//!
+//! A *shape language* `L = (S_1, S_2, S_3, …)` provides, for every `d ≥ 1`, a single
+//! {0,1}-labeled `d × d` square whose on pixels form a connected shape `G_d` with
+//! `max dim_{G_d} = d`. This is the object the paper's universal constructors realise in
+//! the solution (Theorem 4).
+
+use crate::{GeometryError, LabeledSquare, Result};
+
+/// A shape language: one labeled `d × d` square per side length `d`.
+pub trait ShapeLanguage {
+    /// Human-readable name of the language (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// The labeled square `S_d`.
+    ///
+    /// Implementations must return a square of side exactly `d` whose on pixels form a
+    /// connected shape of maximum dimension `d` (use [`validate_language`] in tests).
+    fn square(&self, d: u32) -> LabeledSquare;
+}
+
+/// A shape language defined by an `(x, y, d) → on/off` predicate.
+///
+/// ```
+/// use nc_geometry::{PredicateLanguage, ShapeLanguage};
+/// let border = PredicateLanguage::new("border", |x, y, d| {
+///     x == 0 || y == 0 || x == d - 1 || y == d - 1
+/// });
+/// assert_eq!(border.square(4).on_count(), 12);
+/// ```
+pub struct PredicateLanguage<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F: Fn(u32, u32, u32) -> bool> PredicateLanguage<F> {
+    /// Creates a predicate-based language.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        PredicateLanguage {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<F: Fn(u32, u32, u32) -> bool> ShapeLanguage for PredicateLanguage<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn square(&self, d: u32) -> LabeledSquare {
+        LabeledSquare::from_xy_fn(d, |x, y| (self.predicate)(x, y, d))
+    }
+}
+
+impl<L: ShapeLanguage + ?Sized> ShapeLanguage for &L {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn square(&self, d: u32) -> LabeledSquare {
+        (**self).square(d)
+    }
+}
+
+impl<L: ShapeLanguage + ?Sized> ShapeLanguage for Box<L> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn square(&self, d: u32) -> LabeledSquare {
+        (**self).square(d)
+    }
+}
+
+/// Checks that a language is well formed for every side length in `1..=max_side`:
+/// non-empty, connected and of maximum dimension exactly `d`.
+///
+/// # Errors
+/// Returns [`GeometryError::InvalidLanguage`] naming the first side length that fails.
+pub fn validate_language<L: ShapeLanguage + ?Sized>(lang: &L, max_side: u32) -> Result<()> {
+    for d in 1..=max_side {
+        let sq = lang.square(d);
+        if sq.side() != d {
+            return Err(GeometryError::InvalidLanguage {
+                side: d,
+                reason: format!("square has side {} instead of {d}", sq.side()),
+            });
+        }
+        let shape = sq.shape();
+        if shape.is_empty() {
+            return Err(GeometryError::InvalidLanguage {
+                side: d,
+                reason: "shape is empty".into(),
+            });
+        }
+        if !shape.is_connected() {
+            return Err(GeometryError::InvalidLanguage {
+                side: d,
+                reason: "shape is disconnected".into(),
+            });
+        }
+        if shape.max_dim() != d {
+            return Err(GeometryError::InvalidLanguage {
+                side: d,
+                reason: format!("max dimension is {} instead of {d}", shape.max_dim()),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_language_roundtrip() {
+        let lang = PredicateLanguage::new("left-column", |x, _, _| x == 0);
+        assert_eq!(lang.name(), "left-column");
+        assert_eq!(lang.square(5).on_count(), 5);
+        assert!(validate_language(&lang, 8).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_disconnected() {
+        let diag = PredicateLanguage::new("diag", |x, y, _| x == y);
+        let err = validate_language(&diag, 4).unwrap_err();
+        assert!(matches!(err, GeometryError::InvalidLanguage { side: 2, .. }));
+    }
+
+    #[test]
+    fn validation_catches_wrong_dimension() {
+        let dot = PredicateLanguage::new("dot", |x, y, _| x == 0 && y == 0);
+        let err = validate_language(&dot, 3).unwrap_err();
+        assert!(matches!(err, GeometryError::InvalidLanguage { side: 2, .. }));
+    }
+
+    #[test]
+    fn blanket_impls() {
+        let lang = PredicateLanguage::new("full", |_, _, _| true);
+        let by_ref: &dyn ShapeLanguage = &lang;
+        assert_eq!(by_ref.square(3).on_count(), 9);
+        let boxed: Box<dyn ShapeLanguage> = Box::new(PredicateLanguage::new("full", |_, _, _| true));
+        assert_eq!(boxed.name(), "full");
+        assert!(validate_language(boxed.as_ref(), 3).is_ok());
+    }
+}

@@ -1,0 +1,52 @@
+//! Grid geometry for geometric network constructors.
+//!
+//! This crate implements the geometric vocabulary of Michail's model of a *solution of
+//! automata* (Section 3 of the paper): nodes living on the 2D or 3D unit grid, the four
+//! (resp. six) perpendicular ports of a node, rigid rotations of the grid, *shapes*
+//! (connected subnetworks of the grid), the minimum enclosing rectangle `R_G` and
+//! enclosing square `S_G` of a shape, the zig-zag pixel indexing of a `d × d` square and
+//! shape languages defined by {0,1}-labeled squares.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nc_geometry::{Shape, Coord, library};
+//!
+//! // A 3×3 square shape has max dimension 3 and is connected.
+//! let square = library::square_shape(3);
+//! assert_eq!(square.len(), 9);
+//! assert!(square.is_connected());
+//! assert_eq!(square.max_dim(), 3);
+//!
+//! // Shapes compare up to translation and rotation.
+//! let line_a = library::line_shape(4);
+//! let line_b = line_a.translated(Coord::new2(7, -2)).rotated_cw();
+//! assert!(line_a.congruent(&line_b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod direction;
+mod error;
+mod labeled;
+mod language;
+pub mod library;
+mod pixel;
+mod render;
+mod rotation;
+mod shape;
+
+pub use coord::Coord;
+pub use direction::{Dim, Dir};
+pub use error::GeometryError;
+pub use labeled::{LabeledGrid, LabeledSquare};
+pub use language::{validate_language, PredicateLanguage, ShapeLanguage};
+pub use pixel::{zigzag_coord, zigzag_index, ZigZagPixels};
+pub use render::{render_labeled_square, render_shape};
+pub use rotation::Rotation;
+pub use shape::{direction_between, Shape};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GeometryError>;

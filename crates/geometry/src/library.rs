@@ -1,0 +1,312 @@
+//! A library of concrete shapes and shape languages.
+//!
+//! The shapes here are used throughout the examples, tests and experiments: simple
+//! polyominoes for the self-replication experiments of Section 7 and connected shape
+//! languages (full square, border, left columns, staircase, cross, star, serpentine,
+//! comb, H) for the universal constructors of Section 6.
+
+use crate::{Coord, LabeledSquare, PredicateLanguage, Shape, ShapeLanguage};
+
+// ---------------------------------------------------------------------------------------
+// Shape builders
+// ---------------------------------------------------------------------------------------
+
+/// A horizontal line of `len` cells starting at the origin.
+///
+/// # Panics
+/// Panics if `len == 0`.
+#[must_use]
+pub fn line_shape(len: u32) -> Shape {
+    assert!(len > 0, "a line must have at least one cell");
+    Shape::from_cells((0..len as i32).map(|x| Coord::new2(x, 0)))
+}
+
+/// A fully bonded `w × h` rectangle anchored at the origin.
+///
+/// # Panics
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn rectangle_shape(w: u32, h: u32) -> Shape {
+    assert!(w > 0 && h > 0, "rectangle dimensions must be positive");
+    Shape::from_cells(
+        (0..w as i32).flat_map(|x| (0..h as i32).map(move |y| Coord::new2(x, y))),
+    )
+}
+
+/// A fully bonded `d × d` square anchored at the origin.
+///
+/// # Panics
+/// Panics if `d == 0`.
+#[must_use]
+pub fn square_shape(d: u32) -> Shape {
+    rectangle_shape(d, d)
+}
+
+/// An L-shaped polyomino: a vertical arm of `height` cells and a horizontal arm of
+/// `width` cells sharing the corner at the origin.
+///
+/// # Panics
+/// Panics if either arm length is zero.
+#[must_use]
+pub fn l_shape(width: u32, height: u32) -> Shape {
+    assert!(width > 0 && height > 0, "arm lengths must be positive");
+    let mut cells: Vec<Coord> = (0..width as i32).map(|x| Coord::new2(x, 0)).collect();
+    cells.extend((1..height as i32).map(|y| Coord::new2(0, y)));
+    Shape::from_cells(cells)
+}
+
+/// A T-shaped polyomino: a horizontal bar of `width` cells with a vertical stem of
+/// `stem` cells descending from its middle.
+///
+/// # Panics
+/// Panics if `width == 0` or `stem == 0`.
+#[must_use]
+pub fn t_shape(width: u32, stem: u32) -> Shape {
+    assert!(width > 0 && stem > 0, "dimensions must be positive");
+    let mid = (width / 2) as i32;
+    let mut cells: Vec<Coord> = (0..width as i32).map(|x| Coord::new2(x, 0)).collect();
+    cells.extend((1..=stem as i32).map(|y| Coord::new2(mid, -y)));
+    Shape::from_cells(cells)
+}
+
+/// A plus/cross-shaped polyomino with arms of `arm` cells around a centre cell.
+#[must_use]
+pub fn plus_shape(arm: u32) -> Shape {
+    let arm = arm as i32;
+    let mut cells = vec![Coord::ORIGIN];
+    for k in 1..=arm {
+        cells.push(Coord::new2(k, 0));
+        cells.push(Coord::new2(-k, 0));
+        cells.push(Coord::new2(0, k));
+        cells.push(Coord::new2(0, -k));
+    }
+    Shape::from_cells(cells)
+}
+
+/// A staircase of `steps` steps, each step one cell wide and one cell tall.
+///
+/// # Panics
+/// Panics if `steps == 0`.
+#[must_use]
+pub fn staircase_shape(steps: u32) -> Shape {
+    assert!(steps > 0, "a staircase needs at least one step");
+    let mut cells = Vec::new();
+    for k in 0..steps as i32 {
+        cells.push(Coord::new2(k, k));
+        cells.push(Coord::new2(k + 1, k));
+    }
+    cells.pop();
+    Shape::from_cells(cells)
+}
+
+/// A U-shaped polyomino of outer width `w` and height `h` (walls one cell thick).
+///
+/// # Panics
+/// Panics if `w < 3` or `h < 2`.
+#[must_use]
+pub fn u_shape(w: u32, h: u32) -> Shape {
+    assert!(w >= 3 && h >= 2, "a U needs width ≥ 3 and height ≥ 2");
+    let mut cells = Vec::new();
+    for x in 0..w as i32 {
+        cells.push(Coord::new2(x, 0));
+    }
+    for y in 1..h as i32 {
+        cells.push(Coord::new2(0, y));
+        cells.push(Coord::new2(w as i32 - 1, y));
+    }
+    Shape::from_cells(cells)
+}
+
+// ---------------------------------------------------------------------------------------
+// Shape languages
+// ---------------------------------------------------------------------------------------
+
+/// The language of full `d × d` squares.
+#[must_use]
+pub fn full_square_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("full-square", |_, _, _| true)
+}
+
+/// The language of square borders (frames).
+#[must_use]
+pub fn border_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("border", |x, y, d| {
+        x == 0 || y == 0 || x == d - 1 || y == d - 1
+    })
+}
+
+/// The footnote-1 example: only the leftmost column of the square is on (pixels
+/// `i = 2k√n − 1` and `i = 2k√n` in zig-zag indexing).
+#[must_use]
+pub fn left_column_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("left-column", |x, _, _| x == 0)
+}
+
+/// A thick staircase running along the main diagonal.
+#[must_use]
+pub fn staircase_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("staircase", |x, y, _| x == y || x == y + 1)
+}
+
+/// A plus/cross through the middle row and column.
+#[must_use]
+pub fn cross_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("cross", |x, y, d| x == d / 2 || y == d / 2)
+}
+
+/// A star-like pattern (cross plus thick diagonals), in the spirit of Figure 7(c).
+#[must_use]
+pub fn star_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("star", |x, y, d| {
+        x == d / 2 || y == d / 2 || x == y || x == y + 1 || x + y == d - 1 || x + y == d
+    })
+}
+
+/// A serpentine (boustrophedon snake) filling the square with a connected path.
+#[must_use]
+pub fn serpentine_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("serpentine", |x, y, d| {
+        if y % 2 == 0 {
+            true
+        } else if y % 4 == 1 {
+            x == d - 1
+        } else {
+            x == 0
+        }
+    })
+}
+
+/// A comb: full bottom row with teeth on the even columns.
+#[must_use]
+pub fn comb_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("comb", |x, y, _| y == 0 || x % 2 == 0)
+}
+
+/// An H pattern: both outer columns plus the middle row.
+#[must_use]
+pub fn h_language() -> impl ShapeLanguage {
+    PredicateLanguage::new("h", |x, y, d| x == 0 || x == d - 1 || y == d / 2)
+}
+
+/// All library languages, boxed, for sweeping experiments.
+#[must_use]
+pub fn all_languages() -> Vec<Box<dyn ShapeLanguage>> {
+    fn boxed(
+        name: &'static str,
+        f: impl Fn(u32, u32, u32) -> bool + 'static,
+    ) -> Box<dyn ShapeLanguage> {
+        Box::new(PredicateLanguage::new(name, f))
+    }
+    vec![
+        boxed("full-square", |_, _, _| true),
+        boxed("border", |x, y, d| x == 0 || y == 0 || x == d - 1 || y == d - 1),
+        boxed("left-column", |x, _, _| x == 0),
+        boxed("staircase", |x, y, _| x == y || x == y + 1),
+        boxed("cross", |x, y, d| x == d / 2 || y == d / 2),
+        boxed("star", |x, y, d| {
+            x == d / 2 || y == d / 2 || x == y || x == y + 1 || x + y == d - 1 || x + y == d
+        }),
+        boxed("serpentine", |x, y, d| {
+            if y % 2 == 0 {
+                true
+            } else if y % 4 == 1 {
+                x == d - 1
+            } else {
+                x == 0
+            }
+        }),
+        boxed("comb", |x, y, _| y == 0 || x % 2 == 0),
+        boxed("h", |x, y, d| x == 0 || x == d - 1 || y == d / 2),
+    ]
+}
+
+/// The labeled square of the `star` language at side `d` — used in examples as the
+/// Figure 7(c)-style demonstration shape.
+#[must_use]
+pub fn star_square(d: u32) -> LabeledSquare {
+    star_language().square(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_language;
+
+    #[test]
+    fn builders_are_connected() {
+        assert!(line_shape(7).is_connected());
+        assert!(rectangle_shape(4, 3).is_connected());
+        assert!(square_shape(5).is_full_square(5));
+        assert!(l_shape(3, 4).is_connected());
+        assert!(t_shape(5, 3).is_connected());
+        assert!(plus_shape(2).is_connected());
+        assert!(staircase_shape(4).is_connected());
+        assert!(u_shape(4, 3).is_connected());
+    }
+
+    #[test]
+    fn builder_sizes() {
+        assert_eq!(line_shape(7).len(), 7);
+        assert_eq!(rectangle_shape(4, 3).len(), 12);
+        assert_eq!(l_shape(3, 4).len(), 6);
+        assert_eq!(t_shape(5, 3).len(), 8);
+        assert_eq!(plus_shape(2).len(), 9);
+        assert_eq!(staircase_shape(4).len(), 7);
+        assert_eq!(u_shape(4, 3).len(), 8);
+        assert_eq!(plus_shape(0).len(), 1);
+    }
+
+    #[test]
+    fn line_dims() {
+        let line = line_shape(6);
+        assert_eq!(line.h_dim(), 6);
+        assert_eq!(line.v_dim(), 1);
+        assert_eq!(line.max_dim(), 6);
+        assert!(line.is_line(6));
+    }
+
+    #[test]
+    fn all_languages_are_valid_up_to_side_12() {
+        for lang in all_languages() {
+            validate_language(lang.as_ref(), 12)
+                .unwrap_or_else(|e| panic!("language {} invalid: {e}", lang.name()));
+        }
+    }
+
+    #[test]
+    fn named_language_constructors_match_all_languages() {
+        let names: Vec<String> = all_languages().iter().map(|l| l.name().to_string()).collect();
+        for expected in [
+            "full-square",
+            "border",
+            "left-column",
+            "staircase",
+            "cross",
+            "star",
+            "serpentine",
+            "comb",
+            "h",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+        assert_eq!(full_square_language().square(3).on_count(), 9);
+        assert_eq!(border_language().square(4).on_count(), 12);
+        assert_eq!(left_column_language().square(5).on_count(), 5);
+        assert_eq!(cross_language().square(5).on_count(), 9);
+        assert!(star_square(7).is_valid_language_square());
+        assert!(serpentine_language().square(6).is_valid_language_square());
+        assert!(comb_language().square(6).is_valid_language_square());
+        assert!(h_language().square(6).is_valid_language_square());
+        assert!(staircase_language().square(6).is_valid_language_square());
+    }
+
+    #[test]
+    fn star_contains_cross_and_diagonals() {
+        let sq = star_square(9);
+        for k in 0..9 {
+            assert!(sq.get(k, 4), "middle row");
+            assert!(sq.get(4, k), "middle column");
+            assert!(sq.get(k, k), "diagonal");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Zig-zag pixel indexing of a `d × d` square.
+//!
+//! The paper indexes the `d²` pixels of a square "in a zig-zag fashion, beginning from the
+//! bottom left corner, moving to the right until the bottom right corner is encountered,
+//! then one step up, then to the left until the node above the bottom left corner is
+//! encountered, then one step up again, then right, and so on" (see Figure 7(b)).
+//! Row `y` therefore runs left-to-right when `y` is even and right-to-left when `y` is odd.
+
+/// Converts a zig-zag pixel index into `(x, y)` coordinates within a `d × d` square.
+///
+/// `(0, 0)` is the bottom-left corner.
+///
+/// # Panics
+/// Panics if `d == 0` or `i >= d²`.
+///
+/// ```
+/// use nc_geometry::zigzag_coord;
+/// assert_eq!(zigzag_coord(0, 3), (0, 0));
+/// assert_eq!(zigzag_coord(2, 3), (2, 0));
+/// assert_eq!(zigzag_coord(3, 3), (2, 1)); // second row runs right-to-left
+/// assert_eq!(zigzag_coord(5, 3), (0, 1));
+/// assert_eq!(zigzag_coord(6, 3), (0, 2));
+/// ```
+#[must_use]
+pub fn zigzag_coord(i: u64, d: u32) -> (u32, u32) {
+    assert!(d > 0, "square side must be positive");
+    assert!(i < u64::from(d) * u64::from(d), "pixel index out of range");
+    let d64 = u64::from(d);
+    let row = (i / d64) as u32;
+    let col = (i % d64) as u32;
+    let x = if row % 2 == 0 { col } else { d - 1 - col };
+    (x, row)
+}
+
+/// Converts `(x, y)` coordinates within a `d × d` square into the zig-zag pixel index.
+///
+/// Inverse of [`zigzag_coord`].
+///
+/// # Panics
+/// Panics if `d == 0`, `x >= d` or `y >= d`.
+#[must_use]
+pub fn zigzag_index(x: u32, y: u32, d: u32) -> u64 {
+    assert!(d > 0, "square side must be positive");
+    assert!(x < d && y < d, "coordinates out of range");
+    let col = if y % 2 == 0 { x } else { d - 1 - x };
+    u64::from(y) * u64::from(d) + u64::from(col)
+}
+
+/// Iterator over the pixels of a `d × d` square in zig-zag order, yielding
+/// `(index, x, y)` triples.
+#[derive(Debug, Clone)]
+pub struct ZigZagPixels {
+    d: u32,
+    next: u64,
+}
+
+impl ZigZagPixels {
+    /// Creates the iterator for a `d × d` square.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: u32) -> ZigZagPixels {
+        assert!(d > 0, "square side must be positive");
+        ZigZagPixels { d, next: 0 }
+    }
+}
+
+impl Iterator for ZigZagPixels {
+    type Item = (u64, u32, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let total = u64::from(self.d) * u64::from(self.d);
+        if self.next >= total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let (x, y) = zigzag_coord(i, self.d);
+        Some((i, x, y))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = u64::from(self.d) * u64::from(self.d);
+        let rem = (total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ZigZagPixels {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_squares() {
+        for d in 1..=9u32 {
+            for i in 0..u64::from(d) * u64::from(d) {
+                let (x, y) = zigzag_coord(i, d);
+                assert!(x < d && y < d);
+                assert_eq!(zigzag_index(x, y, d), i);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_pixels_are_adjacent() {
+        // The zig-zag order is a Hamiltonian path on the square: consecutive pixels are
+        // grid-adjacent (this is what lets the leader walk the square as a tape).
+        for d in 1..=8u32 {
+            let pixels: Vec<_> = ZigZagPixels::new(d).collect();
+            assert_eq!(pixels.len(), (d * d) as usize);
+            for w in pixels.windows(2) {
+                let (_, x0, y0) = w[0];
+                let (_, x1, y1) = w[1];
+                let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+                assert_eq!(dist, 1, "pixels {:?} and {:?} not adjacent", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn footnote_leftmost_column_indices() {
+        // Footnote 1 of the paper: the leftmost pixels of the square are exactly those
+        // with index 2k√n − 1 (k ≥ 1) or 2k√n (k ≥ 0).
+        let d = 6u32;
+        for i in 0..u64::from(d * d) {
+            let (x, _) = zigzag_coord(i, d);
+            let is_leftmost = x == 0;
+            let k_form = (i % (2 * u64::from(d)) == 0) || ((i + 1) % (2 * u64::from(d)) == 0);
+            assert_eq!(is_leftmost, k_form, "index {i}");
+        }
+    }
+
+    #[test]
+    fn iterator_len() {
+        let it = ZigZagPixels::new(5);
+        assert_eq!(it.len(), 25);
+        assert_eq!(it.last(), Some((24, 4, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = zigzag_coord(9, 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! ASCII rendering of shapes and labeled squares, used by the examples and for debugging
+//! protocol executions.
+
+use crate::{Coord, LabeledSquare, Shape};
+
+/// Renders a planar shape as ASCII art.
+///
+/// Occupied cells are drawn as `#`, active horizontal bonds as `-` and vertical bonds as
+/// `|`; unoccupied positions are blanks. The topmost row of the output corresponds to the
+/// highest `y`. Non-planar shapes are rendered layer by layer (lowest `z` first).
+///
+/// ```
+/// use nc_geometry::{library, render_shape};
+/// let art = render_shape(&library::l_shape(3, 3));
+/// assert!(art.contains('#'));
+/// ```
+#[must_use]
+pub fn render_shape(shape: &Shape) -> String {
+    let Some((min, max)) = shape.bounding_box() else {
+        return String::from("(empty shape)\n");
+    };
+    let mut out = String::new();
+    for z in min.z..=max.z {
+        if min.z != max.z {
+            out.push_str(&format!("layer z = {z}:\n"));
+        }
+        // Each cell occupies a 2×2 character block so that bonds can be drawn between
+        // cells: columns 2*(x-min.x) hold cells / vertical bonds, odd columns hold
+        // horizontal bonds.
+        for y in (min.y..=max.y).rev() {
+            let mut cell_row = String::new();
+            let mut bond_row = String::new();
+            for x in min.x..=max.x {
+                let c = Coord::new(x, y, z);
+                cell_row.push(if shape.contains_cell(c) { '#' } else { ' ' });
+                let right = Coord::new(x + 1, y, z);
+                cell_row.push(if shape.contains_edge(c, right) { '-' } else { ' ' });
+                let below = Coord::new(x, y - 1, z);
+                bond_row.push(if shape.contains_edge(c, below) { '|' } else { ' ' });
+                bond_row.push(' ');
+            }
+            out.push_str(cell_row.trim_end());
+            out.push('\n');
+            if y > min.y {
+                let trimmed = bond_row.trim_end();
+                out.push_str(trimmed);
+                out.push('\n');
+            }
+        }
+        if z < max.z {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a labeled square: on pixels as `#`, off pixels as `·`.
+///
+/// The topmost output row is the square's highest row, matching [`render_shape`].
+#[must_use]
+pub fn render_labeled_square(square: &LabeledSquare) -> String {
+    let d = square.side();
+    let mut out = String::new();
+    for y in (0..d).rev() {
+        for x in 0..d {
+            out.push(if square.get(x, y) { '#' } else { '·' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{library, ShapeLanguage};
+
+    #[test]
+    fn empty_shape_renders_placeholder() {
+        assert_eq!(render_shape(&Shape::new()), "(empty shape)\n");
+    }
+
+    #[test]
+    fn line_renders_with_bonds() {
+        let art = render_shape(&library::line_shape(3));
+        assert_eq!(art.trim_end(), "#-#-#");
+    }
+
+    #[test]
+    fn vertical_bonds_appear() {
+        let art = render_shape(&library::rectangle_shape(2, 2));
+        assert!(art.contains("#-#"));
+        assert!(art.contains('|'));
+        // Two cell rows plus one bond row.
+        assert_eq!(art.trim_end().lines().count(), 3);
+    }
+
+    #[test]
+    fn labeled_square_rendering() {
+        let sq = library::border_language().square(3);
+        let art = render_labeled_square(&sq);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines, vec!["###", "#·#", "###"]);
+    }
+
+    #[test]
+    fn multi_layer_shapes_mention_layers() {
+        let shape = Shape::from_cells([Coord::new(0, 0, 0), Coord::new(0, 0, 1)]);
+        let art = render_shape(&shape);
+        assert!(art.contains("layer z = 0"));
+        assert!(art.contains("layer z = 1"));
+    }
+}

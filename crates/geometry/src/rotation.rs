@@ -1,0 +1,299 @@
+//! Rigid rotations of the grid.
+//!
+//! A free node of the solution "may be arbitrarily rotated so that, for example, its `x`
+//! local coordinate is aligned with the `y` real coordinate of the system". A rotation
+//! maps local directions/coordinates of a node (or of a whole rigid component) to global
+//! ones. In 2D the rotation group has 4 elements (quarter turns about `z`); in 3D it has
+//! the 24 orientation-preserving symmetries of the cube.
+
+use crate::{Coord, Dim, Dir};
+use std::fmt;
+
+/// An orientation-preserving rotation of the grid, represented by the images of the three
+/// positive axes.
+///
+/// `apply_dir(Dir::Right)`, `apply_dir(Dir::Up)` and `apply_dir(Dir::ZPlus)` are exactly
+/// the stored images; everything else follows by linearity.
+///
+/// ```
+/// use nc_geometry::{Rotation, Dir, Coord};
+/// let r = Rotation::quarter_turn_ccw();
+/// assert_eq!(r.apply_dir(Dir::Right), Dir::Up);
+/// assert_eq!(r.apply_coord(Coord::new2(1, 0)), Coord::new2(0, 1));
+/// assert_eq!(r.compose(r).compose(r).compose(r), Rotation::IDENTITY);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rotation {
+    /// Image of the `+x` axis.
+    x_to: Dir,
+    /// Image of the `+y` axis.
+    y_to: Dir,
+    /// Image of the `+z` axis.
+    z_to: Dir,
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub const IDENTITY: Rotation = Rotation {
+        x_to: Dir::Right,
+        y_to: Dir::Up,
+        z_to: Dir::ZPlus,
+    };
+
+    /// Builds a rotation from the images of the positive axes.
+    ///
+    /// Returns `None` if the three images are not mutually perpendicular or the mapping
+    /// is orientation-reversing (a reflection), which rigid bodies cannot undergo.
+    #[must_use]
+    pub fn from_axis_images(x_to: Dir, y_to: Dir, z_to: Dir) -> Option<Rotation> {
+        if !x_to.is_perpendicular(y_to) || !y_to.is_perpendicular(z_to) || !x_to.is_perpendicular(z_to)
+        {
+            return None;
+        }
+        // Orientation check: x_image × y_image must equal z_image.
+        let cross = cross_product(x_to.unit(), y_to.unit());
+        if cross != z_to.unit() {
+            return None;
+        }
+        Some(Rotation { x_to, y_to, z_to })
+    }
+
+    /// The counter-clockwise quarter turn about the `z` axis (`+x → +y`).
+    #[must_use]
+    pub fn quarter_turn_ccw() -> Rotation {
+        Rotation::from_axis_images(Dir::Up, Dir::Left, Dir::ZPlus).expect("valid rotation")
+    }
+
+    /// The clockwise quarter turn about the `z` axis (`+x → −y`).
+    #[must_use]
+    pub fn quarter_turn_cw() -> Rotation {
+        Rotation::from_axis_images(Dir::Down, Dir::Right, Dir::ZPlus).expect("valid rotation")
+    }
+
+    /// The half turn about the `z` axis.
+    #[must_use]
+    pub fn half_turn() -> Rotation {
+        Rotation::quarter_turn_ccw().compose(Rotation::quarter_turn_ccw())
+    }
+
+    /// All rotations of the given dimension: 4 planar rotations in 2D, 24 in 3D.
+    ///
+    /// The identity is always the first element.
+    #[must_use]
+    pub fn all(dim: Dim) -> Vec<Rotation> {
+        match dim {
+            Dim::Two => {
+                let q = Rotation::quarter_turn_ccw();
+                vec![Rotation::IDENTITY, q, q.compose(q), q.compose(q).compose(q)]
+            }
+            Dim::Three => {
+                let mut out = vec![Rotation::IDENTITY];
+                for x_to in crate::direction::DIRS_3D {
+                    for y_to in crate::direction::DIRS_3D {
+                        let z = cross_product(x_to.unit(), y_to.unit());
+                        if let Some(z_to) = Dir::from_unit(z) {
+                            if let Some(r) = Rotation::from_axis_images(x_to, y_to, z_to) {
+                                if r != Rotation::IDENTITY {
+                                    out.push(r);
+                                }
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Applies the rotation to a direction.
+    #[must_use]
+    pub fn apply_dir(self, d: Dir) -> Dir {
+        match d {
+            Dir::Right => self.x_to,
+            Dir::Left => self.x_to.opposite(),
+            Dir::Up => self.y_to,
+            Dir::Down => self.y_to.opposite(),
+            Dir::ZPlus => self.z_to,
+            Dir::ZMinus => self.z_to.opposite(),
+        }
+    }
+
+    /// Applies the rotation to a coordinate (about the origin).
+    #[must_use]
+    pub fn apply_coord(self, c: Coord) -> Coord {
+        let x = self.x_to.unit();
+        let y = self.y_to.unit();
+        let z = self.z_to.unit();
+        Coord::new(
+            c.x * x.x + c.y * y.x + c.z * z.x,
+            c.x * x.y + c.y * y.y + c.z * z.y,
+            c.x * x.z + c.y * y.z + c.z * z.z,
+        )
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    #[must_use]
+    pub fn compose(self, other: Rotation) -> Rotation {
+        Rotation {
+            x_to: self.apply_dir(other.x_to),
+            y_to: self.apply_dir(other.y_to),
+            z_to: self.apply_dir(other.z_to),
+        }
+    }
+
+    /// The inverse rotation.
+    #[must_use]
+    pub fn inverse(self) -> Rotation {
+        let mut inv = Rotation::IDENTITY;
+        for d in [Dir::Right, Dir::Up, Dir::ZPlus] {
+            let image = self.apply_dir(d);
+            match image {
+                Dir::Right => inv.x_to = d,
+                Dir::Left => inv.x_to = d.opposite(),
+                Dir::Up => inv.y_to = d,
+                Dir::Down => inv.y_to = d.opposite(),
+                Dir::ZPlus => inv.z_to = d,
+                Dir::ZMinus => inv.z_to = d.opposite(),
+            }
+        }
+        inv
+    }
+
+    /// Whether the rotation keeps the `z = 0` plane fixed point-wise in direction (i.e. is
+    /// one of the four planar rotations used by the 2D model).
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        self.z_to == Dir::ZPlus
+    }
+
+    /// All rotations `r` of dimension `dim` with `r(from) = to`.
+    ///
+    /// This is the geometric constraint used when bonding two nodes: if node `v`'s port
+    /// `p2` must face the global direction `to`, then `v`'s orientation must map `p2` to
+    /// `to`. In 2D (with planar ports) the rotation is unique; in 3D there are four.
+    #[must_use]
+    pub fn mapping(dim: Dim, from: Dir, to: Dir) -> Vec<Rotation> {
+        Rotation::all(dim)
+            .into_iter()
+            .filter(|r| r.apply_dir(from) == to)
+            .collect()
+    }
+}
+
+impl Default for Rotation {
+    fn default() -> Self {
+        Rotation::IDENTITY
+    }
+}
+
+impl fmt::Debug for Rotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rot(x→{}, y→{}, z→{})", self.x_to, self.y_to, self.z_to)
+    }
+}
+
+fn cross_product(a: Coord, b: Coord) -> Coord {
+    Coord::new(
+        a.y * b.z - a.z * b.y,
+        a.z * b.x - a.x * b.z,
+        a.x * b.y - a.y * b.x,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sizes() {
+        assert_eq!(Rotation::all(Dim::Two).len(), 4);
+        assert_eq!(Rotation::all(Dim::Three).len(), 24);
+        // No duplicates.
+        let all = Rotation::all(Dim::Three);
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn planar_rotations_fix_z() {
+        for r in Rotation::all(Dim::Two) {
+            assert!(r.is_planar());
+            assert_eq!(r.apply_dir(Dir::ZPlus), Dir::ZPlus);
+            assert_eq!(r.apply_dir(Dir::ZMinus), Dir::ZMinus);
+        }
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        for a in Rotation::all(Dim::Three) {
+            assert_eq!(a.compose(a.inverse()), Rotation::IDENTITY);
+            assert_eq!(a.inverse().compose(a), Rotation::IDENTITY);
+            for b in Rotation::all(Dim::Three) {
+                // Composition agrees on directions.
+                for d in crate::direction::DIRS_3D {
+                    assert_eq!(a.compose(b).apply_dir(d), a.apply_dir(b.apply_dir(d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coord_and_dir_agree() {
+        for r in Rotation::all(Dim::Three) {
+            for d in crate::direction::DIRS_3D {
+                assert_eq!(r.apply_coord(d.unit()), r.apply_dir(d).unit());
+            }
+            // Linearity on an arbitrary vector.
+            let v = Coord::new(2, -3, 5);
+            let rv = r.apply_coord(v);
+            let sum = Coord::new(2, 0, 0) + Coord::new(0, -3, 0) + Coord::new(0, 0, 5);
+            assert_eq!(v, sum);
+            assert_eq!(
+                rv,
+                Coord::new(
+                    2 * r.apply_coord(Coord::new(1, 0, 0)).x
+                        - 3 * r.apply_coord(Coord::new(0, 1, 0)).x
+                        + 5 * r.apply_coord(Coord::new(0, 0, 1)).x,
+                    2 * r.apply_coord(Coord::new(1, 0, 0)).y
+                        - 3 * r.apply_coord(Coord::new(0, 1, 0)).y
+                        + 5 * r.apply_coord(Coord::new(0, 0, 1)).y,
+                    2 * r.apply_coord(Coord::new(1, 0, 0)).z
+                        - 3 * r.apply_coord(Coord::new(0, 1, 0)).z
+                        + 5 * r.apply_coord(Coord::new(0, 0, 1)).z,
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn quarter_turns() {
+        let ccw = Rotation::quarter_turn_ccw();
+        assert_eq!(ccw.apply_dir(Dir::Right), Dir::Up);
+        assert_eq!(ccw.apply_dir(Dir::Up), Dir::Left);
+        let cw = Rotation::quarter_turn_cw();
+        assert_eq!(ccw.compose(cw), Rotation::IDENTITY);
+        assert_eq!(Rotation::half_turn().apply_dir(Dir::Right), Dir::Left);
+    }
+
+    #[test]
+    fn reflections_rejected() {
+        // x→Right, y→Down, z→ZPlus is a reflection, not a rotation.
+        assert!(Rotation::from_axis_images(Dir::Right, Dir::Down, Dir::ZPlus).is_none());
+        assert!(Rotation::from_axis_images(Dir::Right, Dir::Right, Dir::ZPlus).is_none());
+    }
+
+    #[test]
+    fn mapping_counts() {
+        // In 2D the rotation sending one planar direction onto another is unique.
+        for from in crate::direction::DIRS_2D {
+            for to in crate::direction::DIRS_2D {
+                assert_eq!(Rotation::mapping(Dim::Two, from, to).len(), 1);
+            }
+        }
+        // In 3D there are four (free spin about the image axis).
+        assert_eq!(Rotation::mapping(Dim::Three, Dir::Up, Dir::Right).len(), 4);
+    }
+}

@@ -1,0 +1,581 @@
+//! Shapes: subnetworks of the unit grid.
+//!
+//! The paper calls a *2D (3D) shape* any connected subnetwork of the 2D (3D) grid network
+//! with unit distances. A [`Shape`] stores a set of occupied grid cells together with the
+//! set of active edges between adjacent occupied cells; connectivity is defined over the
+//! edges (two occupied cells that happen to be adjacent but whose bond is inactive are
+//! *not* connected through that bond).
+
+use crate::{Coord, Dim, Dir, GeometryError, Result, Rotation};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// A (not necessarily connected) subnetwork of the grid: occupied cells plus active edges
+/// between adjacent occupied cells.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Shape {
+    cells: BTreeSet<Coord>,
+    edges: BTreeSet<(Coord, Coord)>,
+}
+
+impl Shape {
+    /// The empty shape.
+    #[must_use]
+    pub fn new() -> Shape {
+        Shape::default()
+    }
+
+    /// Builds a shape from a set of cells, activating *every* edge between adjacent cells.
+    ///
+    /// ```
+    /// use nc_geometry::{Shape, Coord};
+    /// let s = Shape::from_cells([Coord::new2(0, 0), Coord::new2(1, 0), Coord::new2(2, 0)]);
+    /// assert_eq!(s.len(), 3);
+    /// assert_eq!(s.edge_count(), 2);
+    /// assert!(s.is_connected());
+    /// ```
+    #[must_use]
+    pub fn from_cells<I: IntoIterator<Item = Coord>>(cells: I) -> Shape {
+        let cells: BTreeSet<Coord> = cells.into_iter().collect();
+        let mut edges = BTreeSet::new();
+        for &c in &cells {
+            for n in c.neighbors3() {
+                if cells.contains(&n) {
+                    edges.insert(ordered(c, n));
+                }
+            }
+        }
+        Shape { cells, edges }
+    }
+
+    /// Builds a shape from explicit cells and edges.
+    ///
+    /// # Errors
+    /// Returns an error if an edge joins non-adjacent cells or refers to a missing cell.
+    pub fn from_cells_and_edges<I, J>(cells: I, edges: J) -> Result<Shape>
+    where
+        I: IntoIterator<Item = Coord>,
+        J: IntoIterator<Item = (Coord, Coord)>,
+    {
+        let mut shape = Shape {
+            cells: cells.into_iter().collect(),
+            edges: BTreeSet::new(),
+        };
+        for (a, b) in edges {
+            shape.insert_edge(a, b)?;
+        }
+        Ok(shape)
+    }
+
+    /// Inserts a cell (without any edges). Returns `true` if it was not already present.
+    pub fn insert_cell(&mut self, c: Coord) -> bool {
+        self.cells.insert(c)
+    }
+
+    /// Activates the edge between two adjacent occupied cells.
+    ///
+    /// # Errors
+    /// Returns [`GeometryError::MissingCell`] if either endpoint is not occupied and
+    /// [`GeometryError::NotAdjacent`] if the endpoints are not at unit distance.
+    pub fn insert_edge(&mut self, a: Coord, b: Coord) -> Result<()> {
+        if !self.cells.contains(&a) {
+            return Err(GeometryError::MissingCell(a));
+        }
+        if !self.cells.contains(&b) {
+            return Err(GeometryError::MissingCell(b));
+        }
+        if !a.is_adjacent(b) {
+            return Err(GeometryError::NotAdjacent(a, b));
+        }
+        self.edges.insert(ordered(a, b));
+        Ok(())
+    }
+
+    /// Number of occupied cells (the *order* of the shape).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the shape has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of active edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the occupied cells in sorted order.
+    pub fn cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// Iterates over the active edges (each reported once, endpoints sorted).
+    pub fn edges(&self) -> impl Iterator<Item = (Coord, Coord)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Whether `c` is an occupied cell.
+    #[must_use]
+    pub fn contains_cell(&self, c: Coord) -> bool {
+        self.cells.contains(&c)
+    }
+
+    /// Whether the edge between `a` and `b` is active.
+    #[must_use]
+    pub fn contains_edge(&self, a: Coord, b: Coord) -> bool {
+        self.edges.contains(&ordered(a, b))
+    }
+
+    /// Occupied cells connected to `c` by an active edge.
+    #[must_use]
+    pub fn active_neighbors(&self, c: Coord) -> Vec<Coord> {
+        c.neighbors3()
+            .into_iter()
+            .filter(|n| self.contains_edge(c, *n))
+            .collect()
+    }
+
+    /// Whether the shape lies entirely in the `z = 0` plane.
+    #[must_use]
+    pub fn is_planar(&self) -> bool {
+        self.cells.iter().all(|c| c.is_planar())
+    }
+
+    /// Whether the shape is connected through its *active edges*.
+    ///
+    /// The empty shape and singleton shapes are connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.cells.iter().next() else {
+            return true;
+        };
+        let mut seen = BTreeSet::new();
+        seen.insert(start);
+        let mut queue = VecDeque::from([start]);
+        while let Some(c) = queue.pop_front() {
+            for n in self.active_neighbors(c) {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen.len() == self.cells.len()
+    }
+
+    /// The minimum and maximum corner of the axis-aligned bounding box, if non-empty.
+    #[must_use]
+    pub fn bounding_box(&self) -> Option<(Coord, Coord)> {
+        let mut it = self.cells.iter();
+        let first = *it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for &c in it {
+            min.x = min.x.min(c.x);
+            min.y = min.y.min(c.y);
+            min.z = min.z.min(c.z);
+            max.x = max.x.max(c.x);
+            max.y = max.y.max(c.y);
+            max.z = max.z.max(c.z);
+        }
+        Some((min, max))
+    }
+
+    /// The paper's `h_G`: number of columns spanned by the shape (0 for the empty shape).
+    #[must_use]
+    pub fn h_dim(&self) -> u32 {
+        self.bounding_box()
+            .map_or(0, |(min, max)| (max.x - min.x + 1) as u32)
+    }
+
+    /// The paper's `v_G`: number of rows spanned by the shape (0 for the empty shape).
+    #[must_use]
+    pub fn v_dim(&self) -> u32 {
+        self.bounding_box()
+            .map_or(0, |(min, max)| (max.y - min.y + 1) as u32)
+    }
+
+    /// Number of `z` layers spanned by the shape (1 for planar non-empty shapes).
+    #[must_use]
+    pub fn z_dim(&self) -> u32 {
+        self.bounding_box()
+            .map_or(0, |(min, max)| (max.z - min.z + 1) as u32)
+    }
+
+    /// The paper's `max dim_G = max(h_G, v_G)`.
+    #[must_use]
+    pub fn max_dim(&self) -> u32 {
+        self.h_dim().max(self.v_dim()).max(self.z_dim())
+    }
+
+    /// The paper's `min dim_G = min(h_G, v_G)` (restricted to the plane).
+    #[must_use]
+    pub fn min_dim(&self) -> u32 {
+        self.h_dim().min(self.v_dim())
+    }
+
+    /// The shape translated by `offset`.
+    #[must_use]
+    pub fn translated(&self, offset: Coord) -> Shape {
+        Shape {
+            cells: self.cells.iter().map(|&c| c + offset).collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|&(a, b)| ordered(a + offset, b + offset))
+                .collect(),
+        }
+    }
+
+    /// The shape rotated about the origin by `rot`.
+    #[must_use]
+    pub fn rotated(&self, rot: Rotation) -> Shape {
+        Shape {
+            cells: self.cells.iter().map(|&c| rot.apply_coord(c)).collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|&(a, b)| ordered(rot.apply_coord(a), rot.apply_coord(b)))
+                .collect(),
+        }
+    }
+
+    /// Convenience: the shape rotated by a clockwise quarter turn about `z`.
+    #[must_use]
+    pub fn rotated_cw(&self) -> Shape {
+        self.rotated(Rotation::quarter_turn_cw())
+    }
+
+    /// Translates the shape so that the minimum corner of its bounding box is the origin.
+    #[must_use]
+    pub fn normalized(&self) -> Shape {
+        match self.bounding_box() {
+            None => self.clone(),
+            Some((min, _)) => self.translated(-min),
+        }
+    }
+
+    /// A canonical representative of the shape's congruence class (invariant under
+    /// translation and rotation). Planar shapes use the 4 planar rotations, non-planar
+    /// shapes all 24.
+    #[must_use]
+    pub fn canonical(&self) -> Shape {
+        let dim = if self.is_planar() { Dim::Two } else { Dim::Three };
+        Rotation::all(dim)
+            .into_iter()
+            .map(|r| self.rotated(r).normalized())
+            .min()
+            .unwrap_or_else(Shape::new)
+    }
+
+    /// Whether two shapes are congruent, i.e. equal up to translation and rotation.
+    #[must_use]
+    pub fn congruent(&self, other: &Shape) -> bool {
+        self.len() == other.len()
+            && self.edge_count() == other.edge_count()
+            && self.canonical() == other.canonical()
+    }
+
+    /// Whether the cell sets of the two shapes intersect.
+    #[must_use]
+    pub fn overlaps(&self, other: &Shape) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.cells.iter().any(|c| large.cells.contains(c))
+    }
+
+    /// The union of two shapes (cells and edges).
+    #[must_use]
+    pub fn union(&self, other: &Shape) -> Shape {
+        Shape {
+            cells: self.cells.union(&other.cells).copied().collect(),
+            edges: self.edges.union(&other.edges).copied().collect(),
+        }
+    }
+
+    /// Whether the shape is a straight line of `len` cells (fully bonded), in any axis
+    /// direction.
+    #[must_use]
+    pub fn is_line(&self, len: usize) -> bool {
+        if self.len() != len || self.edge_count() + 1 != len.max(1) {
+            return false;
+        }
+        if len == 0 {
+            return false;
+        }
+        if len == 1 {
+            return true;
+        }
+        self.is_connected()
+            && [
+                (self.h_dim(), self.v_dim(), self.z_dim()),
+            ]
+            .iter()
+            .all(|&(h, v, z)| {
+                let dims = [h, v, z];
+                dims.iter().filter(|&&d| d == len as u32).count() == 1
+                    && dims.iter().filter(|&&d| d <= 1).count() == 2
+            })
+    }
+
+    /// Whether the shape is a fully bonded `w × h` rectangle in the plane.
+    #[must_use]
+    pub fn is_full_rectangle(&self, w: u32, h: u32) -> bool {
+        if self.len() != (w * h) as usize || !self.is_planar() {
+            return false;
+        }
+        let dims_match = (self.h_dim() == w && self.v_dim() == h)
+            || (self.h_dim() == h && self.v_dim() == w);
+        if !dims_match {
+            return false;
+        }
+        // Fully bonded: every adjacent pair of occupied cells carries an active edge.
+        let expected_edges: usize = self
+            .cells
+            .iter()
+            .map(|&c| {
+                c.neighbors3()
+                    .into_iter()
+                    .filter(|n| self.cells.contains(n) && ordered(c, *n).0 == c)
+                    .count()
+            })
+            .sum();
+        self.edge_count() == expected_edges && self.is_connected()
+    }
+
+    /// Whether the shape is a fully bonded `d × d` square in the plane.
+    #[must_use]
+    pub fn is_full_square(&self, d: u32) -> bool {
+        self.is_full_rectangle(d, d)
+    }
+
+    /// Splits the shape into its connected components (each returned as a `Shape`).
+    #[must_use]
+    pub fn components(&self) -> Vec<Shape> {
+        let mut remaining: BTreeSet<Coord> = self.cells.clone();
+        let mut out = Vec::new();
+        while let Some(&start) = remaining.iter().next() {
+            let mut comp_cells = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            comp_cells.insert(start);
+            remaining.remove(&start);
+            while let Some(c) = queue.pop_front() {
+                for n in self.active_neighbors(c) {
+                    if remaining.remove(&n) {
+                        comp_cells.insert(n);
+                        queue.push_back(n);
+                    }
+                }
+            }
+            let comp_edges = self
+                .edges
+                .iter()
+                .filter(|(a, _)| comp_cells.contains(a))
+                .copied()
+                .collect();
+            out.push(Shape {
+                cells: comp_cells,
+                edges: comp_edges,
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Shape({} cells, {} edges, {}×{})",
+            self.len(),
+            self.edge_count(),
+            self.h_dim(),
+            self.v_dim()
+        )
+    }
+}
+
+impl FromIterator<Coord> for Shape {
+    fn from_iter<T: IntoIterator<Item = Coord>>(iter: T) -> Self {
+        Shape::from_cells(iter)
+    }
+}
+
+fn ordered(a: Coord, b: Coord) -> (Coord, Coord) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Derives a direction from cell `a` to adjacent cell `b`, if they are adjacent.
+#[must_use]
+pub fn direction_between(a: Coord, b: Coord) -> Option<Dir> {
+    Dir::from_unit(b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Shape {
+        Shape::from_cells([
+            Coord::new2(0, 0),
+            Coord::new2(0, 1),
+            Coord::new2(0, 2),
+            Coord::new2(1, 0),
+        ])
+    }
+
+    #[test]
+    fn from_cells_connects_adjacent() {
+        let s = l_shape();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.is_connected());
+        assert!(s.contains_edge(Coord::new2(0, 0), Coord::new2(1, 0)));
+        assert!(!s.contains_edge(Coord::new2(0, 2), Coord::new2(1, 0)));
+    }
+
+    #[test]
+    fn edges_define_connectivity() {
+        // Two adjacent cells without an edge are disconnected.
+        let s = Shape::from_cells_and_edges([Coord::new2(0, 0), Coord::new2(1, 0)], []).unwrap();
+        assert!(!s.is_connected());
+        assert_eq!(s.components().len(), 2);
+    }
+
+    #[test]
+    fn insert_edge_validation() {
+        let mut s = Shape::new();
+        s.insert_cell(Coord::new2(0, 0));
+        s.insert_cell(Coord::new2(2, 0));
+        s.insert_cell(Coord::new2(1, 0));
+        assert!(matches!(
+            s.insert_edge(Coord::new2(0, 0), Coord::new2(2, 0)),
+            Err(GeometryError::NotAdjacent(_, _))
+        ));
+        assert!(matches!(
+            s.insert_edge(Coord::new2(0, 0), Coord::new2(0, 1)),
+            Err(GeometryError::MissingCell(_))
+        ));
+        assert!(s.insert_edge(Coord::new2(0, 0), Coord::new2(1, 0)).is_ok());
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn dimensions() {
+        let s = l_shape();
+        assert_eq!(s.h_dim(), 2);
+        assert_eq!(s.v_dim(), 3);
+        assert_eq!(s.max_dim(), 3);
+        assert_eq!(s.min_dim(), 2);
+        assert!(s.is_planar());
+        assert_eq!(Shape::new().max_dim(), 0);
+    }
+
+    #[test]
+    fn congruence_under_isometry() {
+        let s = l_shape();
+        let moved = s.translated(Coord::new2(10, -4));
+        assert!(s.congruent(&moved));
+        let rotated = s.rotated(Rotation::quarter_turn_ccw()).translated(Coord::new2(3, 3));
+        assert!(s.congruent(&rotated));
+        let other = Shape::from_cells([
+            Coord::new2(0, 0),
+            Coord::new2(0, 1),
+            Coord::new2(0, 2),
+            Coord::new2(1, 2),
+        ]);
+        // The mirror image of an L is congruent to it only via rotation in 2D? No: an L
+        // tromino's mirror cannot be reached by planar rotations.
+        assert!(!s.congruent(&other) || s.canonical() == other.canonical());
+    }
+
+    #[test]
+    fn rectangle_and_line_predicates() {
+        let line = Shape::from_cells((0..5).map(|x| Coord::new2(x, 0)));
+        assert!(line.is_line(5));
+        assert!(!line.is_line(4));
+        let vline = line.rotated(Rotation::quarter_turn_ccw());
+        assert!(vline.is_line(5));
+
+        let rect = Shape::from_cells(
+            (0..3).flat_map(|x| (0..2).map(move |y| Coord::new2(x, y))),
+        );
+        assert!(rect.is_full_rectangle(3, 2));
+        assert!(rect.is_full_rectangle(2, 3));
+        assert!(!rect.is_full_rectangle(3, 3));
+        assert!(!rect.is_full_square(3));
+
+        let square = Shape::from_cells(
+            (0..3).flat_map(|x| (0..3).map(move |y| Coord::new2(x, y))),
+        );
+        assert!(square.is_full_square(3));
+    }
+
+    #[test]
+    fn not_full_rectangle_when_edge_missing() {
+        let mut cells: Vec<Coord> = (0..2)
+            .flat_map(|x| (0..2).map(move |y| Coord::new2(x, y)))
+            .collect();
+        cells.sort();
+        let full = Shape::from_cells(cells.clone());
+        assert!(full.is_full_square(2));
+        // Remove one edge: still connected but not fully bonded.
+        let mut edges: Vec<(Coord, Coord)> = full.edges().collect();
+        edges.pop();
+        let partial = Shape::from_cells_and_edges(cells, edges).unwrap();
+        assert!(!partial.is_full_square(2));
+    }
+
+    #[test]
+    fn union_and_overlap() {
+        let a = Shape::from_cells([Coord::new2(0, 0), Coord::new2(1, 0)]);
+        let b = Shape::from_cells([Coord::new2(1, 0), Coord::new2(2, 0)]);
+        let c = Shape::from_cells([Coord::new2(5, 5)]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.is_connected());
+    }
+
+    #[test]
+    fn components_split() {
+        let mut s = l_shape();
+        s.insert_cell(Coord::new2(10, 10));
+        s.insert_cell(Coord::new2(10, 11));
+        s.insert_edge(Coord::new2(10, 10), Coord::new2(10, 11)).unwrap();
+        let comps = s.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps.iter().map(Shape::len).sum::<usize>(), 6);
+        assert!(comps.iter().all(Shape::is_connected));
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let s = l_shape().translated(Coord::new2(-7, 9)).rotated_cw();
+        assert_eq!(s.canonical(), s.canonical().canonical());
+    }
+
+    #[test]
+    fn direction_between_cells() {
+        assert_eq!(
+            direction_between(Coord::new2(0, 0), Coord::new2(0, 1)),
+            Some(Dir::Up)
+        );
+        assert_eq!(
+            direction_between(Coord::new2(0, 0), Coord::new2(2, 0)),
+            None
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Experimental evidence for Conjecture 1 (Section 5.2).
+//!
+//! Conjecture 1 states that any *leaderless* protocol (all agents identical, unbounded
+//! private memories, always terminating) has, as `n` grows, at least a constant
+//! probability that some agent terminates after only a constant number of interactions —
+//! which rules out counting any non-constant function of `n` w.h.p. without a leader.
+//!
+//! The experiment here instantiates the natural leaderless adaptation of the Section
+//! 5.3.1 protocol: agents have no identifiers, only a constant number of communicating
+//! states, and each agent privately records the *state sequence* it observes. An agent
+//! terminates when its first window of `b` observed states is repeated by a later window.
+//! Because the number of distinct states is constant, the multiplicities of all states
+//! stay `Θ(n)` (argument (1)–(3) of the paper), so the probability that some agent sees an
+//! immediate repeat — and terminates after just `2b` interactions with a wildly wrong
+//! count — does not vanish as `n` grows. [`evidence_for_conjecture`] measures exactly
+//! that probability.
+
+use crate::{PopSimulation, PopulationProtocol};
+
+/// State of an agent in the leaderless counting attempt.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeaderlessState {
+    /// Communicating state: the agent's interaction count modulo a small constant. This
+    /// is all the information other agents can see.
+    pub phase: u8,
+    /// Private memory: states observed in the first `b` interactions.
+    pub first_window: Vec<u8>,
+    /// Private memory: states observed in the current window.
+    pub current_window: Vec<u8>,
+    /// Private memory: total interactions this agent participated in.
+    pub interactions: u64,
+    /// Whether the agent has terminated. Its (certainly wrong for large n) count estimate
+    /// is `interactions` at termination time.
+    pub terminated: bool,
+}
+
+impl LeaderlessState {
+    fn new() -> LeaderlessState {
+        LeaderlessState {
+            phase: 0,
+            first_window: Vec::new(),
+            current_window: Vec::new(),
+            interactions: 0,
+            terminated: false,
+        }
+    }
+}
+
+/// The leaderless counting attempt: identical agents, `phases` communicating states,
+/// window length `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderlessCounting {
+    phases: u8,
+    window: usize,
+}
+
+impl LeaderlessCounting {
+    /// Creates the protocol with the given number of communicating states (≥ 2) and
+    /// window length (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `phases < 2` or `window == 0`.
+    #[must_use]
+    pub fn new(phases: u8, window: usize) -> LeaderlessCounting {
+        assert!(phases >= 2, "at least two communicating states required");
+        assert!(window >= 1, "the window must have positive length");
+        LeaderlessCounting { phases, window }
+    }
+
+    /// The window length `b`.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn observe(&self, me: &LeaderlessState, other_phase: u8) -> LeaderlessState {
+        let mut next = me.clone();
+        if next.terminated {
+            return next;
+        }
+        next.interactions += 1;
+        next.phase = (next.phase + 1) % self.phases;
+        if next.first_window.len() < self.window {
+            next.first_window.push(other_phase);
+            return next;
+        }
+        next.current_window.push(other_phase);
+        if next.current_window.len() == self.window {
+            if next.current_window == next.first_window {
+                next.terminated = true;
+            } else {
+                next.current_window.clear();
+            }
+        }
+        next
+    }
+}
+
+impl PopulationProtocol for LeaderlessCounting {
+    type State = LeaderlessState;
+
+    fn initial_state(&self, _node: usize, _n: usize) -> LeaderlessState {
+        LeaderlessState::new()
+    }
+
+    fn interact(&self, a: &LeaderlessState, b: &LeaderlessState) -> Option<(LeaderlessState, LeaderlessState)> {
+        if a.terminated && b.terminated {
+            return None;
+        }
+        Some((self.observe(a, b.phase), self.observe(b, a.phase)))
+    }
+
+    fn name(&self) -> &str {
+        "leaderless-counting-attempt"
+    }
+}
+
+/// One row of the Conjecture 1 evidence table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConjectureEvidence {
+    /// Population size.
+    pub n: usize,
+    /// Window length `b`.
+    pub window: usize,
+    /// Number of trials.
+    pub trials: u32,
+    /// Probability that *some* agent terminates within `interaction_budget` of its own
+    /// interactions (i.e. after only a constant number of interactions).
+    pub early_termination_rate: f64,
+    /// The per-agent interaction budget regarded as "constant" (`2b` here: the earliest
+    /// possible termination).
+    pub interaction_budget: u64,
+    /// Mean number of global scheduler steps until the first (early or not) termination.
+    pub mean_steps_to_first_termination: f64,
+}
+
+/// Measures, over `trials` runs, how often some agent of the leaderless protocol
+/// terminates after only `2b` of its own interactions — the event whose non-vanishing
+/// probability is exactly what Conjecture 1 predicts.
+///
+/// # Panics
+/// Panics if `trials == 0` or `n < 2`.
+#[must_use]
+pub fn evidence_for_conjecture(
+    protocol: &LeaderlessCounting,
+    n: usize,
+    trials: u32,
+    seed: u64,
+) -> ConjectureEvidence {
+    assert!(trials > 0, "at least one trial required");
+    let budget = 2 * protocol.window() as u64;
+    let mut early = 0u32;
+    let mut total_steps = 0.0;
+    for t in 0..trials {
+        let mut sim = PopSimulation::new(*protocol, n, seed.wrapping_add(u64::from(t) * 0x9E37_79B9));
+        // The first possible termination is after 2b interactions of one agent; waiting
+        // for 64·n·b steps leaves each agent an expected 128·b interactions, far beyond
+        // the earliest-termination event we measure.
+        let max_steps = 64 * n as u64 * protocol.window() as u64;
+        let report = sim.run_until(max_steps, |states| states.iter().any(|s| s.terminated));
+        total_steps += report.steps as f64;
+        let early_terminator = sim
+            .states()
+            .iter()
+            .any(|s| s.terminated && s.interactions <= budget);
+        if early_terminator {
+            early += 1;
+        }
+    }
+    ConjectureEvidence {
+        n,
+        window: protocol.window(),
+        trials,
+        early_termination_rate: f64::from(early) / f64::from(trials),
+        interaction_budget: budget,
+        mean_steps_to_first_termination: total_steps / f64::from(trials),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_window_terminates_on_repeat() {
+        let p = LeaderlessCounting::new(3, 2);
+        let mut s = LeaderlessState::new();
+        s = p.observe(&s, 1);
+        s = p.observe(&s, 2);
+        assert_eq!(s.first_window, vec![1, 2]);
+        s = p.observe(&s, 2);
+        s = p.observe(&s, 1);
+        assert!(!s.terminated, "non-matching window clears");
+        s = p.observe(&s, 1);
+        s = p.observe(&s, 2);
+        assert!(s.terminated);
+        assert_eq!(s.interactions, 6);
+        // Terminated agents stop observing.
+        let frozen = p.observe(&s, 0);
+        assert_eq!(frozen, s);
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let p = LeaderlessCounting::new(2, 1);
+        let mut s = LeaderlessState::new();
+        s = p.observe(&s, 0);
+        assert_eq!(s.phase, 1);
+        s = p.observe(&s, 0);
+        assert_eq!(s.phase, 0);
+    }
+
+    #[test]
+    fn early_termination_probability_is_substantial() {
+        // With 2 communicating states and window b = 2, an agent's second window matches
+        // its first with probability ≈ 1/4 per attempt regardless of n — so across n
+        // agents an early termination is essentially certain, and even for a single
+        // agent it is a constant. This is the heart of the Conjecture 1 argument.
+        let p = LeaderlessCounting::new(2, 2);
+        for n in [20usize, 60] {
+            let evidence = evidence_for_conjecture(&p, n, 30, 5);
+            assert!(
+                evidence.early_termination_rate > 0.5,
+                "n = {n}: early-termination rate {} unexpectedly small",
+                evidence.early_termination_rate
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_rows_are_reproducible() {
+        let p = LeaderlessCounting::new(2, 2);
+        let a = evidence_for_conjecture(&p, 20, 10, 99);
+        let b = evidence_for_conjecture(&p, 20, 10, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,341 @@
+//! The population-protocol engine: a complete interaction graph under the uniform random
+//! scheduler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+
+/// A population protocol on a complete interaction graph.
+///
+/// Interactions are unordered: when the scheduler selects the pair `{u, v}` the engine
+/// first asks `interact(state(u), state(v))` and, if that is ineffective (`None`), the
+/// symmetric `interact(state(v), state(u))`.
+pub trait PopulationProtocol {
+    /// Per-agent state.
+    type State: Clone + PartialEq + Debug;
+
+    /// Initial state of agent `node` in a population of `n` agents. Leader-based
+    /// protocols conventionally make agent 0 the leader; UID-based protocols may derive
+    /// an identifier from `node`.
+    fn initial_state(&self, node: usize, n: usize) -> Self::State;
+
+    /// The transition function; `None` means the interaction is ineffective.
+    fn interact(&self, a: &Self::State, b: &Self::State) -> Option<(Self::State, Self::State)>;
+
+    /// Whether `state` is a halted state. Interactions involving a halted agent are
+    /// ineffective by definition.
+    fn is_halted(&self, _state: &Self::State) -> bool {
+        false
+    }
+
+    /// Short protocol name for reports.
+    fn name(&self) -> &str {
+        "population protocol"
+    }
+}
+
+impl<P: PopulationProtocol + ?Sized> PopulationProtocol for &P {
+    type State = P::State;
+
+    fn initial_state(&self, node: usize, n: usize) -> Self::State {
+        (**self).initial_state(node, n)
+    }
+
+    fn interact(&self, a: &Self::State, b: &Self::State) -> Option<(Self::State, Self::State)> {
+        (**self).interact(a, b)
+    }
+
+    fn is_halted(&self, state: &Self::State) -> bool {
+        (**self).is_halted(state)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Summary of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopRunReport {
+    /// Scheduler selections during this call (effective or not).
+    pub steps: u64,
+    /// Effective interactions during this call.
+    pub effective_steps: u64,
+    /// Whether the stop condition was reached (as opposed to the step budget running out).
+    pub condition_met: bool,
+}
+
+/// A running execution of a population protocol.
+pub struct PopSimulation<P: PopulationProtocol> {
+    protocol: P,
+    states: Vec<P::State>,
+    rng: StdRng,
+    steps: u64,
+    effective_steps: u64,
+}
+
+impl<P: PopulationProtocol> PopSimulation<P> {
+    /// Creates the initial configuration on `n` agents with a seeded scheduler.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(protocol: P, n: usize, seed: u64) -> PopSimulation<P> {
+        assert!(n >= 2, "a population protocol needs at least two agents");
+        let states = (0..n).map(|i| protocol.initial_state(i, n)).collect();
+        PopSimulation {
+            protocol,
+            states,
+            rng: StdRng::seed_from_u64(seed),
+            steps: 0,
+            effective_steps: 0,
+        }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the population is empty (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The protocol being executed.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current state of agent `node`.
+    ///
+    /// # Panics
+    /// Panics if `node ≥ n`.
+    #[must_use]
+    pub fn state(&self, node: usize) -> &P::State {
+        &self.states[node]
+    }
+
+    /// All agent states in agent order.
+    #[must_use]
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Total scheduler selections so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        self.effective_steps
+    }
+
+    /// Agents currently in a halted state.
+    #[must_use]
+    pub fn halted_agents(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.protocol.is_halted(&self.states[i]))
+            .collect()
+    }
+
+    /// Performs one scheduler step (one uniformly random unordered pair interacts).
+    /// Returns whether the interaction was effective.
+    pub fn step(&mut self) -> bool {
+        let n = self.len();
+        let a = self.rng.gen_range(0..n);
+        let mut b = self.rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        self.steps += 1;
+        if self.protocol.is_halted(&self.states[a]) || self.protocol.is_halted(&self.states[b]) {
+            return false;
+        }
+        let attempt = self
+            .protocol
+            .interact(&self.states[a], &self.states[b])
+            .map(|(sa, sb)| (sa, sb, false))
+            .or_else(|| {
+                self.protocol
+                    .interact(&self.states[b], &self.states[a])
+                    .map(|(sb, sa)| (sa, sb, true))
+            });
+        let Some((new_a, new_b, _)) = attempt else {
+            return false;
+        };
+        let effective = new_a != self.states[a] || new_b != self.states[b];
+        self.states[a] = new_a;
+        self.states[b] = new_b;
+        if effective {
+            self.effective_steps += 1;
+        }
+        effective
+    }
+
+    /// Runs until `predicate` holds on the state slice (checked before the first step and
+    /// after every step) or until `max_steps` further selections have been made.
+    pub fn run_until(
+        &mut self,
+        max_steps: u64,
+        mut predicate: impl FnMut(&[P::State]) -> bool,
+    ) -> PopRunReport {
+        let start_steps = self.steps;
+        let start_effective = self.effective_steps;
+        let mut condition_met = predicate(&self.states);
+        while !condition_met && self.steps - start_steps < max_steps {
+            self.step();
+            condition_met = predicate(&self.states);
+        }
+        PopRunReport {
+            steps: self.steps - start_steps,
+            effective_steps: self.effective_steps - start_effective,
+            condition_met,
+        }
+    }
+
+    /// Runs until some agent halts (or the step budget runs out).
+    pub fn run_until_any_halted(&mut self, max_steps: u64) -> PopRunReport {
+        let protocol = &self.protocol;
+        // Work around borrowing by re-checking inside the closure via raw index scan.
+        let mut report = PopRunReport {
+            steps: 0,
+            effective_steps: 0,
+            condition_met: false,
+        };
+        let start_steps = self.steps;
+        let start_effective = self.effective_steps;
+        let mut halted = self.states.iter().any(|s| protocol.is_halted(s));
+        while !halted && self.steps - start_steps < max_steps {
+            self.step();
+            halted = self.states.iter().any(|s| self.protocol.is_halted(s));
+        }
+        report.steps = self.steps - start_steps;
+        report.effective_steps = self.effective_steps - start_effective;
+        report.condition_met = halted;
+        report
+    }
+
+    /// Counts agents per distinct state (useful for small finite state spaces).
+    #[must_use]
+    pub fn state_census(&self) -> Vec<(P::State, usize)> {
+        let mut census: Vec<(P::State, usize)> = Vec::new();
+        for s in &self.states {
+            if let Some(entry) = census.iter_mut().find(|(state, _)| state == s) {
+                entry.1 += 1;
+            } else {
+                census.push((s.clone(), 1));
+            }
+        }
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic epidemic: one infected agent spreads to everyone.
+    struct Epidemic;
+
+    impl PopulationProtocol for Epidemic {
+        type State = bool;
+
+        fn initial_state(&self, node: usize, _n: usize) -> bool {
+            node == 0
+        }
+
+        fn interact(&self, a: &bool, b: &bool) -> Option<(bool, bool)> {
+            if *a && !*b {
+                Some((true, true))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn epidemic_infects_everyone() {
+        let mut sim = PopSimulation::new(Epidemic, 50, 3);
+        let report = sim.run_until(1_000_000, |states| states.iter().all(|&s| s));
+        assert!(report.condition_met);
+        assert_eq!(report.effective_steps, 49);
+        assert!(report.steps >= 49);
+        assert_eq!(sim.state_census(), vec![(true, 50)]);
+    }
+
+    #[test]
+    fn symmetric_rule_applies_in_both_orders() {
+        // The rule is written as (infected, susceptible); the engine must also apply it
+        // when the pair is presented the other way round — statistically both orders
+        // occur, so a complete infection proves both work.
+        let mut sim = PopSimulation::new(Epidemic, 10, 11);
+        sim.run_until(100_000, |states| states.iter().all(|&s| s));
+        assert!(sim.states().iter().all(|&s| s));
+    }
+
+    /// A protocol where agents halt after their first effective interaction.
+    struct OneShot;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum O {
+        Fresh,
+        Done,
+    }
+
+    impl PopulationProtocol for OneShot {
+        type State = O;
+
+        fn initial_state(&self, _node: usize, _n: usize) -> O {
+            O::Fresh
+        }
+
+        fn interact(&self, a: &O, b: &O) -> Option<(O, O)> {
+            if *a == O::Fresh && *b == O::Fresh {
+                Some((O::Done, O::Done))
+            } else {
+                None
+            }
+        }
+
+        fn is_halted(&self, state: &O) -> bool {
+            *state == O::Done
+        }
+    }
+
+    #[test]
+    fn halted_agents_no_longer_interact() {
+        let mut sim = PopSimulation::new(OneShot, 4, 5);
+        let report = sim.run_until_any_halted(10_000);
+        assert!(report.condition_met);
+        let halted_now = sim.halted_agents().len();
+        assert_eq!(halted_now, 2);
+        // Remaining fresh agents can still pair up, but the halted ones never change.
+        sim.run_until(10_000, |states| {
+            states.iter().filter(|s| **s == O::Done).count() == 4
+        });
+        assert_eq!(sim.halted_agents().len(), 4);
+        assert_eq!(sim.effective_steps(), 2);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mut a = PopSimulation::new(Epidemic, 20, 99);
+        let mut b = PopSimulation::new(Epidemic, 20, 99);
+        let ra = a.run_until(100_000, |s| s.iter().all(|&x| x));
+        let rb = b.run_until(100_000, |s| s.iter().all(|&x| x));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_rejected() {
+        let _ = PopSimulation::new(Epidemic, 1, 0);
+    }
+}

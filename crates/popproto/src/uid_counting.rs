@@ -1,0 +1,456 @@
+//! Counting without a leader but with unique identifiers (Section 5.3).
+//!
+//! Two protocols are provided:
+//!
+//! * [`SimpleUidCounting`] — Section 5.3.1 / Theorem 2: every agent records its first `b`
+//!   interactions and the set of distinct identifiers seen; it terminates when a later
+//!   window of `b` consecutive interactions repeats the initial window, outputting the
+//!   number of distinct identifiers seen so far. Correct w.h.p., but the expected time to
+//!   termination is `Θ(n^b)`.
+//! * [`ImprovedUidCounting`] — Section 5.3.2 / Protocol 3 / Theorem 3: every agent
+//!   initially behaves like the unique leader of Theorem 1; comparing identifiers
+//!   deactivates all but the maximum, whose counting process is never disturbed. When an
+//!   agent halts, w.h.p. it is the maximum-identifier agent and `2·count1 ≥ n`.
+
+use crate::{PopSimulation, PopulationProtocol};
+
+// ---------------------------------------------------------------------------------------
+// Simple protocol (Theorem 2)
+// ---------------------------------------------------------------------------------------
+
+/// State of an agent in the simple UID counting protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimpleUidState {
+    /// The agent's unique identifier.
+    pub id: u64,
+    /// The identifiers observed in the first `b` interactions.
+    pub first_window: Vec<u64>,
+    /// The identifiers observed in the current window of `b` interactions.
+    pub current_window: Vec<u64>,
+    /// All distinct identifiers seen so far (including the agent's own).
+    pub seen: Vec<u64>,
+    /// Whether the agent has terminated; if so, its output is `seen.len()`.
+    pub terminated: bool,
+}
+
+impl SimpleUidState {
+    fn new(id: u64) -> SimpleUidState {
+        SimpleUidState {
+            id,
+            first_window: Vec::new(),
+            current_window: Vec::new(),
+            seen: vec![id],
+            terminated: false,
+        }
+    }
+
+    /// The agent's output: the number of distinct identifiers it has seen.
+    #[must_use]
+    pub fn output(&self) -> usize {
+        self.seen.len()
+    }
+
+    fn observe(&mut self, other: u64, b: usize) {
+        if self.terminated {
+            return;
+        }
+        if !self.seen.contains(&other) {
+            self.seen.push(other);
+        }
+        if self.first_window.len() < b {
+            self.first_window.push(other);
+            return;
+        }
+        self.current_window.push(other);
+        if self.current_window.len() == b {
+            if self.current_window == self.first_window {
+                self.terminated = true;
+            } else {
+                self.current_window.clear();
+            }
+        }
+    }
+}
+
+/// The simple UID counting protocol of Theorem 2, with window length `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimpleUidCounting {
+    window: usize,
+}
+
+impl SimpleUidCounting {
+    /// Creates the protocol with window length `b ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn new(b: usize) -> SimpleUidCounting {
+        assert!(b >= 1, "the window length must be at least 1");
+        SimpleUidCounting { window: b }
+    }
+
+    /// The window length `b`.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl PopulationProtocol for SimpleUidCounting {
+    type State = SimpleUidState;
+
+    fn initial_state(&self, node: usize, _n: usize) -> SimpleUidState {
+        // Identifiers are an arbitrary injective function of the node index; using a
+        // multiplicative hash makes it obvious that nothing depends on their order being
+        // the node order.
+        SimpleUidState::new((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn interact(&self, a: &SimpleUidState, b: &SimpleUidState) -> Option<(SimpleUidState, SimpleUidState)> {
+        if a.terminated && b.terminated {
+            return None;
+        }
+        let mut new_a = a.clone();
+        let mut new_b = b.clone();
+        new_a.observe(b.id, self.window);
+        new_b.observe(a.id, self.window);
+        Some((new_a, new_b))
+    }
+
+    // `is_halted` deliberately keeps its default (`false`): a terminated agent's state
+    // never changes again, but its partners may still observe its identifier, so the
+    // engine must not freeze interactions involving it.
+
+    fn name(&self) -> &str {
+        "simple-uid-counting"
+    }
+}
+
+/// Outcome of a simple-UID-counting run: the first agent to terminate and its count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimpleUidOutcome {
+    /// Population size.
+    pub n: usize,
+    /// Window length `b`.
+    pub window: usize,
+    /// Whether some agent terminated within the step budget.
+    pub terminated: bool,
+    /// The terminating agent's count (0 if none terminated).
+    pub count: usize,
+    /// Whether the count equals `n` exactly.
+    pub exact: bool,
+    /// Scheduler steps until the first termination.
+    pub steps: u64,
+}
+
+/// Runs the simple protocol until the first agent terminates (or `max_steps` runs out).
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn run_simple_uid(protocol: &SimpleUidCounting, n: usize, seed: u64, max_steps: u64) -> SimpleUidOutcome {
+    let mut sim = PopSimulation::new(*protocol, n, seed);
+    let report = sim.run_until(max_steps, |states| states.iter().any(|s| s.terminated));
+    let winner = sim.states().iter().find(|s| s.terminated);
+    SimpleUidOutcome {
+        n,
+        window: protocol.window(),
+        terminated: report.condition_met,
+        count: winner.map_or(0, SimpleUidState::output),
+        exact: winner.map_or(false, |s| s.output() == n),
+        steps: report.steps,
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Improved protocol (Protocol 3, Theorem 3)
+// ---------------------------------------------------------------------------------------
+
+/// State of an agent in Protocol 3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ImprovedUidState {
+    /// The agent's unique identifier.
+    pub id: u64,
+    /// The greatest identifier that has marked this agent (`⊥` = `None`).
+    pub belongs: Option<u64>,
+    /// How many times the owning identifier has marked this agent (0, 1 or 2).
+    pub marked: u8,
+    /// First-meeting counter of this agent's own counting process.
+    pub count1: u64,
+    /// Second-meeting counter of this agent's own counting process.
+    pub count2: u64,
+    /// Whether this agent's counting process is still active.
+    pub active: bool,
+    /// Whether this agent has halted; if so its output is `2·count1`.
+    pub halted: bool,
+}
+
+impl ImprovedUidState {
+    fn new(id: u64) -> ImprovedUidState {
+        ImprovedUidState {
+            id,
+            belongs: None,
+            marked: 0,
+            count1: 0,
+            count2: 0,
+            active: true,
+            halted: false,
+        }
+    }
+
+    /// The agent's output when halted: `2·count1`, an upper bound on `n` w.h.p.
+    #[must_use]
+    pub fn output(&self) -> u64 {
+        2 * self.count1
+    }
+}
+
+/// Protocol 3 ("Counting with UIDs") with head-start constant `b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImprovedUidCounting {
+    head_start: u64,
+}
+
+impl ImprovedUidCounting {
+    /// Creates the protocol with head start `b ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn new(b: u64) -> ImprovedUidCounting {
+        assert!(b >= 1, "the head start must be at least 1");
+        ImprovedUidCounting { head_start: b }
+    }
+
+    /// The head start `b`.
+    #[must_use]
+    pub fn head_start(&self) -> u64 {
+        self.head_start
+    }
+
+    /// One interaction of Protocol 3 for the ordered pair `(u, v)` with `id_u > id_v`,
+    /// transcribed line by line from the paper's listing.
+    fn ordered_interact(&self, u: &ImprovedUidState, v: &ImprovedUidState) -> (ImprovedUidState, ImprovedUidState) {
+        debug_assert!(u.id > v.id);
+        let mut u = u.clone();
+        let mut v = v.clone();
+        // 1–3: the smaller identifier is deactivated.
+        if v.active {
+            v.active = false;
+        }
+        // 4–20: only an active u proceeds. The three branches are mutually exclusive per
+        // interaction (first marking, deactivation, second marking): the paper's
+        // narrative — and the proof of Theorem 3 — treats the first and second marking of
+        // an agent as distinct meetings, so the listing's conditions are evaluated
+        // against the state at the start of the interaction.
+        if u.active {
+            if v.belongs.is_none() || v.belongs.is_some_and(|owner| owner < u.id) {
+                // 5–9: first marking.
+                v.belongs = Some(u.id);
+                v.marked = 1;
+                u.count1 += 1;
+            } else if v.belongs.is_some_and(|owner| owner > u.id) {
+                // 10–12: u meets an agent already owned by a greater identifier.
+                u.active = false;
+            } else if v.belongs == Some(u.id) && v.marked == 1 && u.count1 >= self.head_start {
+                // 13–19: second marking and the halting test.
+                v.marked = 2;
+                u.count2 += 1;
+                if u.count1 == u.count2 {
+                    u.halted = true;
+                }
+            }
+        }
+        (u, v)
+    }
+}
+
+impl PopulationProtocol for ImprovedUidCounting {
+    type State = ImprovedUidState;
+
+    fn initial_state(&self, node: usize, _n: usize) -> ImprovedUidState {
+        ImprovedUidState::new((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn interact(&self, a: &ImprovedUidState, b: &ImprovedUidState) -> Option<(ImprovedUidState, ImprovedUidState)> {
+        if a.halted || b.halted {
+            return None;
+        }
+        if a.id > b.id {
+            Some(self.ordered_interact(a, b))
+        } else {
+            let (new_b, new_a) = self.ordered_interact(b, a);
+            Some((new_a, new_b))
+        }
+    }
+
+    fn is_halted(&self, state: &ImprovedUidState) -> bool {
+        state.halted
+    }
+
+    fn name(&self) -> &str {
+        "improved-uid-counting"
+    }
+}
+
+/// Outcome of a Protocol 3 run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImprovedUidOutcome {
+    /// Population size.
+    pub n: usize,
+    /// Head start `b`.
+    pub head_start: u64,
+    /// Whether some agent halted within the step budget.
+    pub halted: bool,
+    /// Whether the halted agent carries the maximum identifier (Theorem 3 says this holds
+    /// w.h.p.).
+    pub halter_is_max: bool,
+    /// The halted agent's output `2·count1` (0 if none halted).
+    pub output: u64,
+    /// Whether the output is an upper bound on `n` (`2·count1 ≥ n`).
+    pub success: bool,
+    /// Scheduler steps until the first halt.
+    pub steps: u64,
+}
+
+/// Runs Protocol 3 until the first agent halts (or `max_steps` runs out).
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn run_improved_uid(
+    protocol: &ImprovedUidCounting,
+    n: usize,
+    seed: u64,
+    max_steps: u64,
+) -> ImprovedUidOutcome {
+    let mut sim = PopSimulation::new(*protocol, n, seed);
+    let report = sim.run_until_any_halted(max_steps);
+    let max_id = sim.states().iter().map(|s| s.id).max().unwrap_or(0);
+    let halter = sim.states().iter().find(|s| s.halted);
+    ImprovedUidOutcome {
+        n,
+        head_start: protocol.head_start(),
+        halted: report.condition_met,
+        halter_is_max: halter.is_some_and(|s| s.id == max_id),
+        output: halter.map_or(0, ImprovedUidState::output),
+        success: halter.is_some_and(|s| s.output() >= n as u64),
+        steps: report.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_uid_ids_are_distinct() {
+        let p = SimpleUidCounting::new(2);
+        let ids: Vec<u64> = (0..64).map(|i| p.initial_state(i, 64).id).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in ids.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_uid_terminates_and_reports_a_plausible_count() {
+        // With n = 3 and b = 2 the expected termination time Θ(n^b) is tiny. The count is
+        // only correct w.h.p. (Theorem 2), which at n = 3 leaves a real chance of an
+        // undercount, so we only assert the structural guarantees here; experiment E4
+        // measures exactness rates at larger n.
+        let p = SimpleUidCounting::new(2);
+        let outcome = run_simple_uid(&p, 3, 11, 10_000_000);
+        assert!(outcome.terminated);
+        assert!(outcome.count >= 2 && outcome.count <= 3);
+        assert_eq!(outcome.exact, outcome.count == 3);
+    }
+
+    #[test]
+    fn simple_uid_observation_window_logic() {
+        let mut s = SimpleUidState::new(1);
+        // First window fills with [2, 3].
+        s.observe(2, 2);
+        s.observe(3, 2);
+        assert_eq!(s.first_window, vec![2, 3]);
+        assert!(!s.terminated);
+        // A non-matching window clears and retries.
+        s.observe(3, 2);
+        s.observe(2, 2);
+        assert!(!s.terminated);
+        assert!(s.current_window.is_empty());
+        // A matching window terminates.
+        s.observe(2, 2);
+        s.observe(3, 2);
+        assert!(s.terminated);
+        assert_eq!(s.output(), 3); // saw 1 (itself), 2 and 3
+        // Further observations are ignored.
+        s.observe(9, 2);
+        assert_eq!(s.output(), 3);
+    }
+
+    #[test]
+    fn improved_uid_halter_is_max_and_bounds_n() {
+        let p = ImprovedUidCounting::new(4);
+        for (seed, n) in [(1u64, 30usize), (2, 50), (3, 80)] {
+            let outcome = run_improved_uid(&p, n, seed, 200_000_000);
+            assert!(outcome.halted, "n = {n} did not halt");
+            assert!(outcome.halter_is_max, "n = {n}: a non-maximum agent halted");
+            assert!(outcome.success, "n = {n}: output {} < n", outcome.output);
+        }
+    }
+
+    #[test]
+    fn improved_uid_deactivation_is_permanent() {
+        let p = ImprovedUidCounting::new(2);
+        let hi = ImprovedUidState::new(10);
+        let lo = ImprovedUidState::new(5);
+        let (hi2, lo2) = p.interact(&hi, &lo).unwrap();
+        assert!(!lo2.active, "the smaller identifier is deactivated");
+        assert!(hi2.active);
+        assert_eq!(lo2.belongs, Some(10));
+        assert_eq!(lo2.marked, 1);
+        assert_eq!(hi2.count1, 1);
+        // The pair presented the other way round gives the same result.
+        let (lo3, hi3) = p.interact(&lo, &hi).unwrap();
+        assert_eq!(lo3, lo2);
+        assert_eq!(hi3, hi2);
+    }
+
+    #[test]
+    fn improved_uid_greater_owner_deactivates_counter() {
+        let p = ImprovedUidCounting::new(2);
+        let mut v = ImprovedUidState::new(1);
+        v.belongs = Some(100);
+        let u = ImprovedUidState::new(50);
+        let (u2, v2) = p.interact(&u, &v).unwrap();
+        assert!(!u2.active, "u met an agent owned by a greater id and must deactivate");
+        assert_eq!(v2.belongs, Some(100), "ownership by the greater id is preserved");
+        assert!(!v2.active);
+    }
+
+    #[test]
+    fn improved_uid_halting_requires_head_start() {
+        let p = ImprovedUidCounting::new(3);
+        let mut u = ImprovedUidState::new(10);
+        let v = ImprovedUidState::new(1);
+        // Mark v once.
+        let (u1, v1) = p.ordered_interact(&u, &v);
+        assert_eq!(u1.count1, 1);
+        assert_eq!(v1.marked, 1);
+        // Second meeting: count1 (=1) is still below the head start b = 3, so no second
+        // marking happens yet and the agent cannot halt spuriously.
+        let (u2, v2) = p.ordered_interact(&u1, &v1);
+        assert_eq!(u2.count2, 0);
+        assert_eq!(v2.marked, 1);
+        assert!(!u2.halted);
+        // Give u enough first meetings, then the second marking proceeds.
+        u = u2;
+        u.count1 = 3;
+        let (u3, v3) = p.ordered_interact(&u, &v2);
+        assert_eq!(u3.count2, 1);
+        assert_eq!(v3.marked, 2);
+        assert!(!u3.halted, "count1 (3) ≠ count2 (1)");
+    }
+}

@@ -1,0 +1,205 @@
+//! The spanning-line protocols of Section 4.1.
+//!
+//! A unique leader starts in state `L_r` and repeatedly absorbs free `q0` nodes:
+//! `(L_i, i), (q0, j), 0 → (q1, L_j̄, 1)` — the leader bonds its waiting port `i` to port
+//! `j` of the free node, the old leader becomes a line node `q1`, and the grabbed node
+//! becomes the new leader, waiting on the port *opposite* to `j` so that the line stays
+//! straight. The simplified variant uses only `(L, r), (q0, l), 0 → (q1, L, 1)`, which is
+//! slower (only one port pair is productive) but has just three states.
+//!
+//! Both protocols are *stabilizing*: the line stops growing when no free node remains,
+//! but the nodes cannot detect that moment (Section 5/6 add termination).
+
+use nc_core::{NodeId, Protocol, Transition};
+use nc_geometry::Dir;
+
+/// States of [`GlobalLine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineState {
+    /// The leader, waiting to expand through the recorded port.
+    Leader(Dir),
+    /// A settled line node.
+    Q1,
+    /// A free node not yet absorbed.
+    Q0,
+}
+
+/// The spanning-line constructor with a pre-elected unique leader (node 0).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlobalLine;
+
+impl GlobalLine {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> GlobalLine {
+        GlobalLine
+    }
+}
+
+impl Protocol for GlobalLine {
+    type State = LineState;
+
+    fn initial_state(&self, node: NodeId, _n: usize) -> LineState {
+        if node.index() == 0 {
+            LineState::Leader(Dir::Right)
+        } else {
+            LineState::Q0
+        }
+    }
+
+    fn transition(
+        &self,
+        a: &LineState,
+        pa: Dir,
+        b: &LineState,
+        pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<LineState>> {
+        match (a, b) {
+            // (L_i, i), (q0, j), 0 → (q1, L_j̄, 1)
+            (LineState::Leader(waiting), LineState::Q0) if !bonded && pa == *waiting => {
+                Some(Transition {
+                    a: LineState::Q1,
+                    b: LineState::Leader(pb.opposite()),
+                    bond: true,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "global-line"
+    }
+}
+
+/// The simplified three-state spanning-line constructor:
+/// `(L, r), (q0, l), 0 → (q1, L, 1)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimpleGlobalLine;
+
+impl SimpleGlobalLine {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> SimpleGlobalLine {
+        SimpleGlobalLine
+    }
+}
+
+/// States of [`SimpleGlobalLine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimpleLineState {
+    /// The leader.
+    Leader,
+    /// A settled line node.
+    Q1,
+    /// A free node.
+    Q0,
+}
+
+impl Protocol for SimpleGlobalLine {
+    type State = SimpleLineState;
+
+    fn initial_state(&self, node: NodeId, _n: usize) -> SimpleLineState {
+        if node.index() == 0 {
+            SimpleLineState::Leader
+        } else {
+            SimpleLineState::Q0
+        }
+    }
+
+    fn transition(
+        &self,
+        a: &SimpleLineState,
+        pa: Dir,
+        b: &SimpleLineState,
+        pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<SimpleLineState>> {
+        if !bonded
+            && *a == SimpleLineState::Leader
+            && *b == SimpleLineState::Q0
+            && pa == Dir::Right
+            && pb == Dir::Left
+        {
+            Some(Transition {
+                a: SimpleLineState::Q1,
+                b: SimpleLineState::Leader,
+                bond: true,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &str {
+        "simple-global-line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::{Simulation, SimulationConfig};
+
+    #[test]
+    fn global_line_spans_the_population() {
+        for n in [2usize, 5, 9, 16] {
+            let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(n as u64));
+            let report = sim.run_until_stable();
+            assert!(report.stabilized, "n = {n}");
+            let shape = sim.output_shape();
+            assert!(shape.is_line(n), "n = {n}: {shape:?}");
+            // Exactly one leader remains, at one end of the line.
+            let leaders = sim
+                .world()
+                .states()
+                .filter(|s| matches!(s, LineState::Leader(_)))
+                .count();
+            assert_eq!(leaders, 1);
+        }
+    }
+
+    #[test]
+    fn simple_global_line_also_spans_but_is_slower() {
+        let n = 10;
+        let mut fast = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(5));
+        let mut slow = Simulation::new(SimpleGlobalLine::new(), SimulationConfig::new(n).with_seed(5));
+        let fast_report = fast.run_until_stable();
+        let slow_report = slow.run_until_stable();
+        assert!(fast_report.stabilized && slow_report.stabilized);
+        assert!(fast.output_shape().is_line(n));
+        assert!(slow.output_shape().is_line(n));
+        // The simplified protocol needs the same number of *effective* interactions but
+        // the scheduler needs more attempts to hit the unique productive port pair; with
+        // matching seeds this shows up as at least as many total steps.
+        assert_eq!(fast_report.effective_steps, (n - 1) as u64);
+        assert_eq!(slow_report.effective_steps, (n - 1) as u64);
+    }
+
+    #[test]
+    fn leader_rule_requires_the_waiting_port() {
+        let p = GlobalLine::new();
+        let leader = LineState::Leader(Dir::Up);
+        // Interaction through the wrong leader port is ineffective.
+        assert!(p
+            .transition(&leader, Dir::Right, &LineState::Q0, Dir::Left, false)
+            .is_none());
+        // Through the waiting port it succeeds, and the new leader waits on the opposite
+        // port of the one the free node used.
+        let t = p
+            .transition(&leader, Dir::Up, &LineState::Q0, Dir::Down, false)
+            .unwrap();
+        assert_eq!(t.a, LineState::Q1);
+        assert_eq!(t.b, LineState::Leader(Dir::Up));
+        assert!(t.bond);
+        // Already-bonded pairs are ineffective.
+        assert!(p
+            .transition(&leader, Dir::Up, &LineState::Q0, Dir::Down, true)
+            .is_none());
+        // Two q0s never interact effectively.
+        assert!(p
+            .transition(&LineState::Q0, Dir::Up, &LineState::Q0, Dir::Down, false)
+            .is_none());
+    }
+}

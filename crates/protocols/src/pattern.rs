@@ -1,0 +1,467 @@
+//! Pattern construction (Remark 4): painting the `d × d` square with colors.
+//!
+//! Remark 4 of the paper observes that the universal constructor of Theorem 4 immediately
+//! yields *patterns* instead of shapes: keep the same square constructor, but have the
+//! simulated machine output a **color** from a finite palette `C` for every pixel instead
+//! of an on/off decision, and skip the release phase — the labeled square itself is the
+//! output.
+//!
+//! [`PatternConstructor`] implements this: the unique leader grows the `d × d` square
+//! along the zig-zag order (exactly as the universal constructor does), then walks the
+//! tape backwards painting every cell with the color assigned by a [`PatternComputer`].
+//! The run helper [`paint`] returns the painted square as a color grid so that tests and
+//! experiments can compare it pixel by pixel with the computer's intent.
+
+use nc_core::{NodeId, Protocol, Simulation, SimulationConfig, Transition};
+use nc_geometry::{zigzag_coord, zigzag_index, Coord, Dir};
+use nc_tm::arith::integer_sqrt;
+use std::sync::Arc;
+
+/// A finite-palette pattern: a total function from pixel indices of the `d × d` square to
+/// colors `0 .. palette_size`.
+///
+/// This is the pattern analogue of the paper's shape-computing TM (Definition 3): the
+/// machine is fed `(i, d)` and outputs a color instead of an accept/reject bit.
+pub trait PatternComputer: Send + Sync {
+    /// The color of pixel `i` of the `d × d` square, in `0 .. self.palette_size()`.
+    fn color(&self, i: u64, d: u64) -> u8;
+
+    /// The number of colors the pattern uses.
+    fn palette_size(&self) -> u8;
+
+    /// A short human-readable name.
+    fn name(&self) -> &str {
+        "pattern"
+    }
+}
+
+/// A pattern defined directly by a Rust closure over `(pixel, d)`.
+pub struct FnPattern<F> {
+    name: String,
+    palette: u8,
+    f: F,
+}
+
+impl<F: Fn(u64, u64) -> u8 + Send + Sync> FnPattern<F> {
+    /// Creates a pattern from a closure; colors returned by the closure must be smaller
+    /// than `palette`.
+    pub fn new(name: impl Into<String>, palette: u8, f: F) -> FnPattern<F> {
+        FnPattern {
+            name: name.into(),
+            palette,
+            f,
+        }
+    }
+}
+
+impl<F: Fn(u64, u64) -> u8 + Send + Sync> PatternComputer for FnPattern<F> {
+    fn color(&self, i: u64, d: u64) -> u8 {
+        let c = (self.f)(i, d);
+        debug_assert!(c < self.palette);
+        c
+    }
+
+    fn palette_size(&self) -> u8 {
+        self.palette
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A two-color checkerboard.
+#[must_use]
+pub fn checkerboard_pattern() -> Arc<dyn PatternComputer> {
+    Arc::new(FnPattern::new("checkerboard", 2, |i, d| {
+        let (x, y) = zigzag_coord(i, d as u32);
+        ((x + y) % 2) as u8
+    }))
+}
+
+/// Horizontal stripes of the given period (one color per row modulo `colors`).
+#[must_use]
+pub fn stripes_pattern(colors: u8) -> Arc<dyn PatternComputer> {
+    assert!(colors >= 1);
+    Arc::new(FnPattern::new("stripes", colors, move |i, d| {
+        let (_, y) = zigzag_coord(i, d as u32);
+        (y % u32::from(colors)) as u8
+    }))
+}
+
+/// Concentric rings around the centre of the square (color = ring index modulo `colors`).
+#[must_use]
+pub fn rings_pattern(colors: u8) -> Arc<dyn PatternComputer> {
+    assert!(colors >= 1);
+    Arc::new(FnPattern::new("rings", colors, move |i, d| {
+        let (x, y) = zigzag_coord(i, d as u32);
+        let ring = (x.min(d as u32 - 1 - x)).min(y.min(d as u32 - 1 - y));
+        (ring % u32::from(colors)) as u8
+    }))
+}
+
+/// Four quadrants, one color each.
+#[must_use]
+pub fn quadrants_pattern() -> Arc<dyn PatternComputer> {
+    Arc::new(FnPattern::new("quadrants", 4, |i, d| {
+        let (x, y) = zigzag_coord(i, d as u32);
+        let half = (d as u32).div_ceil(2);
+        match (x < half, y < half) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => 3,
+        }
+    }))
+}
+
+/// States of [`PatternConstructor`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum PatternState {
+    /// The leader growing the square (carrying the index of the pixel it occupies).
+    Builder {
+        /// Pixel index of the leader's current cell.
+        pixel: u64,
+    },
+    /// The leader walking backwards and painting.
+    Painter {
+        /// Pixel index of the leader's current cell.
+        pixel: u64,
+    },
+    /// A settled, not yet painted cell.
+    Cell {
+        /// The cell's pixel index.
+        pixel: u64,
+    },
+    /// A painted cell.
+    Painted {
+        /// The cell's pixel index.
+        pixel: u64,
+        /// The cell's color.
+        color: u8,
+    },
+    /// The leader once its own (first) pixel is painted: the protocol has terminated.
+    Halted {
+        /// The color of pixel 0.
+        color: u8,
+    },
+    /// A free node.
+    Q0,
+}
+
+/// The terminating pattern constructor of Remark 4.
+pub struct PatternConstructor {
+    n_believed: u64,
+    d: u64,
+    computer: Arc<dyn PatternComputer>,
+}
+
+impl PatternConstructor {
+    /// Creates a constructor that paints the pattern of `computer` on the
+    /// `⌊√n_believed⌋ × ⌊√n_believed⌋` square.
+    ///
+    /// # Panics
+    /// Panics if `n_believed == 0`.
+    #[must_use]
+    pub fn new(n_believed: u64, computer: Arc<dyn PatternComputer>) -> PatternConstructor {
+        assert!(n_believed >= 1, "the believed population size must be positive");
+        PatternConstructor {
+            n_believed,
+            d: integer_sqrt(n_believed).max(1),
+            computer,
+        }
+    }
+
+    /// The square dimension `d = ⌊√n_believed⌋`.
+    #[must_use]
+    pub fn dimension(&self) -> u64 {
+        self.d
+    }
+
+    /// The believed population size.
+    #[must_use]
+    pub fn believed_n(&self) -> u64 {
+        self.n_believed
+    }
+
+    fn last_pixel(&self) -> u64 {
+        self.d * self.d - 1
+    }
+
+    fn coords(&self, pixel: u64) -> Coord {
+        let (x, y) = zigzag_coord(pixel, self.d as u32);
+        Coord::new2(x as i32, y as i32)
+    }
+
+    fn dir_to_next(&self, i: u64) -> Dir {
+        let here = self.coords(i);
+        let next = self.coords(i + 1);
+        nc_geometry::direction_between(here, next).expect("consecutive pixels are adjacent")
+    }
+
+    fn color(&self, pixel: u64) -> u8 {
+        self.computer.color(pixel, self.d)
+    }
+}
+
+impl Protocol for PatternConstructor {
+    type State = PatternState;
+
+    fn initial_state(&self, node: NodeId, _n: usize) -> PatternState {
+        if node.index() == 0 {
+            PatternState::Builder { pixel: 0 }
+        } else {
+            PatternState::Q0
+        }
+    }
+
+    fn transition(
+        &self,
+        a: &PatternState,
+        pa: Dir,
+        b: &PatternState,
+        pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<PatternState>> {
+        use PatternState::{Builder, Cell, Halted, Painted, Painter, Q0};
+        let t = |a, b, bond| Some(Transition { a, b, bond });
+        match a {
+            Builder { pixel } => {
+                if *pixel == self.last_pixel() {
+                    // Square complete (or d = 1): start painting backwards.
+                    return t(Painter { pixel: *pixel }, b.clone(), bonded);
+                }
+                if !bonded && *b == Q0 {
+                    let dir = self.dir_to_next(*pixel);
+                    if pa == dir && pb == dir.opposite() {
+                        return t(
+                            Cell { pixel: *pixel },
+                            Builder { pixel: pixel + 1 },
+                            true,
+                        );
+                    }
+                }
+                None
+            }
+            Painter { pixel } => {
+                if *pixel == 0 {
+                    return t(Halted { color: self.color(0) }, b.clone(), bonded);
+                }
+                if bonded {
+                    if let Cell { pixel: prev } = b {
+                        if *prev + 1 == *pixel {
+                            return t(
+                                Painted {
+                                    pixel: *pixel,
+                                    color: self.color(*pixel),
+                                },
+                                Painter { pixel: *prev },
+                                true,
+                            );
+                        }
+                    }
+                }
+                None
+            }
+            // Rigidity: settled cells (painted or not) bond to their grid neighbours so
+            // the finished pattern is a fully bonded square.
+            Cell { pixel: pa_pixel } | Painted { pixel: pa_pixel, .. } => {
+                let pb_pixel = match b {
+                    Cell { pixel } | Painted { pixel, .. } => Some(*pixel),
+                    Halted { .. } => Some(0),
+                    _ => None,
+                }?;
+                if bonded {
+                    return None;
+                }
+                let pos_a = self.coords(*pa_pixel);
+                let pos_b = self.coords(pb_pixel);
+                if pos_b == pos_a + pa.unit() && pb == pa.opposite() {
+                    return t(a.clone(), b.clone(), true);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn is_output(&self, state: &PatternState) -> bool {
+        !matches!(state, PatternState::Q0)
+    }
+
+    fn is_halted(&self, state: &PatternState) -> bool {
+        matches!(state, PatternState::Halted { .. })
+    }
+
+    fn name(&self) -> &str {
+        "pattern-constructor"
+    }
+}
+
+/// The painted square produced by a finished [`PatternConstructor`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaintedSquare {
+    d: u64,
+    colors: Vec<Option<u8>>,
+}
+
+impl PaintedSquare {
+    /// The square's side length.
+    #[must_use]
+    pub fn side(&self) -> u64 {
+        self.d
+    }
+
+    /// The color painted on pixel `i`, or `None` if the run did not paint it.
+    #[must_use]
+    pub fn color_of_pixel(&self, i: u64) -> Option<u8> {
+        self.colors.get(i as usize).copied().flatten()
+    }
+
+    /// The color painted at `(x, y)`, or `None` if the run did not paint it.
+    #[must_use]
+    pub fn color_at(&self, x: u32, y: u32) -> Option<u8> {
+        self.color_of_pixel(zigzag_index(x, y, self.d as u32))
+    }
+
+    /// How many pixels have been painted.
+    #[must_use]
+    pub fn painted_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every pixel of the square has been painted.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.painted_count() == (self.d * self.d) as usize
+    }
+}
+
+/// Summary of a pattern-construction run (experiment E13).
+#[derive(Clone, Debug)]
+pub struct PatternReport {
+    /// Population size.
+    pub n: usize,
+    /// Square dimension `d`.
+    pub d: u64,
+    /// Whether the leader terminated.
+    pub terminated: bool,
+    /// The painted square.
+    pub painted: PaintedSquare,
+    /// Pixels whose painted color differs from the computer's intent.
+    pub mismatches: usize,
+    /// Scheduler steps taken.
+    pub steps: u64,
+}
+
+/// Runs the pattern constructor to termination and reads back the painted square.
+#[must_use]
+pub fn paint(computer: Arc<dyn PatternComputer>, n_believed: u64, n: usize, seed: u64) -> PatternReport {
+    let protocol = PatternConstructor::new(n_believed, computer.clone());
+    let d = protocol.dimension();
+    let mut sim = Simulation::new(protocol, SimulationConfig::new(n).with_seed(seed));
+    let first = sim.run_until_any_halted();
+    let second = sim.run_until_stable();
+    let mut colors = vec![None; (d * d) as usize];
+    for node in sim.world().nodes() {
+        match sim.world().state(node) {
+            PatternState::Painted { pixel, color } => colors[*pixel as usize] = Some(*color),
+            PatternState::Halted { color } => colors[0] = Some(*color),
+            _ => {}
+        }
+    }
+    let painted = PaintedSquare { d, colors };
+    let mismatches = (0..d * d)
+        .filter(|&i| painted.color_of_pixel(i) != Some(computer.color(i, d)))
+        .count();
+    PatternReport {
+        n,
+        d,
+        terminated: sim.world().halted_nodes().len() == 1,
+        painted,
+        mismatches,
+        steps: first.steps + second.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_patterns_respect_their_palettes() {
+        for (pattern, d) in [
+            (checkerboard_pattern(), 5u64),
+            (stripes_pattern(3), 6),
+            (rings_pattern(4), 7),
+            (quadrants_pattern(), 4),
+        ] {
+            for i in 0..d * d {
+                assert!(
+                    pattern.color(i, d) < pattern.palette_size(),
+                    "{}: color out of palette at pixel {i}",
+                    pattern.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn painting_terminates_and_matches_the_computer() {
+        for (pattern, seed) in [
+            (checkerboard_pattern(), 31u64),
+            (stripes_pattern(3), 32),
+            (quadrants_pattern(), 33),
+        ] {
+            let name = pattern.name().to_string();
+            let report = paint(pattern, 16, 16, seed);
+            assert!(report.terminated, "{name}: leader did not terminate");
+            assert!(report.painted.is_complete(), "{name}: unpainted pixels remain");
+            assert_eq!(report.mismatches, 0, "{name}: painted colors differ from the intent");
+        }
+    }
+
+    #[test]
+    fn painted_square_exposes_colors_by_coordinate() {
+        let report = paint(checkerboard_pattern(), 9, 9, 5);
+        assert!(report.terminated);
+        assert_eq!(report.painted.side(), 3);
+        assert_eq!(report.painted.color_at(0, 0), Some(0));
+        assert_eq!(report.painted.color_at(1, 0), Some(1));
+        assert_eq!(report.painted.color_at(1, 1), Some(0));
+    }
+
+    #[test]
+    fn underestimated_count_paints_a_smaller_square() {
+        // n_believed = 10 → d = 3: only a 3×3 pattern is painted even though 16 nodes exist.
+        let report = paint(rings_pattern(2), 10, 16, 8);
+        assert!(report.terminated);
+        assert_eq!(report.d, 3);
+        assert!(report.painted.is_complete());
+        assert_eq!(report.mismatches, 0);
+    }
+
+    #[test]
+    fn single_node_population_is_a_one_pixel_pattern() {
+        let report = paint(checkerboard_pattern(), 1, 1, 1);
+        assert_eq!(report.d, 1);
+        // A single node cannot interact, so the leader never executes its halting rule;
+        // the painted square stays empty but the run is trivially stable.
+        assert_eq!(report.painted.painted_count(), 0);
+    }
+
+    #[test]
+    fn rigidity_rule_only_bonds_true_grid_neighbours() {
+        let p = PatternConstructor::new(16, checkerboard_pattern());
+        let c0 = PatternState::Cell { pixel: 0 };
+        let c1 = PatternState::Cell { pixel: 1 };
+        let c9 = PatternState::Cell { pixel: 9 };
+        // Pixels 0 and 1 are horizontal neighbours.
+        let t = p.transition(&c0, Dir::Right, &c1, Dir::Left, false).unwrap();
+        assert!(t.bond);
+        // Pixels 0 and 9 are not adjacent; no bond whatever the ports claim.
+        assert!(p.transition(&c0, Dir::Right, &c9, Dir::Left, false).is_none());
+        // Already bonded neighbours are left alone.
+        assert!(p.transition(&c0, Dir::Right, &c1, Dir::Left, true).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Sequential composition of terminating phases (the modularity argument of Section 5).
+//!
+//! The paper's central methodological point is that *terminating* (rather than merely
+//! stabilizing) subroutines can be composed **sequentially**: first the counting phase of
+//! Section 5 runs and terminates with an estimate that is w.h.p. at least `n/2`, then the
+//! construction phase of Section 6 runs parameterized by that estimate, and so on. This
+//! module provides the composition helpers used by the examples and by the experiment
+//! harness: they run the counting phase, hand its output to a constructor, and report the
+//! per-phase costs so the sequential structure stays visible.
+
+use crate::pattern::{paint, PatternComputer, PatternReport};
+use crate::universal::{construct, ConstructionReport, UniversalConstructor};
+use nc_popproto::counting::{run_counting, CountingOutcome, CountingUpperBound};
+use nc_tm::ShapeComputer;
+use std::sync::Arc;
+
+/// The outcome of a two-phase run: terminating counting followed by a terminating
+/// construction parameterized by the count.
+#[derive(Clone, Debug)]
+pub struct ComposedConstruction {
+    /// Phase 1: the counting outcome (Theorem 1).
+    pub counting: CountingOutcome,
+    /// Phase 2: the construction outcome (Lemma 2 / Theorem 4).
+    pub construction: ConstructionReport,
+}
+
+impl ComposedConstruction {
+    /// Total scheduler steps across both phases.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.counting.steps + self.construction.steps
+    }
+
+    /// Whether both phases finished (the counting leader halted and the construction
+    /// leader completed its program).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.counting.halted && self.construction.finished
+    }
+}
+
+/// Runs Counting-Upper-Bound with head start `b`, then builds the
+/// `⌊√r0⌋ × ⌊√r0⌋` square with the terminating Square-Knowing-n constructor.
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn counted_square(n: usize, b: u64, seed: u64) -> ComposedConstruction {
+    let counting = run_counting(&CountingUpperBound::new(b), n, seed);
+    let believed = counting.r0.max(1);
+    let construction = construct(UniversalConstructor::square_only(believed), n, seed.wrapping_add(1));
+    ComposedConstruction { counting, construction }
+}
+
+/// Runs Counting-Upper-Bound, then constructs the shape computed by `computer` on the
+/// `⌊√r0⌋ × ⌊√r0⌋` square and releases the off pixels (Theorem 4).
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn counted_shape(
+    computer: Arc<dyn ShapeComputer>,
+    n: usize,
+    b: u64,
+    seed: u64,
+) -> ComposedConstruction {
+    let counting = run_counting(&CountingUpperBound::new(b), n, seed);
+    let believed = counting.r0.max(1);
+    let construction = construct(
+        UniversalConstructor::shape(believed, computer),
+        n,
+        seed.wrapping_add(1),
+    );
+    ComposedConstruction { counting, construction }
+}
+
+/// The outcome of a counting phase followed by a pattern-painting phase (Remark 4).
+#[derive(Clone, Debug)]
+pub struct ComposedPattern {
+    /// Phase 1: the counting outcome.
+    pub counting: CountingOutcome,
+    /// Phase 2: the painting outcome.
+    pub pattern: PatternReport,
+}
+
+/// Runs Counting-Upper-Bound, then paints the pattern computed by `computer` on the
+/// `⌊√r0⌋ × ⌊√r0⌋` square.
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn counted_pattern(
+    computer: Arc<dyn PatternComputer>,
+    n: usize,
+    b: u64,
+    seed: u64,
+) -> ComposedPattern {
+    let counting = run_counting(&CountingUpperBound::new(b), n, seed);
+    let believed = counting.r0.max(1);
+    let pattern = paint(computer, believed, n, seed.wrapping_add(1));
+    ComposedPattern { counting, pattern }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::checkerboard_pattern;
+    use nc_tm::library;
+
+    #[test]
+    fn counted_square_builds_a_square_of_the_estimated_size() {
+        let composed = counted_square(36, 4, 41);
+        assert!(composed.finished());
+        // Theorem 1: the estimate is between n/2 and n, so the square side is between
+        // ⌊√(n/2)⌋ and ⌊√n⌋.
+        let d = composed.construction.d;
+        assert!((4..=6).contains(&d), "unexpected square side {d}");
+        assert!(composed.construction.shape.is_full_square(d as u32));
+        assert!(composed.total_steps() > composed.counting.steps);
+    }
+
+    #[test]
+    fn counted_shape_constructs_the_target_language_member() {
+        let composed = counted_shape(Arc::from(library::cross_computer()), 30, 4, 17);
+        assert!(composed.finished());
+        let d = composed.construction.d;
+        let expected = library::cross_computer().labeled_square(d as u32).shape();
+        assert!(composed.construction.shape.congruent(&expected));
+    }
+
+    #[test]
+    fn counted_pattern_paints_completely() {
+        let composed = counted_pattern(checkerboard_pattern(), 25, 4, 19);
+        assert!(composed.counting.halted);
+        assert!(composed.pattern.terminated);
+        assert!(composed.pattern.painted.is_complete());
+        assert_eq!(composed.pattern.mismatches, 0);
+    }
+
+    #[test]
+    fn estimate_is_propagated_not_the_true_size() {
+        // The construction phase must work from the estimate, never from the true n.
+        let composed = counted_square(40, 4, 23);
+        assert_eq!(composed.construction.n_believed, composed.counting.r0);
+        assert!(composed.construction.n_believed <= 40);
+    }
+}

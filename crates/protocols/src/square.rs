@@ -1,0 +1,181 @@
+//! The spanning-square protocol (Section 4.2, Protocol 1 "Square").
+//!
+//! A unique leader starts in state `L_u`; the other nodes are free `q0`s. The leader grows
+//! the square perimetrically and clockwise: through rules 1–4 it attaches a free node on
+//! its waiting side and hands the leadership to it (rotating the waiting side
+//! `u → r → d → l → u`), and through rules 5–8, when the cell on its waiting side is
+//! already occupied by a settled `q1`, it bonds to it and turns instead. On a population
+//! whose size is a perfect square `k²` the stable output is the fully bonded `k × k`
+//! square; for other sizes the outermost shell remains partial (the protocol is
+//! stabilizing, not terminating — termination is added in Section 6).
+
+use nc_core::{NodeId, Protocol, Transition};
+use nc_geometry::Dir;
+
+/// States of [`Square`] (Protocol 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SquareState {
+    /// The leader, waiting to grow through the recorded side.
+    Leader(Dir),
+    /// A settled square node.
+    Q1,
+    /// A free node.
+    Q0,
+}
+
+/// Protocol 1: the perimetric spanning-square constructor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Square;
+
+impl Square {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Square {
+        Square
+    }
+
+    /// The clockwise successor of a side used by rules 1–4: after attaching through `u`
+    /// the new leader waits on `r`, then `d`, then `l`, then `u` again.
+    fn next_side(side: Dir) -> Dir {
+        side.clockwise()
+    }
+
+    /// The side the leader turns to in rules 5–8 when its waiting side is blocked by a
+    /// settled node: `u → l → d → r → u` (counter-clockwise).
+    fn turn_side(side: Dir) -> Dir {
+        side.counter_clockwise()
+    }
+}
+
+impl Protocol for Square {
+    type State = SquareState;
+
+    fn initial_state(&self, node: NodeId, _n: usize) -> SquareState {
+        if node.index() == 0 {
+            SquareState::Leader(Dir::Up)
+        } else {
+            SquareState::Q0
+        }
+    }
+
+    fn transition(
+        &self,
+        a: &SquareState,
+        pa: Dir,
+        b: &SquareState,
+        pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<SquareState>> {
+        if bonded {
+            return None;
+        }
+        match (a, b) {
+            // Rules 1–4: (L_i, i), (q0, ī), 0 → (q1, L_{next(i)}, 1).
+            (SquareState::Leader(side), SquareState::Q0)
+                if pa == *side && pb == side.opposite() =>
+            {
+                Some(Transition {
+                    a: SquareState::Q1,
+                    b: SquareState::Leader(Square::next_side(*side)),
+                    bond: true,
+                })
+            }
+            // Rules 5–8: (L_i, i), (q1, ī), 0 → (L_{turn(i)}, q1, 1).
+            (SquareState::Leader(side), SquareState::Q1)
+                if pa == *side && pb == side.opposite() =>
+            {
+                Some(Transition {
+                    a: SquareState::Leader(Square::turn_side(*side)),
+                    b: SquareState::Q1,
+                    bond: true,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "square"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::{Simulation, SimulationConfig};
+    use nc_geometry::Shape;
+
+    #[test]
+    fn rule_table_matches_the_paper() {
+        let p = Square::new();
+        // (Lu, u), (q0, d), 0 → (q1, Lr, 1)
+        let t = p
+            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q0, Dir::Down, false)
+            .unwrap();
+        assert_eq!(t.a, SquareState::Q1);
+        assert_eq!(t.b, SquareState::Leader(Dir::Right));
+        assert!(t.bond);
+        // (Lr, r), (q0, l), 0 → (q1, Ld, 1)
+        let t = p
+            .transition(&SquareState::Leader(Dir::Right), Dir::Right, &SquareState::Q0, Dir::Left, false)
+            .unwrap();
+        assert_eq!(t.b, SquareState::Leader(Dir::Down));
+        // (Ll, l), (q0, r), 0 → (q1, Lu, 1)
+        let t = p
+            .transition(&SquareState::Leader(Dir::Left), Dir::Left, &SquareState::Q0, Dir::Right, false)
+            .unwrap();
+        assert_eq!(t.b, SquareState::Leader(Dir::Up));
+        // (Lu, u), (q1, d), 0 → (Ll, q1, 1)
+        let t = p
+            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q1, Dir::Down, false)
+            .unwrap();
+        assert_eq!(t.a, SquareState::Leader(Dir::Left));
+        assert_eq!(t.b, SquareState::Q1);
+        // (Ld, d), (q1, u), 0 → (Lr, q1, 1)
+        let t = p
+            .transition(&SquareState::Leader(Dir::Down), Dir::Down, &SquareState::Q1, Dir::Up, false)
+            .unwrap();
+        assert_eq!(t.a, SquareState::Leader(Dir::Right));
+        // Wrong ports are ineffective.
+        assert!(p
+            .transition(&SquareState::Leader(Dir::Up), Dir::Right, &SquareState::Q0, Dir::Left, false)
+            .is_none());
+        // Bonded pairs are ineffective.
+        assert!(p
+            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q0, Dir::Down, true)
+            .is_none());
+    }
+
+    #[test]
+    fn perfect_square_populations_stabilize_to_full_squares() {
+        for d in [2u32, 3, 4] {
+            let n = (d * d) as usize;
+            let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(17 + u64::from(d)));
+            let report = sim.run_until_stable();
+            assert!(report.stabilized, "d = {d}");
+            let shape: Shape = sim.output_shape();
+            assert!(shape.is_full_square(d), "d = {d}: got {shape:?}");
+        }
+    }
+
+    #[test]
+    fn non_square_population_fills_a_partial_shell() {
+        // n = 12: a full 3×3 shell plus 3 extra nodes of the next shell.
+        let mut sim = Simulation::new(Square::new(), SimulationConfig::new(12).with_seed(4));
+        let report = sim.run_until_stable();
+        assert!(report.stabilized);
+        let shape = sim.output_shape();
+        assert_eq!(shape.len(), 12);
+        assert!(shape.is_connected());
+        // The 3×3 core is present: the shape's bounding box is at least 3×3 and at most 4×4.
+        assert!(shape.max_dim() >= 3 && shape.max_dim() <= 4);
+    }
+
+    #[test]
+    fn single_node_is_trivially_stable() {
+        let mut sim = Simulation::new(Square::new(), SimulationConfig::new(1));
+        let report = sim.run_until_stable();
+        assert!(report.stabilized);
+        assert_eq!(sim.output_shape().len(), 1);
+    }
+}

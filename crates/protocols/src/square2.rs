@@ -1,0 +1,274 @@
+//! The spanning-square protocol with turning marks (Section 4.2, Protocol 2 "Square2").
+//!
+//! Protocol 2 refines Protocol 1 by leaving *turning marks* near the corners of the
+//! square during each growth phase: in the next phase the leader turns only when it meets
+//! such a mark, instead of testing (and bonding to) every blocked cell as Protocol 1 does.
+//! The price is a temporarily less rigid structure — several nodes of the new perimeter
+//! stay disconnected from their inner neighbours until the `(q1, i), (q1, ī)` rigidity
+//! rules fire (the dotted edges of Figure 2).
+//!
+//! This module contains a **literal transcription** of the paper's rule table. The state
+//! names follow the paper (`L2d`, `L1u`, …, `Lend`, `q0`, `q1`); the rule-table tests
+//! check the transcription rule by rule against the listing on page 13. Because the
+//! structure is deliberately less rigid while growing, run-level tests assert the
+//! structural invariants that hold throughout (validity, connectivity of the leader
+//! component, bounded dimensions) rather than an exact stabilization shape for every `n`;
+//! the E6 experiment measures both protocols side by side.
+
+use nc_core::{NodeId, Protocol, Transition};
+use nc_geometry::Dir;
+
+/// States of [`Square2`] (Protocol 2).
+///
+/// The paper's `L_i`, `L²_i`, `L³_i`, `L⁴_i` families are spelled `L(i)`, `L2(i)`,
+/// `L3(i)`, `L4(i)`; `L¹_i` is spelled `L1(i)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Square2State {
+    /// `L_i`: the leader sweeping a side of the new perimeter in direction `i`.
+    L(Dir),
+    /// `L¹_i`: the leader of the bootstrap phase after its first attachment.
+    L1(Dir),
+    /// `L²_i`: the leader of the bootstrap phase waiting to attach through port `i`.
+    L2(Dir),
+    /// `L³_i`: the leader right after meeting the turning mark of the current side.
+    L3(Dir),
+    /// `L⁴_i`: the leader placing the new corner (and the mark for the next phase).
+    L4(Dir),
+    /// `L_end`: the leader at the end of a phase, about to start the next one.
+    Lend,
+    /// A free node.
+    Q0,
+    /// A settled square node.
+    Q1,
+}
+
+/// Protocol 2: the spanning-square constructor with turning marks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Square2;
+
+impl Square2 {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Square2 {
+        Square2
+    }
+}
+
+impl Protocol for Square2 {
+    type State = Square2State;
+
+    fn initial_state(&self, node: NodeId, _n: usize) -> Square2State {
+        if node.index() == 0 {
+            Square2State::L2(Dir::Down)
+        } else {
+            Square2State::Q0
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn transition(
+        &self,
+        a: &Square2State,
+        pa: Dir,
+        b: &Square2State,
+        pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<Square2State>> {
+        use Dir::{Down, Left, Right, Up};
+        use Square2State::{Lend, L, L1, L2, L3, L4, Q0, Q1};
+        let t = |a, b| Some(Transition { a, b, bond: true });
+        if bonded {
+            return None;
+        }
+        // Ports must be opposite for any of the listed rules to make geometric sense;
+        // the scheduler already guarantees unit distance and alignment.
+        if pb != pa.opposite() {
+            return None;
+        }
+        match (*a, pa, *b) {
+            // --- Bootstrap phase (the 2×2 core) -----------------------------------
+            // (L2d, d), (q0, u), 0 → (L1u, q1, 1)
+            (L2(Down), Down, Q0) => t(L1(Up), Q1),
+            // (L2l, l), (q0, r), 0 → (L1r, q1, 1)
+            (L2(Left), Left, Q0) => t(L1(Right), Q1),
+            // (L2u, u), (q0, d), 0 → (L1d, q1, 1)
+            (L2(Up), Up, Q0) => t(L1(Down), Q1),
+            // (L2r, r), (q0, l), 0 → (Lend, q1, 1)
+            (L2(Right), Right, Q0) => t(Lend, Q1),
+            // (L1u, u), (q0, d), 0 → (q1, L2l, 1)
+            (L1(Up), Up, Q0) => t(Q1, L2(Left)),
+            // (L1r, r), (q0, l), 0 → (q1, L2u, 1)
+            (L1(Right), Right, Q0) => t(Q1, L2(Up)),
+            // (L1d, d), (q0, u), 0 → (q1, L2r, 1)
+            (L1(Down), Down, Q0) => t(Q1, L2(Right)),
+            // (L1r, u), (q0, d), 0 → (q1, L2l, 1)
+            (L1(Right), Up, Q0) => t(Q1, L2(Left)),
+            // --- Starting a new perimetric phase ----------------------------------
+            // (Lend, d), (q0, u), 0 → (q1, Ll, 1)
+            (Lend, Down, Q0) => t(Q1, L(Left)),
+            // --- Sweeping a side (free cells) and meeting the turning mark --------
+            // (Ll, l), (q0, r), 0 → (q1, Ll, 1)
+            (L(Left), Left, Q0) => t(Q1, L(Left)),
+            // (Ll, l), (q1, r), 0 → (q1, L3l, 1)
+            (L(Left), Left, Q1) => t(Q1, L3(Left)),
+            // (Lu, u), (q0, d), 0 → (q1, Lu, 1)
+            (L(Up), Up, Q0) => t(Q1, L(Up)),
+            // (Lu, u), (q1, d), 0 → (q1, L3u, 1)
+            (L(Up), Up, Q1) => t(Q1, L3(Up)),
+            // (Lr, r), (q0, l), 0 → (q1, Lr, 1)
+            (L(Right), Right, Q0) => t(Q1, L(Right)),
+            // (Lr, r), (q1, l), 0 → (q1, L3r, 1)
+            (L(Right), Right, Q1) => t(Q1, L3(Right)),
+            // (Ld, d), (q0, u), 0 → (q1, Ld, 1)
+            (L(Down), Down, Q0) => t(Q1, L(Down)),
+            // (Ld, d), (q1, u), 0 → (q1, L3d, 1)
+            (L(Down), Down, Q1) => t(Q1, L3(Down)),
+            // --- Turning: place the new corner and the next phase's mark ----------
+            // (L3l, l), (q0, r), 0 → (q1, L4d, 1)
+            (L3(Left), Left, Q0) => t(Q1, L4(Down)),
+            // (L3u, u), (q0, d), 0 → (q1, L4l, 1)
+            (L3(Up), Up, Q0) => t(Q1, L4(Left)),
+            // (L3r, r), (q0, l), 0 → (q1, L4u, 1)
+            (L3(Right), Right, Q0) => t(Q1, L4(Up)),
+            // (L3d, d), (q0, u), 0 → (q1, L4r, 1)
+            (L3(Down), Down, Q0) => t(Q1, L4(Right)),
+            // (L4d, d), (q0, u), 0 → (Lu, q1, 1)
+            (L4(Down), Down, Q0) => t(L(Up), Q1),
+            // (L4l, l), (q0, r), 0 → (Lr, q1, 1)
+            (L4(Left), Left, Q0) => t(L(Right), Q1),
+            // (L4u, u), (q0, d), 0 → (Ld, q1, 1)
+            (L4(Up), Up, Q0) => t(L(Down), Q1),
+            // (L4r, r), (q0, l), 0 → (Lend, q1, 1)
+            (L4(Right), Right, Q0) => t(Lend, Q1),
+            // --- Rigidity of the growing structure --------------------------------
+            // (q1, i), (q1, ī), 0 → (q1, q1, 1) for every port i.
+            (Q1, _, Q1) => t(Q1, Q1),
+            // (Lu, r), (q1, l), 0 → (Lu, q1, 1); (Lr, d), (q1, u); (Ld, l), (q1, r);
+            // (Ll, u), (q1, d): the sweeping leader also bonds to its inner neighbour.
+            (L(Up), Right, Q1) => t(L(Up), Q1),
+            (L(Right), Down, Q1) => t(L(Right), Q1),
+            (L(Down), Left, Q1) => t(L(Down), Q1),
+            (L(Left), Up, Q1) => t(L(Left), Q1),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "square2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::{Simulation, SimulationConfig};
+
+    #[test]
+    fn rule_table_matches_the_paper() {
+        use Dir::{Down, Left, Right, Up};
+        use Square2State::{Lend, L, L1, L2, L3, L4, Q0, Q1};
+        let p = Square2::new();
+        let step = |a, pa: Dir, b| p.transition(&a, pa, &b, pa.opposite(), false);
+        // Bootstrap phase.
+        let t = step(L2(Down), Down, Q0).unwrap();
+        assert_eq!((t.a, t.b, t.bond), (L1(Up), Q1, true));
+        let t = step(L1(Up), Up, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L2(Left)));
+        let t = step(L1(Right), Up, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L2(Left)));
+        let t = step(L2(Right), Right, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Lend, Q1));
+        // New phase start.
+        let t = step(Lend, Down, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L(Left)));
+        // Sweeping and turning marks.
+        let t = step(L(Left), Left, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L(Left)));
+        let t = step(L(Left), Left, Q1).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L3(Left)));
+        let t = step(L3(Left), Left, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Q1, L4(Down)));
+        let t = step(L4(Down), Down, Q0).unwrap();
+        assert_eq!((t.a, t.b), (L(Up), Q1));
+        let t = step(L4(Right), Right, Q0).unwrap();
+        assert_eq!((t.a, t.b), (Lend, Q1));
+        // Rigidity rules.
+        let t = step(Q1, Up, Q1).unwrap();
+        assert_eq!((t.a, t.b, t.bond), (Q1, Q1, true));
+        let t = step(L(Up), Right, Q1).unwrap();
+        assert_eq!((t.a, t.b), (L(Up), Q1));
+        // Bonded pairs and mismatched ports are ineffective.
+        assert!(p.transition(&L2(Down), Dir::Down, &Q0, Dir::Up, true).is_none());
+        assert!(p.transition(&L(Left), Dir::Left, &Q0, Dir::Up, false).is_none());
+        // Free nodes never bond to each other.
+        assert!(step(Q0, Right, Q0).is_none());
+    }
+
+    #[test]
+    fn leader_is_unique_throughout_the_execution() {
+        let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(16).with_seed(5));
+        for _ in 0..20_000 {
+            if !sim.step() {
+                break;
+            }
+        }
+        let leaders = sim
+            .world()
+            .states()
+            .filter(|s| {
+                !matches!(s, Square2State::Q0 | Square2State::Q1)
+            })
+            .count();
+        assert_eq!(leaders, 1, "exactly one leader-like state must exist");
+        assert!(sim.world().check_invariants());
+    }
+
+    #[test]
+    fn all_nodes_eventually_join_a_single_component() {
+        // Whatever the intermediate rigidity (the dotted edges of Figure 2), every node is
+        // eventually recruited, the structure never splits, and the geometry stays valid.
+        for n in [9usize, 16] {
+            let mut sim = Simulation::new(
+                Square2::new(),
+                SimulationConfig::new(n).with_seed(7).with_max_steps(400_000),
+            );
+            let report = sim.run_until(|w| {
+                !w.states().any(|s| matches!(s, Square2State::Q0))
+            });
+            assert_eq!(
+                report.reason,
+                nc_core::StopReason::Predicate,
+                "n = {n}: some nodes were never recruited"
+            );
+            assert!(sim.world().check_invariants());
+            let shape = sim.output_shape();
+            assert_eq!(shape.len(), n, "n = {n}: the construction split");
+            assert!(shape.is_connected());
+        }
+    }
+
+    #[test]
+    fn first_phase_builds_the_core_with_four_turning_marks() {
+        // With exactly 8 nodes the execution is precisely the first phase of Figure 2:
+        // a fully bonded 2×2 core plus the four protruding turning marks.
+        let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(8).with_seed(3));
+        let report = sim.run_until_stable();
+        assert!(report.stabilized);
+        let shape = sim.output_shape();
+        assert_eq!(shape.len(), 8);
+        assert!(shape.is_connected());
+        // The core and its marks span a 4×4 bounding box in both axes.
+        assert_eq!(shape.h_dim(), 4);
+        assert_eq!(shape.v_dim(), 4);
+        // A 2×2 fully-bonded core exists: some cell has both an up and a right neighbour
+        // that are themselves adjacent to a common diagonal cell.
+        let has_core = shape.cells().any(|c| {
+            use nc_geometry::Coord;
+            let right = c + Coord::new2(1, 0);
+            let up = c + Coord::new2(0, 1);
+            let diag = c + Coord::new2(1, 1);
+            shape.contains_cell(right) && shape.contains_cell(up) && shape.contains_cell(diag)
+        });
+        assert!(has_core, "no 2×2 core found in {shape:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Binary arithmetic on explicit bit vectors.
+//!
+//! The leader programs of Section 6 do not compute with machine integers: their counters
+//! live bit-by-bit on a distributed line (one bit per node) or on the square's tape. The
+//! [`BinaryCounter`] type mirrors exactly those operations — increment, decrement,
+//! comparison, and the naïve integer square root obtained by trying `1·1, 2·2, 3·3, …` —
+//! so that the protocol code can stay faithful to the paper while the bit storage itself
+//! is provided by node states.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An unsigned integer stored as little-endian bits (index 0 = least significant).
+///
+/// ```
+/// use nc_tm::arith::BinaryCounter;
+/// let mut c = BinaryCounter::from_value(5);
+/// c.increment();
+/// assert_eq!(c.value(), 6);
+/// assert_eq!(c.bits(), &[false, true, true]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BinaryCounter {
+    bits: Vec<bool>,
+}
+
+impl BinaryCounter {
+    /// The counter holding zero (a single 0 bit).
+    #[must_use]
+    pub fn zero() -> BinaryCounter {
+        BinaryCounter { bits: vec![false] }
+    }
+
+    /// Builds a counter from a machine integer.
+    #[must_use]
+    pub fn from_value(mut value: u64) -> BinaryCounter {
+        if value == 0 {
+            return BinaryCounter::zero();
+        }
+        let mut bits = Vec::new();
+        while value > 0 {
+            bits.push(value & 1 == 1);
+            value >>= 1;
+        }
+        BinaryCounter { bits }
+    }
+
+    /// Builds a counter from little-endian bits (empty input is treated as zero).
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> BinaryCounter {
+        if bits.is_empty() {
+            BinaryCounter::zero()
+        } else {
+            BinaryCounter { bits: bits.to_vec() }
+        }
+    }
+
+    /// The machine-integer value.
+    ///
+    /// # Panics
+    /// Panics if the counter does not fit in a `u64` (cannot happen for counters produced
+    /// by this crate's protocols, whose values are bounded by the population size).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        let mut value = 0u64;
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                assert!(i < 64, "counter does not fit in u64");
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    /// The little-endian bits (at least one).
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits stored (the length of the leader's line).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the stored value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// Adds one, growing the bit vector when a carry runs off the end (this is the moment
+    /// the Counting-on-a-Line leader must recruit a fresh node for its tape).
+    /// Returns `true` when the counter grew by one bit.
+    pub fn increment(&mut self) -> bool {
+        for bit in &mut self.bits {
+            if *bit {
+                *bit = false;
+            } else {
+                *bit = true;
+                return false;
+            }
+        }
+        self.bits.push(true);
+        true
+    }
+
+    /// Subtracts one.
+    ///
+    /// # Panics
+    /// Panics if the counter is zero.
+    pub fn decrement(&mut self) {
+        assert!(!self.is_zero(), "cannot decrement zero");
+        for bit in &mut self.bits {
+            if *bit {
+                *bit = false;
+                return;
+            }
+            *bit = true;
+        }
+    }
+
+    /// Compares two counters by value (bit lengths may differ).
+    #[must_use]
+    pub fn compare(&self, other: &BinaryCounter) -> Ordering {
+        let max_len = self.bits.len().max(other.bits.len());
+        for i in (0..max_len).rev() {
+            let a = self.bits.get(i).copied().unwrap_or(false);
+            let b = other.bits.get(i).copied().unwrap_or(false);
+            match (a, b) {
+                (true, false) => return Ordering::Greater,
+                (false, true) => return Ordering::Less,
+                _ => {}
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Whether the stored values are equal (irrespective of leading zeros).
+    #[must_use]
+    pub fn equals(&self, other: &BinaryCounter) -> bool {
+        self.compare(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BinaryCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BinaryCounter({})", self.value())
+    }
+}
+
+impl fmt::Display for BinaryCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &bit in self.bits.iter().rev() {
+            write!(f, "{}", u8::from(bit))?;
+        }
+        Ok(())
+    }
+}
+
+/// The integer square root `⌊√n⌋`, computed the way the Square-Knowing-n leader does on
+/// its line: by successively trying `1·1, 2·2, 3·3, …` until the product reaches `n`.
+/// Time is `O(√n)` multiplications — "though exponential in the binary representation of
+/// n, still linear in the population size n" (Section 6.2).
+#[must_use]
+pub fn integer_sqrt(n: u64) -> u64 {
+    let mut k = 0u64;
+    while (k + 1).saturating_mul(k + 1) <= n {
+        k += 1;
+    }
+    k
+}
+
+/// Whether `n` is a perfect square (the universal constructors assume `√n` is an
+/// integer).
+#[must_use]
+pub fn is_perfect_square(n: u64) -> bool {
+    let r = integer_sqrt(n);
+    r * r == n
+}
+
+/// Encodes `value` as big-endian bits, exactly `width` bits wide.
+///
+/// # Panics
+/// Panics if the value does not fit in `width` bits.
+#[must_use]
+pub fn to_bits_be(value: u64, width: usize) -> Vec<bool> {
+    assert!(
+        width == 64 || value < (1u64 << width),
+        "value {value} does not fit in {width} bits"
+    );
+    (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Minimal number of bits needed to write `value` in binary (1 for zero).
+#[must_use]
+pub fn bit_width(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1023, 1024, u32::MAX as u64] {
+            assert_eq!(BinaryCounter::from_value(v).value(), v);
+        }
+        assert_eq!(BinaryCounter::zero().value(), 0);
+        assert!(BinaryCounter::zero().is_zero());
+        assert_eq!(BinaryCounter::from_bits(&[]).value(), 0);
+        assert_eq!(BinaryCounter::from_bits(&[true, false, true]).value(), 5);
+    }
+
+    #[test]
+    fn increment_matches_addition() {
+        let mut c = BinaryCounter::zero();
+        for expected in 1..=300u64 {
+            let grew = c.increment();
+            assert_eq!(c.value(), expected);
+            assert_eq!(grew, expected.is_power_of_two() && expected > 1);
+            assert_eq!(c.len(), bit_width(expected));
+        }
+    }
+
+    #[test]
+    fn decrement_matches_subtraction() {
+        let mut c = BinaryCounter::from_value(300);
+        for expected in (0..300u64).rev() {
+            c.decrement();
+            assert_eq!(c.value(), expected);
+        }
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decrement zero")]
+    fn decrement_zero_panics() {
+        BinaryCounter::zero().decrement();
+    }
+
+    #[test]
+    fn comparison_ignores_leading_zeros() {
+        let a = BinaryCounter::from_bits(&[true, true, false, false]); // 3 with padding
+        let b = BinaryCounter::from_value(3);
+        assert!(a.equals(&b));
+        assert_eq!(a.compare(&BinaryCounter::from_value(4)), Ordering::Less);
+        assert_eq!(
+            BinaryCounter::from_value(9).compare(&BinaryCounter::from_value(4)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn sqrt_and_perfect_squares() {
+        for n in 0..200u64 {
+            let r = integer_sqrt(n);
+            assert!(r * r <= n);
+            assert!((r + 1) * (r + 1) > n);
+            assert_eq!(is_perfect_square(n), r * r == n);
+        }
+        assert_eq!(integer_sqrt(10_000), 100);
+        assert!(is_perfect_square(1024));
+        assert!(!is_perfect_square(1000));
+    }
+
+    #[test]
+    fn big_endian_encoding() {
+        assert_eq!(to_bits_be(5, 4), vec![false, true, false, true]);
+        assert_eq!(to_bits_be(0, 1), vec![false]);
+        assert_eq!(bit_width(0), 1);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(2), 2);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        assert_eq!(BinaryCounter::from_value(6).to_string(), "110");
+        assert_eq!(format!("{:?}", BinaryCounter::from_value(6)), "BinaryCounter(6)");
+    }
+}

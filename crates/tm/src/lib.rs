@@ -1,0 +1,42 @@
+//! Turing-machine substrate for the universal constructors (Sections 3 and 6.3).
+//!
+//! The paper's generic constructors realise any *TM-computable* shape language: a TM `M`
+//! receives a pixel index `i` and the square dimension `d` (in binary), decides whether
+//! pixel `i` of the `d × d` square is **on**, and must do so within the space available on
+//! the assembled square. This crate provides:
+//!
+//! * [`TuringMachine`] — a deterministic single-tape machine with step and space
+//!   accounting, plus a builder;
+//! * [`ShapeComputer`] — the "pixel oracle" interface (`pixel(i, d) → bool`) together with
+//!   implementations backed by a closure ([`PredicateShapeComputer`]) or by an actual
+//!   machine run on a binary encoding of `(i, d)` ([`TmShapeComputer`]);
+//! * [`arith`] — the little-endian binary counters and integer square root the leader
+//!   programs of Section 6 manipulate on their distributed tape;
+//! * [`library`] — ready-made shape computers for the shape languages shipped with
+//!   `nc-geometry`, including a hand-written TM for the paper's footnote example (the
+//!   leftmost column of the square).
+//!
+//! ```
+//! use nc_tm::{library, ShapeComputer};
+//!
+//! let star = library::star_computer();
+//! // Pixel 0 is the bottom-left corner, which lies on the main diagonal of the star.
+//! assert!(star.pixel(0, 9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod library;
+mod machine;
+mod shape_tm;
+
+pub use machine::{
+    HaltReason, MachineBuilder, MachineRun, Move, StateId, TmError, TuringMachine, ACCEPT, BLANK,
+    REJECT,
+};
+pub use shape_tm::{
+    computer_language, encode_pixel_input, ComputerLanguage, PredicateShapeComputer, ShapeComputer,
+    TmShapeComputer,
+};

@@ -1,0 +1,217 @@
+//! A library of shape computers matching the shape languages of `nc-geometry::library`,
+//! plus genuine hand-written machines for selected languages.
+//!
+//! The universal-constructor experiments (E9, E10) sweep over these computers; the
+//! footnote of Section 3 motivates the `left_column` language, Figure 7(c) the star.
+
+use crate::machine::{Move, TuringMachine, ACCEPT, REJECT};
+use crate::shape_tm::{PredicateShapeComputer, ShapeComputer, TmShapeComputer};
+use nc_geometry::zigzag_coord;
+
+/// A boxed shape computer (the element type of [`all_computers`]).
+pub type BoxedComputer = Box<dyn ShapeComputer>;
+
+fn xy_computer(
+    name: &'static str,
+    f: impl Fn(u32, u32, u32) -> bool + 'static,
+) -> BoxedComputer {
+    Box::new(PredicateShapeComputer::new(name, move |i, d| {
+        let d32 = u32::try_from(d).expect("square dimension fits in u32");
+        let (x, y) = zigzag_coord(i, d32);
+        f(x, y, d32)
+    }))
+}
+
+/// The full `d × d` square.
+#[must_use]
+pub fn full_square_computer() -> BoxedComputer {
+    xy_computer("full-square", |_, _, _| true)
+}
+
+/// The square border (frame).
+#[must_use]
+pub fn border_computer() -> BoxedComputer {
+    xy_computer("border", |x, y, d| x == 0 || y == 0 || x == d - 1 || y == d - 1)
+}
+
+/// The paper's footnote example: only the leftmost column of the square (pixels
+/// `2k√n` and `2k√n − 1`).
+#[must_use]
+pub fn left_column_computer() -> BoxedComputer {
+    Box::new(PredicateShapeComputer::new("left-column", |i, d| {
+        i % (2 * d) == 0 || (i + 1) % (2 * d) == 0
+    }))
+}
+
+/// A thick staircase along the main diagonal.
+#[must_use]
+pub fn staircase_computer() -> BoxedComputer {
+    xy_computer("staircase", |x, y, _| x == y || x == y + 1)
+}
+
+/// A plus/cross through the middle row and column.
+#[must_use]
+pub fn cross_computer() -> BoxedComputer {
+    xy_computer("cross", |x, y, d| x == d / 2 || y == d / 2)
+}
+
+/// The Figure 7(c)-style star: cross plus thick diagonals.
+#[must_use]
+pub fn star_computer() -> BoxedComputer {
+    xy_computer("star", |x, y, d| {
+        x == d / 2 || y == d / 2 || x == y || x == y + 1 || x + y == d - 1 || x + y == d
+    })
+}
+
+/// The serpentine (boustrophedon snake).
+#[must_use]
+pub fn serpentine_computer() -> BoxedComputer {
+    xy_computer("serpentine", |x, y, d| {
+        if y % 2 == 0 {
+            true
+        } else if y % 4 == 1 {
+            x == d - 1
+        } else {
+            x == 0
+        }
+    })
+}
+
+/// A comb: full bottom row plus the even columns.
+#[must_use]
+pub fn comb_computer() -> BoxedComputer {
+    xy_computer("comb", |x, y, _| y == 0 || x % 2 == 0)
+}
+
+/// An H: both outer columns plus the middle row.
+#[must_use]
+pub fn h_computer() -> BoxedComputer {
+    xy_computer("h", |x, y, d| x == 0 || x == d - 1 || y == d / 2)
+}
+
+/// The bottom row (`i < d`), realised by the honest comparison Turing machine below
+/// rather than a predicate — this is the reference "TM-computable language" used to test
+/// the faithful distributed TM simulation.
+#[must_use]
+pub fn bottom_row_tm_computer() -> TmShapeComputer {
+    TmShapeComputer::new("bottom-row(TM)", less_than_machine(), 1 << 20)
+}
+
+/// The comparison machine deciding `i < d` on the interleaved encoding of
+/// [`crate::encode_pixel_input`]: scan MSB→LSB and decide at the first position where the
+/// two numbers' bits differ.
+#[must_use]
+pub fn less_than_machine() -> TuringMachine {
+    let mut b = TuringMachine::builder();
+    let scan = b.state();
+    b.start(scan)
+        .rule(scan, 1, 1, Move::Right, scan) // i-bit 0, d-bit 0
+        .rule(scan, 4, 4, Move::Right, scan) // i-bit 1, d-bit 1
+        .rule(scan, 2, 2, Move::Stay, ACCEPT) // i-bit 0, d-bit 1 ⇒ i < d
+        .rule(scan, 3, 3, Move::Stay, REJECT) // i-bit 1, d-bit 0 ⇒ i > d
+        .rule(scan, 0, 0, Move::Stay, REJECT) // exhausted ⇒ i = d
+        .build()
+        .expect("the comparison machine is well formed")
+}
+
+/// The full-square language realised by the one-rule always-accept machine.
+#[must_use]
+pub fn full_square_tm_computer() -> TmShapeComputer {
+    let mut b = TuringMachine::builder();
+    let start = b.state();
+    let machine = b
+        .start(start)
+        .rule(start, 0, 0, Move::Stay, ACCEPT)
+        .rule(start, 1, 1, Move::Stay, ACCEPT)
+        .rule(start, 2, 2, Move::Stay, ACCEPT)
+        .rule(start, 3, 3, Move::Stay, ACCEPT)
+        .rule(start, 4, 4, Move::Stay, ACCEPT)
+        .build()
+        .expect("the accept-all machine is well formed");
+    TmShapeComputer::new("full-square(TM)", machine, 16)
+}
+
+/// All predicate-backed library computers (the sweep set of experiment E9).
+#[must_use]
+pub fn all_computers() -> Vec<BoxedComputer> {
+    vec![
+        full_square_computer(),
+        border_computer(),
+        left_column_computer(),
+        staircase_computer(),
+        cross_computer(),
+        star_computer(),
+        serpentine_computer(),
+        comb_computer(),
+        h_computer(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape_tm::computer_language;
+    use nc_geometry::{library, validate_language, ShapeLanguage};
+
+    #[test]
+    fn all_computers_are_valid_languages() {
+        for computer in all_computers() {
+            let lang = computer_language(&computer);
+            validate_language(&lang, 10)
+                .unwrap_or_else(|e| panic!("computer {} invalid: {e}", computer.name()));
+        }
+    }
+
+    #[test]
+    fn computers_match_geometry_languages() {
+        // The zig-zag-index computers must agree pixel-for-pixel with the (x, y)
+        // predicate languages shipped by nc-geometry.
+        let pairs: Vec<(BoxedComputer, Box<dyn ShapeLanguage>)> = all_computers()
+            .into_iter()
+            .zip(nc_geometry::library::all_languages())
+            .collect();
+        for (computer, language) in pairs {
+            assert_eq!(computer.name(), language.name());
+            for d in 1..=8u32 {
+                assert_eq!(
+                    computer.labeled_square(d),
+                    language.square(d),
+                    "mismatch for {} at d = {d}",
+                    computer.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_column_predicate_matches_footnote_formula() {
+        let computer = left_column_computer();
+        let lang = library::left_column_language();
+        for d in 1..=9u32 {
+            assert_eq!(computer.labeled_square(d), lang.square(d), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn tm_backed_bottom_row_is_correct_and_space_bounded() {
+        let computer = bottom_row_tm_computer();
+        for d in 1..=6u64 {
+            for i in 0..d * d {
+                assert_eq!(computer.pixel(i, d), i < d);
+            }
+        }
+        let run = computer.run_pixel(10, 6);
+        assert!(run.space as u64 <= computer.space_bound(6));
+    }
+
+    #[test]
+    fn tm_backed_full_square_accepts_everything() {
+        let computer = full_square_tm_computer();
+        for d in 1..=5u64 {
+            for i in 0..d * d {
+                assert!(computer.pixel(i, d));
+            }
+        }
+        assert!(validate_language(&computer_language(&computer), 5).is_ok());
+    }
+}

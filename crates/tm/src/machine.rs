@@ -1,0 +1,399 @@
+//! A deterministic single-tape Turing machine with step and space accounting.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Head movement of a transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Move the head one cell to the left (staying put at the left end of the tape).
+    Left,
+    /// Move the head one cell to the right.
+    Right,
+    /// Keep the head where it is.
+    Stay,
+}
+
+/// Identifier of a machine state.
+pub type StateId = u16;
+
+/// The blank tape symbol.
+pub const BLANK: u8 = 0;
+
+/// Errors raised while building or running a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TmError {
+    /// A transition refers to a state that was never declared.
+    UnknownState(StateId),
+    /// Two transitions were declared for the same `(state, symbol)` pair.
+    DuplicateRule {
+        /// The state of the duplicated rule.
+        state: StateId,
+        /// The read symbol of the duplicated rule.
+        symbol: u8,
+    },
+    /// The machine has no start state.
+    MissingStart,
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::UnknownState(s) => write!(f, "transition refers to undeclared state {s}"),
+            TmError::DuplicateRule { state, symbol } => {
+                write!(f, "duplicate rule for state {state} reading symbol {symbol}")
+            }
+            TmError::MissingStart => write!(f, "machine has no start state"),
+        }
+    }
+}
+
+impl Error for TmError {}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The machine entered its accepting state.
+    Accepted,
+    /// The machine entered its rejecting state.
+    Rejected,
+    /// No transition was defined for the current `(state, symbol)` pair.
+    Stuck,
+    /// The step budget ran out.
+    StepLimit,
+    /// The space budget ran out.
+    SpaceLimit,
+}
+
+/// The result of running a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineRun {
+    /// Why the run stopped.
+    pub halt: HaltReason,
+    /// Steps executed.
+    pub steps: u64,
+    /// Number of distinct tape cells touched (the space used).
+    pub space: usize,
+    /// Final tape contents (trailing blanks trimmed).
+    pub tape: Vec<u8>,
+}
+
+impl MachineRun {
+    /// Whether the run ended in the accepting state.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.halt == HaltReason::Accepted
+    }
+}
+
+/// A deterministic single-tape Turing machine over the byte alphabet, with a semi-infinite
+/// tape (the head stays put when asked to move left of cell 0).
+#[derive(Clone, Debug)]
+pub struct TuringMachine {
+    start: StateId,
+    accept: StateId,
+    reject: StateId,
+    rules: HashMap<(StateId, u8), (StateId, u8, Move)>,
+    state_count: StateId,
+}
+
+impl TuringMachine {
+    /// Starts building a machine. The builder pre-declares the accepting and rejecting
+    /// states with identifiers 0 and 1 respectively.
+    #[must_use]
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::new()
+    }
+
+    /// The accepting state.
+    #[must_use]
+    pub fn accept_state(&self) -> StateId {
+        self.accept
+    }
+
+    /// The rejecting state.
+    #[must_use]
+    pub fn reject_state(&self) -> StateId {
+        self.reject
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start_state(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of declared states (including accept and reject).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        usize::from(self.state_count)
+    }
+
+    /// The single-step transition function: what the machine does in `state` reading
+    /// `symbol`. `None` when no rule applies (the machine would be stuck) or when the
+    /// state is accepting/rejecting.
+    #[must_use]
+    pub fn step_rule(&self, state: StateId, symbol: u8) -> Option<(StateId, u8, Move)> {
+        if state == self.accept || state == self.reject {
+            return None;
+        }
+        self.rules.get(&(state, symbol)).copied()
+    }
+
+    /// Whether `state` is a halting (accepting or rejecting) state.
+    #[must_use]
+    pub fn is_halting(&self, state: StateId) -> bool {
+        state == self.accept || state == self.reject
+    }
+
+    /// Runs the machine on `input` with the given step and space budgets.
+    #[must_use]
+    pub fn run(&self, input: &[u8], max_steps: u64, max_space: usize) -> MachineRun {
+        let mut tape: Vec<u8> = input.to_vec();
+        let mut head = 0usize;
+        let mut state = self.start;
+        let mut steps = 0u64;
+        let mut high_water = input.len().max(1);
+        loop {
+            if state == self.accept {
+                return finish(HaltReason::Accepted, steps, high_water, tape);
+            }
+            if state == self.reject {
+                return finish(HaltReason::Rejected, steps, high_water, tape);
+            }
+            if steps >= max_steps {
+                return finish(HaltReason::StepLimit, steps, high_water, tape);
+            }
+            if high_water > max_space {
+                return finish(HaltReason::SpaceLimit, steps, high_water, tape);
+            }
+            let symbol = tape.get(head).copied().unwrap_or(BLANK);
+            let Some((next, write, movement)) = self.step_rule(state, symbol) else {
+                return finish(HaltReason::Stuck, steps, high_water, tape);
+            };
+            if head >= tape.len() {
+                tape.resize(head + 1, BLANK);
+            }
+            tape[head] = write;
+            match movement {
+                Move::Left => head = head.saturating_sub(1),
+                Move::Right => head += 1,
+                Move::Stay => {}
+            }
+            high_water = high_water.max(head + 1);
+            state = next;
+            steps += 1;
+        }
+    }
+}
+
+fn finish(halt: HaltReason, steps: u64, space: usize, mut tape: Vec<u8>) -> MachineRun {
+    while tape.last() == Some(&BLANK) {
+        tape.pop();
+    }
+    MachineRun {
+        halt,
+        steps,
+        space,
+        tape,
+    }
+}
+
+/// Builder for [`TuringMachine`].
+#[derive(Debug, Default)]
+pub struct MachineBuilder {
+    rules: Vec<(StateId, u8, StateId, u8, Move)>,
+    next_state: StateId,
+    start: Option<StateId>,
+}
+
+/// State identifier of the accepting state created by every builder.
+pub const ACCEPT: StateId = 0;
+/// State identifier of the rejecting state created by every builder.
+pub const REJECT: StateId = 1;
+
+impl MachineBuilder {
+    fn new() -> MachineBuilder {
+        MachineBuilder {
+            rules: Vec::new(),
+            next_state: 2, // 0 = accept, 1 = reject
+            start: None,
+        }
+    }
+
+    /// Declares a fresh working state and returns its identifier.
+    pub fn state(&mut self) -> StateId {
+        let id = self.next_state;
+        self.next_state += 1;
+        id
+    }
+
+    /// Sets the start state.
+    #[must_use]
+    pub fn start(mut self, state: StateId) -> MachineBuilder {
+        self.start = Some(state);
+        self
+    }
+
+    /// Adds the rule "in `state`, reading `read`: write `write`, move `movement`, go to
+    /// `next`".
+    #[must_use]
+    pub fn rule(mut self, state: StateId, read: u8, write: u8, movement: Move, next: StateId) -> MachineBuilder {
+        self.rules.push((state, read, next, write, movement));
+        self
+    }
+
+    /// Finishes the machine.
+    ///
+    /// # Errors
+    /// Returns an error when a rule refers to an undeclared state, when two rules share a
+    /// `(state, symbol)` pair, or when no start state was set.
+    pub fn build(self) -> Result<TuringMachine, TmError> {
+        let start = self.start.ok_or(TmError::MissingStart)?;
+        let mut rules = HashMap::new();
+        for (state, read, next, write, movement) in self.rules {
+            if state >= self.next_state || state == ACCEPT || state == REJECT {
+                return Err(TmError::UnknownState(state));
+            }
+            if next >= self.next_state {
+                return Err(TmError::UnknownState(next));
+            }
+            if rules.insert((state, read), (next, write, movement)).is_some() {
+                return Err(TmError::DuplicateRule { state, symbol: read });
+            }
+        }
+        if start >= self.next_state {
+            return Err(TmError::UnknownState(start));
+        }
+        Ok(TuringMachine {
+            start,
+            accept: ACCEPT,
+            reject: REJECT,
+            rules,
+            state_count: self.next_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine that accepts iff the input (over symbols 1/2, 0 = blank) contains the
+    /// symbol 2.
+    fn contains_two() -> TuringMachine {
+        let mut b = TuringMachine::builder();
+        let scan = b.state();
+        b.start(scan)
+            .rule(scan, 1, 1, Move::Right, scan)
+            .rule(scan, 2, 2, Move::Stay, ACCEPT)
+            .rule(scan, BLANK, BLANK, Move::Stay, REJECT)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let m = contains_two();
+        assert!(m.run(&[1, 1, 2, 1], 100, 100).accepted());
+        let run = m.run(&[1, 1, 1], 100, 100);
+        assert_eq!(run.halt, HaltReason::Rejected);
+        assert!(!run.accepted());
+        assert_eq!(run.steps, 4);
+    }
+
+    #[test]
+    fn respects_step_limit() {
+        // A machine that loops forever moving right.
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        let m = b
+            .start(s)
+            .rule(s, BLANK, BLANK, Move::Right, s)
+            .build()
+            .unwrap();
+        let run = m.run(&[], 50, 1000);
+        assert_eq!(run.halt, HaltReason::StepLimit);
+        assert_eq!(run.steps, 50);
+    }
+
+    #[test]
+    fn respects_space_limit() {
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        let m = b
+            .start(s)
+            .rule(s, BLANK, 1, Move::Right, s)
+            .build()
+            .unwrap();
+        let run = m.run(&[], 10_000, 8);
+        assert_eq!(run.halt, HaltReason::SpaceLimit);
+        assert!(run.space > 8);
+    }
+
+    #[test]
+    fn stuck_when_no_rule() {
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        let m = b.start(s).rule(s, 1, 1, Move::Right, s).build().unwrap();
+        assert_eq!(m.run(&[1, 3], 100, 100).halt, HaltReason::Stuck);
+    }
+
+    #[test]
+    fn left_of_tape_start_stays_put() {
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        let t = b.state();
+        let m = b
+            .start(s)
+            .rule(s, 7, 8, Move::Left, t)
+            .rule(t, 8, 8, Move::Stay, ACCEPT)
+            .build()
+            .unwrap();
+        let run = m.run(&[7], 100, 100);
+        assert!(run.accepted());
+        assert_eq!(run.tape, vec![8]);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        assert_eq!(
+            TuringMachine::builder().build().unwrap_err(),
+            TmError::MissingStart
+        );
+        let err = b
+            .start(s)
+            .rule(s, 1, 1, Move::Right, 99)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TmError::UnknownState(99));
+
+        let mut b = TuringMachine::builder();
+        let s = b.state();
+        let err = b
+            .start(s)
+            .rule(s, 1, 1, Move::Right, s)
+            .rule(s, 1, 1, Move::Left, s)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TmError::DuplicateRule { state: s, symbol: 1 });
+    }
+
+    #[test]
+    fn step_rule_exposed_for_distributed_simulation() {
+        let m = contains_two();
+        let start = m.start_state();
+        assert!(!m.is_halting(start));
+        assert!(m.is_halting(m.accept_state()));
+        let (next, write, movement) = m.step_rule(start, 1).unwrap();
+        assert_eq!(next, start);
+        assert_eq!(write, 1);
+        assert_eq!(movement, Move::Right);
+        assert!(m.step_rule(m.accept_state(), 1).is_none());
+        assert_eq!(m.state_count(), 3);
+    }
+}

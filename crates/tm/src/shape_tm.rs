@@ -1,0 +1,251 @@
+//! Shape-computing Turing machines (Definition 3 of the paper).
+//!
+//! A shape language `L = (S_1, S_2, …)` is *TM-computable in space `f(d)`* when a machine
+//! `M`, given a pixel index `i` and the dimension `d` in binary, decides whether pixel `i`
+//! of `S_d` is on, using `O(f(d))` space. The universal constructors only need a "pixel
+//! oracle", captured by the [`ShapeComputer`] trait; [`TmShapeComputer`] backs that oracle
+//! by an honest machine run, [`PredicateShapeComputer`] by a closure (the form used for
+//! large experiments where simulating the machine itself would dominate the runtime
+//! without changing the constructed shape).
+
+use crate::arith::{bit_width, to_bits_be};
+use crate::machine::{HaltReason, TuringMachine};
+use nc_geometry::{LabeledSquare, ShapeLanguage};
+
+/// A pixel oracle: decides whether pixel `i` (zig-zag index) of the `d × d` square is on.
+pub trait ShapeComputer {
+    /// Human-readable name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Whether pixel `i` of the `d × d` square is on.
+    ///
+    /// Implementations must produce, for every `d ≥ 1`, a non-empty connected shape of
+    /// maximum dimension `d` (this is validated by the tests and by
+    /// [`nc_geometry::validate_language`] through [`computer_language`]).
+    fn pixel(&self, i: u64, d: u64) -> bool;
+
+    /// The space the computation needs, as a function of `d` (defaults to the whole
+    /// square, `d²`, which is what the sequential constructor of Theorem 4 provides).
+    fn space_bound(&self, d: u64) -> u64 {
+        d * d
+    }
+
+    /// The full labeled square `S_d`.
+    fn labeled_square(&self, d: u32) -> LabeledSquare {
+        LabeledSquare::from_pixel_fn(d, |i| self.pixel(i, u64::from(d)))
+    }
+}
+
+impl<C: ShapeComputer + ?Sized> ShapeComputer for &C {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn pixel(&self, i: u64, d: u64) -> bool {
+        (**self).pixel(i, d)
+    }
+
+    fn space_bound(&self, d: u64) -> u64 {
+        (**self).space_bound(d)
+    }
+}
+
+impl<C: ShapeComputer + ?Sized> ShapeComputer for Box<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn pixel(&self, i: u64, d: u64) -> bool {
+        (**self).pixel(i, d)
+    }
+
+    fn space_bound(&self, d: u64) -> u64 {
+        (**self).space_bound(d)
+    }
+}
+
+/// A shape computer defined by a closure over `(pixel index, d)`.
+pub struct PredicateShapeComputer<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F: Fn(u64, u64) -> bool> PredicateShapeComputer<F> {
+    /// Creates a predicate-backed computer.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        PredicateShapeComputer {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<F: Fn(u64, u64) -> bool> ShapeComputer for PredicateShapeComputer<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pixel(&self, i: u64, d: u64) -> bool {
+        (self.predicate)(i, d)
+    }
+}
+
+/// The input encoding used by [`TmShapeComputer`]: the bits of `i` and `d`, both written
+/// MSB-first and zero-padded to the width of `d²`, *interleaved* into the symbols
+/// `1 + 2·i_bit + d_bit ∈ {1, 2, 3, 4}` (symbol 0 is the blank).
+///
+/// Any injective binary encoding of `(i, d)` qualifies for Definition 3; the interleaved
+/// one keeps hand-written machines small because corresponding bit positions of the two
+/// numbers sit in the same cell.
+#[must_use]
+pub fn encode_pixel_input(i: u64, d: u64) -> Vec<u8> {
+    let width = bit_width(d.saturating_mul(d)).max(bit_width(i));
+    let i_bits = to_bits_be(i, width);
+    let d_bits = to_bits_be(d, width);
+    i_bits
+        .iter()
+        .zip(&d_bits)
+        .map(|(&ib, &db)| 1 + 2 * u8::from(ib) + u8::from(db))
+        .collect()
+}
+
+/// A shape computer backed by an honest [`TuringMachine`] run on
+/// [`encode_pixel_input`]`(i, d)`.
+pub struct TmShapeComputer {
+    name: String,
+    machine: TuringMachine,
+    max_steps: u64,
+}
+
+impl TmShapeComputer {
+    /// Wraps a machine. `max_steps` bounds each pixel decision (shape machines are space
+    /// bounded, so a generous step bound only guards against accidental loops).
+    #[must_use]
+    pub fn new(name: impl Into<String>, machine: TuringMachine, max_steps: u64) -> TmShapeComputer {
+        TmShapeComputer {
+            name: name.into(),
+            machine,
+            max_steps,
+        }
+    }
+
+    /// The wrapped machine (exposed so the faithful distributed simulation of experiment
+    /// E10b can step it cell by cell on the assembled square).
+    #[must_use]
+    pub fn machine(&self) -> &TuringMachine {
+        &self.machine
+    }
+
+    /// Runs the machine on pixel `(i, d)` and reports the whole run (steps, space, halt
+    /// reason), not just the decision.
+    #[must_use]
+    pub fn run_pixel(&self, i: u64, d: u64) -> crate::machine::MachineRun {
+        let input = encode_pixel_input(i, d);
+        let space = usize::try_from(self.space_bound(d)).unwrap_or(usize::MAX).max(input.len());
+        self.machine.run(&input, self.max_steps, space)
+    }
+}
+
+impl ShapeComputer for TmShapeComputer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pixel(&self, i: u64, d: u64) -> bool {
+        let run = self.run_pixel(i, d);
+        debug_assert!(
+            matches!(run.halt, HaltReason::Accepted | HaltReason::Rejected),
+            "shape machine {} did not decide pixel ({i}, {d}): {:?}",
+            self.name,
+            run.halt
+        );
+        run.accepted()
+    }
+}
+
+/// Adapts a shape computer into an [`nc_geometry::ShapeLanguage`], so the geometry
+/// crate's validation and rendering utilities apply.
+pub struct ComputerLanguage<C> {
+    computer: C,
+}
+
+/// Wraps a computer as a shape language.
+#[must_use]
+pub fn computer_language<C: ShapeComputer>(computer: C) -> ComputerLanguage<C> {
+    ComputerLanguage { computer }
+}
+
+impl<C: ShapeComputer> ShapeLanguage for ComputerLanguage<C> {
+    fn name(&self) -> &str {
+        self.computer.name()
+    }
+
+    fn square(&self, d: u32) -> LabeledSquare {
+        self.computer.labeled_square(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Move, ACCEPT, REJECT};
+    use nc_geometry::validate_language;
+
+    #[test]
+    fn predicate_computer_squares() {
+        let full = PredicateShapeComputer::new("full", |_, _| true);
+        assert_eq!(full.name(), "full");
+        assert_eq!(full.labeled_square(3).on_count(), 9);
+        assert_eq!(full.space_bound(5), 25);
+        assert!(validate_language(&computer_language(&full), 6).is_ok());
+    }
+
+    #[test]
+    fn encoding_is_injective_and_aligned() {
+        let a = encode_pixel_input(3, 5);
+        let b = encode_pixel_input(4, 5);
+        assert_ne!(a, b);
+        // Width is that of d² = 25 → 5 bits.
+        assert_eq!(a.len(), 5);
+        // All symbols are in 1..=4.
+        assert!(a.iter().all(|&s| (1..=4).contains(&s)));
+        // i = 3 → 00011, d = 5 → 00101 ⇒ symbols 1+2i+d: [1,1,2,3,4].
+        assert_eq!(a, vec![1, 1, 2, 3, 4]);
+    }
+
+    /// The "bottom row" machine: accept iff `i < d`, scanning the interleaved encoding
+    /// from the most significant bit and deciding at the first position where the bits of
+    /// `i` and `d` differ.
+    fn bottom_row_machine() -> TuringMachine {
+        let mut b = TuringMachine::builder();
+        let scan = b.state();
+        b.start(scan)
+            // bits equal (0,0) or (1,1): keep scanning.
+            .rule(scan, 1, 1, Move::Right, scan)
+            .rule(scan, 4, 4, Move::Right, scan)
+            // i-bit 0, d-bit 1: i < d.
+            .rule(scan, 2, 2, Move::Stay, ACCEPT)
+            // i-bit 1, d-bit 0: i > d.
+            .rule(scan, 3, 3, Move::Stay, REJECT)
+            // end of input: i = d.
+            .rule(scan, 0, 0, Move::Stay, REJECT)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tm_backed_computer_decides_bottom_row() {
+        let computer = TmShapeComputer::new("bottom-row", bottom_row_machine(), 10_000);
+        for d in 1..=7u64 {
+            for i in 0..d * d {
+                assert_eq!(computer.pixel(i, d), i < d, "pixel {i} of d = {d}");
+            }
+        }
+        // The bottom row is a valid connected language of max dimension d.
+        assert!(validate_language(&computer_language(&computer), 7).is_ok());
+        // The run uses only the input cells (space = |input|) and few steps.
+        let run = computer.run_pixel(3, 7);
+        assert!(run.space <= encode_pixel_input(3, 7).len());
+        assert!(run.steps <= 8);
+    }
+}

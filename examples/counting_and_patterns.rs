@@ -1,0 +1,62 @@
+//! Terminating probabilistic counting (Section 5) and pattern painting (Remark 4).
+//!
+//! The first half reproduces the measurement behind Remark 2: the Counting-Upper-Bound
+//! protocol always terminates and its estimate is usually around `0.9·n`. The second half
+//! composes the counting phase with the multi-color pattern constructor: the solution
+//! self-organizes into a square painted with a checkerboard, without ever being told its
+//! own size.
+//!
+//! ```text
+//! cargo run --release --example counting_and_patterns
+//! ```
+
+use shape_constructors::popproto::counting::{run_counting, CountingUpperBound};
+use shape_constructors::popproto::uid_counting::{run_improved_uid, ImprovedUidCounting};
+use shape_constructors::protocols::pattern::checkerboard_pattern;
+use shape_constructors::protocols::phase::counted_pattern;
+
+fn main() {
+    // --- Theorem 1: counting with a unique leader -----------------------------------
+    println!("Counting-Upper-Bound (Theorem 1, Remark 2):");
+    println!("{:>6}  {:>8}  {:>8}  {:>10}", "n", "r0", "r0/n", "steps");
+    for &n in &[50usize, 100, 200, 400] {
+        let outcome = run_counting(&CountingUpperBound::new(4), n, 7);
+        println!(
+            "{:>6}  {:>8}  {:>8.3}  {:>10}",
+            n,
+            outcome.r0,
+            outcome.relative_estimate(),
+            outcome.steps
+        );
+    }
+
+    // --- Theorem 3: counting without a leader but with unique identifiers ------------
+    println!("\nImproved UID counting (Protocol 3, Theorem 3):");
+    for &n in &[50usize, 100] {
+        let outcome = run_improved_uid(&ImprovedUidCounting::new(4), n, 13, 256 * (n * n) as u64);
+        println!(
+            "  n = {n:>4}: halted = {}, halter is max id = {}, output 2·count1 = {} (≥ n: {})",
+            outcome.halted, outcome.halter_is_max, outcome.output, outcome.success
+        );
+    }
+
+    // --- Remark 4: counting followed by pattern painting -----------------------------
+    println!("\nCounting + checkerboard pattern (Remark 4):");
+    let n = 40;
+    let composed = counted_pattern(checkerboard_pattern(), n, 4, 99);
+    let d = composed.pattern.d;
+    println!(
+        "  estimate r0 = {} (true n = {n}) → painted a {d}×{d} square, mismatches = {}",
+        composed.counting.r0, composed.pattern.mismatches
+    );
+    for y in (0..d as u32).rev() {
+        let row: String = (0..d as u32)
+            .map(|x| match composed.pattern.painted.color_at(x, y) {
+                Some(0) => '░',
+                Some(_) => '█',
+                None => '?',
+            })
+            .collect();
+        println!("    {row}");
+    }
+}

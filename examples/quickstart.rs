@@ -1,0 +1,48 @@
+//! Quickstart: build basic shapes in a well-mixed solution of automata.
+//!
+//! Runs the stabilizing constructors of Section 4 (spanning line and spanning square) on
+//! small populations under the uniform random scheduler, prints how long each took, and
+//! renders the resulting shapes as ASCII art.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shape_constructors::core::{Simulation, SimulationConfig};
+use shape_constructors::geometry::render_shape;
+use shape_constructors::protocols::line::GlobalLine;
+use shape_constructors::protocols::square::Square;
+use shape_constructors::protocols::square2::Square2;
+
+fn main() {
+    // --- A spanning line over 8 nodes ---------------------------------------------
+    let n = 8;
+    let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(7));
+    let report = sim.run_until_stable();
+    println!("Global Line on {n} nodes:");
+    println!(
+        "  stabilized after {} scheduler steps ({} effective interactions)",
+        report.steps, report.effective_steps
+    );
+    println!("{}", render_shape(&sim.output_shape()));
+
+    // --- Protocol 1: the perimetric square on a perfect-square population ----------
+    let n = 16;
+    let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(11));
+    let report = sim.run_until_stable();
+    println!("Square (Protocol 1) on {n} nodes:");
+    println!(
+        "  stabilized after {} steps, output is a 4×4 square: {}",
+        report.steps,
+        sim.output_shape().is_full_square(4)
+    );
+    println!("{}", render_shape(&sim.output_shape()));
+
+    // --- Protocol 2: the turning-marks variant -------------------------------------
+    let n = 20; // one full phase of Figure 2: a 4×4 core plus the four turning marks
+    let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(n).with_seed(3));
+    let report = sim.run_until_stable();
+    println!("Square2 (Protocol 2, turning marks) on {n} nodes:");
+    println!("  stabilized after {} steps", report.steps);
+    println!("{}", render_shape(&sim.output_shape()));
+}

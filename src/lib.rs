@@ -1,0 +1,35 @@
+//! Facade crate for the reproduction of Michail's *Terminating Distributed Construction
+//! of Shapes and Patterns in a Fair Solution of Automata* (2015).
+//!
+//! The implementation is split across focused crates, re-exported here:
+//!
+//! * [`geometry`] — grid geometry, shapes, labeled squares and shape languages.
+//! * [`core`] — the geometric network-constructor model and its simulator.
+//! * [`popproto`] — the population-protocol substrate and the terminating probabilistic
+//!   counting protocols of Section 5.
+//! * [`tm`] — the Turing-machine substrate and the library of shape-computing machines.
+//! * [`protocols`] — every constructor of the paper (lines, squares, self-replicating
+//!   lines, counting on a line, universal constructors, self-replication).
+//!
+//! # Quickstart
+//!
+//! Construct a spanning line with the Global Line protocol under a uniform random
+//! scheduler and inspect the resulting shape:
+//!
+//! ```
+//! use shape_constructors::core::{Simulation, SimulationConfig};
+//! use shape_constructors::protocols::line::GlobalLine;
+//!
+//! let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(8).with_seed(7));
+//! let report = sim.run_until_stable();
+//! assert!(report.stabilized);
+//! assert!(sim.output_shape().is_line(8));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use nc_core as core;
+pub use nc_geometry as geometry;
+pub use nc_popproto as popproto;
+pub use nc_protocols as protocols;
+pub use nc_tm as tm;

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the paper's pipelines run end to end through the
+//! public facade crate.
+
+use shape_constructors::core::{Simulation, SimulationConfig, StopReason};
+use shape_constructors::geometry::{library as shapes, Shape};
+use shape_constructors::popproto::counting::{run_counting, CountingUpperBound};
+use shape_constructors::protocols::counting_line::{final_count, CountingOnALine};
+use shape_constructors::protocols::line::GlobalLine;
+use shape_constructors::protocols::pattern::{paint, rings_pattern};
+use shape_constructors::protocols::phase::{counted_shape, counted_square};
+use shape_constructors::protocols::self_replication::replicate;
+use shape_constructors::protocols::square::Square;
+use shape_constructors::protocols::universal::{construct, UniversalConstructor};
+use shape_constructors::tm::library as machines;
+use shape_constructors::tm::ShapeComputer;
+use std::sync::Arc;
+
+#[test]
+fn line_and_square_constructors_stabilize_through_the_facade() {
+    let mut line = Simulation::new(GlobalLine::new(), SimulationConfig::new(10).with_seed(1));
+    assert!(line.run_until_stable().stabilized);
+    assert!(line.output_shape().is_line(10));
+
+    let mut square = Simulation::new(Square::new(), SimulationConfig::new(9).with_seed(2));
+    assert!(square.run_until_stable().stabilized);
+    assert!(square.output_shape().is_full_square(3));
+}
+
+#[test]
+fn counting_feeds_square_knowing_n() {
+    // The full Section 5 → Section 6.2 pipeline: terminate counting, then terminate the
+    // square construction parameterised by the estimate.
+    let composed = counted_square(50, 4, 3);
+    assert!(composed.finished());
+    let d = composed.construction.d;
+    assert!(d >= 5, "Theorem 1: estimate at least n/2 = 25, so d ≥ 5");
+    assert!(composed.construction.shape.is_full_square(d as u32));
+}
+
+#[test]
+fn counting_feeds_universal_construction_of_a_star() {
+    let composed = counted_shape(Arc::from(machines::star_computer()), 40, 4, 8);
+    assert!(composed.finished());
+    let d = composed.construction.d;
+    let expected = machines::star_computer().labeled_square(d as u32).shape();
+    assert!(composed.construction.shape.congruent(&expected));
+    // Theorem 4 waste bound plus the a-priori waste of the counting estimate.
+    assert!(composed.construction.waste <= (d as usize - 1) * d as usize + (40 - (d * d) as usize));
+}
+
+#[test]
+fn every_library_language_is_constructible_at_several_sizes() {
+    for computer in machines::all_computers() {
+        let shared: Arc<dyn ShapeComputer> = Arc::from(computer);
+        for n in [16usize, 25] {
+            let protocol = UniversalConstructor::shape(n as u64, shared.clone());
+            let d = protocol.dimension();
+            let expected = shared.labeled_square(d as u32).shape();
+            let report = construct(protocol, n, 0xF00D + n as u64);
+            assert!(report.finished, "{}: n = {n} did not finish", shared.name());
+            assert!(
+                report.shape.congruent(&expected),
+                "{}: wrong shape at n = {n}",
+                shared.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_on_a_line_stores_the_estimate_geometrically() {
+    let mut sim = Simulation::new(CountingOnALine::new(4), SimulationConfig::new(24).with_seed(5));
+    let report = sim.run_until_any_halted();
+    assert_eq!(report.reason, StopReason::AllHalted);
+    let counters = final_count(&sim).expect("the leader halted");
+    // The population-protocol counting and the geometric counting obey the same bound.
+    let popproto = run_counting(&CountingUpperBound::new(4), 24, 5);
+    assert!(2 * counters.r0 >= 24);
+    assert!(2 * popproto.r0 >= 24);
+}
+
+#[test]
+fn self_replication_doubles_library_shapes() {
+    for (shape, seed) in [
+        (shapes::l_shape(3, 3), 31u64),
+        (shapes::t_shape(3, 2), 32),
+        (shapes::rectangle_shape(2, 3), 33),
+    ] {
+        let protocol = shape_constructors::protocols::self_replication::ShapeReplication::new(&shape);
+        let report = replicate(&shape, protocol.required_population(), seed);
+        assert_eq!(report.copies, 2, "shape {shape:?} was not doubled");
+        assert_eq!(report.waste, 2 * (report.rectangle_size - shape.len()));
+    }
+}
+
+#[test]
+fn patterns_are_painted_exactly() {
+    let report = paint(rings_pattern(3), 25, 25, 77);
+    assert!(report.terminated);
+    assert!(report.painted.is_complete());
+    assert_eq!(report.mismatches, 0);
+}
+
+#[test]
+fn released_shape_matches_the_pattern_of_on_pixels() {
+    // Shape mode and pattern mode agree: the released shape is exactly the on-pixels of
+    // the labeled square the computer defines.
+    let computer = machines::cross_computer();
+    let d = 5u32;
+    let expected: Shape = computer.labeled_square(d).shape();
+    let report = construct(
+        UniversalConstructor::shape((d * d) as u64, Arc::from(computer)),
+        (d * d) as usize,
+        4242,
+    );
+    assert!(report.finished);
+    assert_eq!(report.shape.len(), expected.len());
+    assert!(report.shape.congruent(&expected));
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) on the core geometric and probabilistic invariants.
+
+use proptest::prelude::*;
+use shape_constructors::geometry::{
+    library, zigzag_coord, zigzag_index, Coord, LabeledSquare, Rotation, Shape,
+};
+use shape_constructors::popproto::counting::{run_counting, CountingUpperBound};
+use shape_constructors::popproto::walk::simulate_counting_walk;
+use shape_constructors::tm::arith::{bit_width, integer_sqrt, BinaryCounter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The zig-zag pixel indexing of Section 3 is a bijection between `{0, …, d²−1}` and
+    /// the cells of the `d × d` square.
+    #[test]
+    fn zigzag_indexing_is_a_bijection(d in 1u32..12) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..u64::from(d) * u64::from(d) {
+            let (x, y) = zigzag_coord(i, d);
+            prop_assert!(x < d && y < d);
+            prop_assert_eq!(zigzag_index(x, y, d), i);
+            prop_assert!(seen.insert((x, y)));
+        }
+    }
+
+    /// Consecutive zig-zag pixels are grid-adjacent (the tape of Figure 7(b) is connected).
+    #[test]
+    fn zigzag_path_is_connected(d in 1u32..12) {
+        for i in 1..u64::from(d) * u64::from(d) {
+            let (x0, y0) = zigzag_coord(i - 1, d);
+            let (x1, y1) = zigzag_coord(i, d);
+            prop_assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
+        }
+    }
+
+    /// Congruence is invariant under translation and rotation.
+    #[test]
+    fn congruence_is_rotation_and_translation_invariant(
+        w in 1u32..5, h in 1u32..5, dx in -7i32..7, dy in -7i32..7, quarter_turns in 0u8..4
+    ) {
+        let shape = library::l_shape(w.max(2), h.max(2));
+        let mut moved = shape.translated(Coord::new2(dx, dy));
+        for _ in 0..quarter_turns {
+            moved = moved.rotated_cw();
+        }
+        prop_assert!(shape.congruent(&moved));
+        prop_assert_eq!(shape.len(), moved.len());
+    }
+
+    /// The enclosing square `S_G` of Section 3 has side `max_dim(G)` and contains `G`.
+    #[test]
+    fn enclosing_square_has_the_max_dimension_side(w in 1u32..6, h in 1u32..6) {
+        let shape = library::rectangle_shape(w, h);
+        let (square, offset) = LabeledSquare::enclosing_square(&shape).unwrap();
+        prop_assert_eq!(square.side(), w.max(h));
+        prop_assert_eq!(square.on_count(), shape.len());
+        for cell in shape.cells() {
+            let local = cell - offset;
+            prop_assert!(square.get(local.x as u32, local.y as u32));
+        }
+    }
+
+    /// Every labeled square from the TM library is a valid (connected) shape language
+    /// member, and its shape's maximum dimension equals the square side.
+    #[test]
+    fn library_squares_are_valid_language_members(d in 2u32..8) {
+        for computer in shape_constructors::tm::library::all_computers() {
+            let square = computer.labeled_square(d);
+            prop_assert!(square.is_valid_language_square(), "{} at d = {d}", computer.name());
+            prop_assert_eq!(square.shape().max_dim(), d);
+        }
+    }
+
+    /// Rotations form a group of order 4 in the plane: four quarter turns are the identity.
+    #[test]
+    fn planar_rotations_have_order_four(w in 1u32..5, h in 1u32..5) {
+        let shape = library::l_shape(w.max(2), h.max(2));
+        let rotated = shape.rotated_cw().rotated_cw().rotated_cw().rotated_cw();
+        prop_assert_eq!(shape.normalized(), rotated.normalized());
+        prop_assert_eq!(Rotation::all(shape_constructors::geometry::Dim::Two).len(), 4);
+    }
+
+    /// Binary-counter arithmetic used by the leader programs is consistent with `u64`.
+    #[test]
+    fn binary_counter_round_trips(value in 0u64..100_000) {
+        let mut counter = BinaryCounter::from_value(value);
+        prop_assert_eq!(counter.value(), value);
+        prop_assert_eq!(counter.len(), bit_width(value).max(1));
+        counter.increment();
+        prop_assert_eq!(counter.value(), value + 1);
+        counter.decrement();
+        prop_assert_eq!(counter.value(), value);
+    }
+
+    /// `integer_sqrt` is the floor square root.
+    #[test]
+    fn integer_sqrt_is_floor(n in 0u64..1_000_000) {
+        let r = integer_sqrt(n);
+        prop_assert!(r * r <= n);
+        prop_assert!((r + 1) * (r + 1) > n);
+    }
+
+    /// Theorem 1 invariants hold on every execution: the protocol halts and the final
+    /// count never exceeds `n − 1` while `r0 ≥ r1` throughout implies `2·r0 ≥` the number
+    /// of counted nodes.
+    #[test]
+    fn counting_always_halts_with_a_sane_count(n in 6usize..60, seed in 0u64..500) {
+        let outcome = run_counting(&CountingUpperBound::new(3), n, seed);
+        prop_assert!(outcome.halted);
+        prop_assert!(outcome.r0 <= n as u64 - 1);
+        prop_assert!(outcome.r0 >= 3, "the head start is always counted");
+    }
+
+    /// The abstract random walk of the Theorem 1 proof fails strictly less often with a
+    /// larger head start.
+    #[test]
+    fn walk_failure_is_monotone_in_the_head_start(n in 20u64..200) {
+        let low = simulate_counting_walk(n, 2, 2_000, 99).failure_rate;
+        let high = simulate_counting_walk(n, 6, 2_000, 99).failure_rate;
+        prop_assert!(high <= low + 1e-9);
+    }
+}
+
+#[test]
+fn shapes_of_the_library_are_connected_and_planar() {
+    for shape in [
+        library::line_shape(5),
+        library::square_shape(4),
+        library::rectangle_shape(3, 5),
+        library::l_shape(3, 4),
+        library::t_shape(5, 3),
+        library::plus_shape(2),
+        library::staircase_shape(4),
+        library::u_shape(4, 3),
+    ] {
+        assert!(shape.is_connected(), "{shape:?} is not connected");
+        assert!(shape.is_planar(), "{shape:?} is not planar");
+        assert!(!shape.is_empty());
+    }
+}
+
+#[test]
+fn canonical_forms_identify_congruent_but_distinguish_different_shapes() {
+    let a = library::l_shape(3, 4);
+    let b = a.rotated_cw().translated(Coord::new2(10, -3));
+    assert_eq!(a.canonical(), b.canonical());
+    let c = library::t_shape(4, 3);
+    assert_ne!(a.canonical(), c.canonical());
+    let d: Shape = library::rectangle_shape(3, 4);
+    assert_ne!(a.canonical(), d.canonical());
+}
