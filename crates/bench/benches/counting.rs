@@ -2,10 +2,10 @@
 //! and of the Counting-on-a-Line variant (Lemma 1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use nc_core::{Simulation, SimulationConfig};
 use nc_popproto::counting::{run_counting, CountingUpperBound};
 use nc_protocols::counting_line::CountingOnALine;
+use std::time::Duration;
 
 fn counting_upper_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting/upper-bound");
@@ -34,8 +34,10 @@ fn counting_on_a_line(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim =
-                    Simulation::new(CountingOnALine::new(4), SimulationConfig::new(n).with_seed(seed));
+                let mut sim = Simulation::new(
+                    CountingOnALine::new(4),
+                    SimulationConfig::new(n).with_seed(seed),
+                );
                 sim.run_until_any_halted()
             });
         });

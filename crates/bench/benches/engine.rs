@@ -2,10 +2,10 @@
 //! network-constructor engine under the Global Line and Square protocols.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use nc_core::{Simulation, SimulationConfig};
 use nc_protocols::line::GlobalLine;
 use nc_protocols::square::Square;
+use std::time::Duration;
 
 fn engine_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/steps");
@@ -14,7 +14,8 @@ fn engine_steps(c: &mut Criterion) {
     for &n in &[16usize, 64, 256] {
         group.bench_with_input(BenchmarkId::new("global-line", n), &n, |b, &n| {
             b.iter(|| {
-                let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(1));
+                let mut sim =
+                    Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(1));
                 sim.run_steps(5_000);
                 sim.stats().steps
             });
@@ -30,5 +31,31 @@ fn engine_steps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_steps);
+/// Head-to-head: legacy rejection sampling vs the adaptive indexed sampler on full
+/// runs to stability (the regime where the index pays off).
+fn sampling_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/stabilize");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = SimulationConfig::new(n).with_seed(1).with_legacy_sampling();
+                let mut sim = Simulation::new(GlobalLine::new(), config);
+                sim.run_until_stable()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(1));
+                sim.run_until_stable()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_steps, sampling_modes);
 criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! and the self-replication of Section 7 (E11).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use nc_core::{Simulation, SimulationConfig};
 use nc_geometry::library;
 use nc_protocols::line::GlobalLine;
 use nc_protocols::self_replication::replicate;
 use nc_protocols::square::Square;
 use nc_protocols::square2::Square2;
+use std::time::Duration;
 
 fn basic_constructors(c: &mut Criterion) {
     let mut group = c.benchmark_group("shapes/stabilize");
@@ -20,7 +20,8 @@ fn basic_constructors(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(seed));
+                let mut sim =
+                    Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(seed));
                 sim.run_until_stable()
             });
         });
@@ -28,7 +29,8 @@ fn basic_constructors(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(seed));
+                let mut sim =
+                    Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(seed));
                 sim.run_until_stable()
             });
         });
@@ -36,7 +38,8 @@ fn basic_constructors(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(n).with_seed(seed));
+                let mut sim =
+                    Simulation::new(Square2::new(), SimulationConfig::new(n).with_seed(seed));
                 sim.run_until_stable()
             });
         });

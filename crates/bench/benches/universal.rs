@@ -2,11 +2,11 @@
 //! Remark 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use nc_protocols::pattern::{checkerboard_pattern, paint};
 use nc_protocols::universal::{construct, UniversalConstructor};
 use nc_tm::library;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn universal_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("universal/shape");

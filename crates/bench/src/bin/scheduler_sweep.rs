@@ -1,0 +1,110 @@
+//! The scheduler n-sweep: `GlobalLine` runs to stability under the legacy rejection
+//! sampler and under the adaptive indexed sampler, on the same seed, for
+//! n = 64 … 1024. Emits `BENCH_scheduler.json` (steps/sec and speedup per size), the
+//! perf baseline that later PRs compare against.
+//!
+//! ```text
+//! cargo run -p nc-bench --release --bin scheduler_sweep            # writes BENCH_scheduler.json
+//! cargo run -p nc-bench --release --bin scheduler_sweep -- --out /dev/stdout
+//! ```
+
+use nc_core::{SamplingMode, Simulation, SimulationConfig, StopReason};
+use nc_protocols::line::GlobalLine;
+use std::time::Instant;
+
+struct Row {
+    n: usize,
+    mode: &'static str,
+    seed: u64,
+    seconds: f64,
+    steps: u64,
+    effective_steps: u64,
+    steps_per_sec: f64,
+    stabilized: bool,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"n\": {}, \"mode\": \"{}\", \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"steps_per_sec\": {:.1}, \"stabilized\": {}}}",
+            self.n,
+            self.mode,
+            self.seed,
+            self.seconds,
+            self.steps,
+            self.effective_steps,
+            self.steps_per_sec,
+            self.stabilized
+        )
+    }
+}
+
+fn run_one(n: usize, seed: u64, mode: SamplingMode) -> Row {
+    let config = SimulationConfig::new(n)
+        .with_seed(seed)
+        .with_max_steps(2_000_000_000)
+        .with_sampling(mode);
+    let mut sim = Simulation::new(GlobalLine::new(), config);
+    let started = Instant::now();
+    let report = sim.run_until_stable();
+    let seconds = started.elapsed().as_secs_f64();
+    assert!(
+        report.reason != StopReason::Stable || sim.output_shape().is_line(n),
+        "a stable GlobalLine run must produce the spanning line"
+    );
+    Row {
+        n,
+        mode: match mode {
+            SamplingMode::Legacy => "legacy",
+            SamplingMode::Adaptive => "indexed",
+        },
+        seed,
+        seconds,
+        steps: report.steps,
+        effective_steps: report.effective_steps,
+        steps_per_sec: report.steps as f64 / seconds.max(1e-9),
+        stabilized: report.reason == StopReason::Stable,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let seed = 1u64;
+    let mut rows: Vec<Row> = Vec::new();
+    eprintln!("protocol = global-line, seed = {seed}, run_until_stable wall-clock");
+    eprintln!(
+        "{:>6}  {:>8}  {:>12}  {:>12}  {:>14}  {:>7}",
+        "n", "mode", "seconds", "steps", "steps/sec", "stable"
+    );
+    for &n in &sizes {
+        let mut seconds_per_mode = Vec::new();
+        for mode in [SamplingMode::Legacy, SamplingMode::Adaptive] {
+            let row = run_one(n, seed, mode);
+            eprintln!(
+                "{:>6}  {:>8}  {:>12.3}  {:>12}  {:>14.0}  {:>7}",
+                row.n, row.mode, row.seconds, row.steps, row.steps_per_sec, row.stabilized
+            );
+            seconds_per_mode.push(row.seconds);
+            rows.push(row);
+        }
+        eprintln!(
+            "{n:>6}  speedup (legacy/indexed): {:.2}x",
+            seconds_per_mode[0] / seconds_per_mode[1].max(1e-9)
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"protocol\": \"global-line\",\n  \"metric\": \"run_until_stable wall-clock, same seed per size\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench artifact");
+    eprintln!("wrote {out_path}");
+}

@@ -52,11 +52,32 @@ pub fn e6(quick: bool) -> Experiment {
     ]);
     for &n in sizes {
         let (s, e, r) = measure(GlobalLine::new(), n, trials, 0xE6);
-        table.row(&["global-line".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+        table.row(&[
+            "global-line".into(),
+            n.to_string(),
+            trials.to_string(),
+            format!("{r:.2}"),
+            f1(s),
+            f1(e),
+        ]);
         let (s, e, r) = measure(Square::new(), n, trials, 0x1E6);
-        table.row(&["square (P1)".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+        table.row(&[
+            "square (P1)".into(),
+            n.to_string(),
+            trials.to_string(),
+            format!("{r:.2}"),
+            f1(s),
+            f1(e),
+        ]);
         let (s, e, r) = measure(Square2::new(), n, trials, 0x2E6);
-        table.row(&["square2 (P2)".into(), n.to_string(), trials.to_string(), format!("{r:.2}"), f1(s), f1(e)]);
+        table.row(&[
+            "square2 (P2)".into(),
+            n.to_string(),
+            trials.to_string(),
+            format!("{r:.2}"),
+            f1(s),
+            f1(e),
+        ]);
     }
     Experiment {
         id: "E6",

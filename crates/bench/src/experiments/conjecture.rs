@@ -22,7 +22,8 @@ pub fn e12(quick: bool) -> Experiment {
         "mean steps to first termination",
     ]);
     for &n in sizes {
-        let evidence = evidence_for_conjecture(&LeaderlessCounting::new(2, window), n, trials, 0xE12);
+        let evidence =
+            evidence_for_conjecture(&LeaderlessCounting::new(2, window), n, trials, 0xE12);
         table.row(&[
             n.to_string(),
             window.to_string(),

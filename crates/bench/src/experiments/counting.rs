@@ -16,7 +16,15 @@ pub fn e1(quick: bool) -> Experiment {
         (&[50, 100, 200, 500, 1000], 200)
     };
     let head_starts: &[u64] = if quick { &[3, 4] } else { &[3, 4, 5] };
-    let mut table = Table::new(&["n", "b", "trials", "halt_rate", "success_rate", "mean r0/n", "mean steps"]);
+    let mut table = Table::new(&[
+        "n",
+        "b",
+        "trials",
+        "halt_rate",
+        "success_rate",
+        "mean r0/n",
+        "mean steps",
+    ]);
     for &n in sizes {
         let trials = if n >= 1000 { trials.min(25) } else { trials };
         for &b in head_starts {

@@ -75,7 +75,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.columns, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -166,11 +168,25 @@ mod tests {
         assert!(by_id("nonexistent", true).is_none());
         // Do not actually run an experiment here (that is covered by the per-module
         // tests); just check that the dispatch table knows all identifiers.
-        for id in ["E1", "e2", "E3", "e4", "e5", "e6", "e7", "e8", "e9", "e10b", "e11", "e12", "e13"] {
+        for id in [
+            "E1", "e2", "E3", "e4", "e5", "e6", "e7", "e8", "e9", "e10b", "e11", "e12", "e13",
+        ] {
             assert!(
-                matches!(id.to_ascii_lowercase().as_str(),
-                    "e1" | "e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e9" | "e10b" | "e11"
-                        | "e12" | "e13"),
+                matches!(
+                    id.to_ascii_lowercase().as_str(),
+                    "e1" | "e2"
+                        | "e3"
+                        | "e4"
+                        | "e5"
+                        | "e6"
+                        | "e7"
+                        | "e8"
+                        | "e9"
+                        | "e10b"
+                        | "e11"
+                        | "e12"
+                        | "e13"
+                ),
                 "{id} missing from dispatch"
             );
         }

@@ -1,10 +1,10 @@
 //! E8: the terminating Square-Knowing-n constructor (Section 6.2, Lemma 2).
 
 use super::{f1, f3, Experiment, Table};
-use nc_protocols::replication_line::{count_free_lines, LineReplication};
-use nc_protocols::universal::{construct, UniversalConstructor};
 use nc_core::{NodeId, Simulation, SimulationConfig};
 use nc_geometry::Dir;
+use nc_protocols::replication_line::{count_free_lines, LineReplication};
+use nc_protocols::universal::{construct, UniversalConstructor};
 
 /// E8 — Lemma 2 / Figures 5–6: knowing `n`, the constructor terminates having built the
 /// `√n × √n` square; the companion line-replication machinery (Protocol 5) mass-produces
@@ -53,7 +53,11 @@ pub fn e8(quick: bool) -> Experiment {
     // Companion measurement: how many full-length replicas Protocol 5 produces from one
     // seed line within a fixed step budget (the replication machinery of Figures 5–6).
     let mut rep = Table::new(&["seed length", "n", "steps", "free full-length replicas"]);
-    let (len, n, budget) = if quick { (4usize, 16usize, 200_000u64) } else { (6, 36, 2_000_000) };
+    let (len, n, budget) = if quick {
+        (4usize, 16usize, 200_000u64)
+    } else {
+        (6, 36, 2_000_000)
+    };
     let mut sim = Simulation::new(
         LineReplication::new(len),
         SimulationConfig::new(n).with_seed(0x8E8),

@@ -15,7 +15,15 @@ pub fn e4(quick: bool) -> Experiment {
         (&[6, 8, 10, 12, 16], 40)
     };
     let b = 2;
-    let mut table = Table::new(&["n", "b", "trials", "terminated", "exact count", "mean steps", "n^b"]);
+    let mut table = Table::new(&[
+        "n",
+        "b",
+        "trials",
+        "terminated",
+        "exact count",
+        "mean steps",
+        "n^b",
+    ]);
     for &n in sizes {
         let mut terminated = 0u32;
         let mut exact = 0u32;
@@ -74,7 +82,8 @@ pub fn e5(quick: bool) -> Experiment {
         let mut steps = 0.0;
         let budget = 256 * (n as u64) * (n as u64);
         for t in 0..trials {
-            let outcome = run_improved_uid(&ImprovedUidCounting::new(b), n, 0xE5 + u64::from(t), budget);
+            let outcome =
+                run_improved_uid(&ImprovedUidCounting::new(b), n, 0xE5 + u64::from(t), budget);
             halted += u32::from(outcome.halted);
             is_max += u32::from(outcome.halter_is_max);
             success += u32::from(outcome.success);
@@ -92,7 +101,8 @@ pub fn e5(quick: bool) -> Experiment {
     }
     Experiment {
         id: "E5",
-        artefact: "Theorem 3 / Protocol 3: improved UID counting — max id halts with an upper bound",
+        artefact:
+            "Theorem 3 / Protocol 3: improved UID counting — max id halts with an upper bound",
         table: table.render(),
     }
 }

@@ -76,7 +76,8 @@ pub fn e10b(quick: bool) -> Experiment {
         "TM steps / pixel (mean)",
     ]);
     // Oracle (predicate) vs TM-backed deciders for the same languages.
-    let pairs: Vec<(Arc<dyn ShapeComputer>, Arc<dyn ShapeComputer>, &str)> = vec![
+    type ComputerPair = (Arc<dyn ShapeComputer>, Arc<dyn ShapeComputer>, &'static str);
+    let pairs: Vec<ComputerPair> = vec![
         (
             Arc::from(library::full_square_computer()),
             Arc::new(library::full_square_tm_computer()),
@@ -95,11 +96,7 @@ pub fn e10b(quick: bool) -> Experiment {
             let report = construct(protocol, n, 0x10B);
             let tm_steps = if kind == "TM" {
                 let runs: Vec<u64> = (0..d * d)
-                    .map(|i| {
-                        library::bottom_row_tm_computer()
-                            .run_pixel(i, d)
-                            .steps
-                    })
+                    .map(|i| library::bottom_row_tm_computer().run_pixel(i, d).steps)
                     .collect();
                 format!("{:.1}", runs.iter().sum::<u64>() as f64 / runs.len() as f64)
             } else {

@@ -54,7 +54,10 @@ mod tests {
     fn e3_failure_decreases_with_b() {
         let exact_b3 = simulate_counting_walk(200, 3, 4_000, 7).failure_rate;
         let exact_b5 = simulate_counting_walk(200, 5, 4_000, 7).failure_rate;
-        assert!(exact_b5 <= exact_b3, "larger head start must not fail more often");
+        assert!(
+            exact_b5 <= exact_b3,
+            "larger head start must not fail more often"
+        );
         let e = e3(true);
         assert!(e.table.contains("Theorem 1 bound"));
     }

@@ -9,8 +9,11 @@
 //!   plain-text table;
 //! * the `experiments` binary (`cargo run -p nc-bench --release --bin experiments`)
 //!   runs any subset of them from the command line;
+//! * the `scheduler_sweep` binary regenerates `BENCH_scheduler.json`, the
+//!   legacy-vs-indexed scheduler perf baseline (GlobalLine, n = 64 … 1024);
 //! * the Criterion benches (`benches/`) time the underlying machinery (simulator
-//!   throughput, counting, basic shape constructors, universal construction).
+//!   throughput, sampling modes head-to-head, counting, basic shape constructors,
+//!   universal construction).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,6 +3,36 @@
 use crate::NodeId;
 use nc_geometry::{Coord, Rotation};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, used as a *deterministic* hasher for component occupancy maps.
+///
+/// The interaction index and the enumerated permissible set iterate these maps, so their
+/// iteration order feeds into which candidate interaction a scan reports first and into
+/// the order of the sampler's enumerated set. `RandomState` would make seeded executions
+/// differ between runs; a fixed hash function keeps them reproducible.
+#[derive(Default)]
+pub struct DeterministicHasher(u64);
+
+impl Hasher for DeterministicHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = hash;
+    }
+}
+
+/// Deterministic `BuildHasher` for occupancy maps.
+pub type DeterministicState = BuildHasherDefault<DeterministicHasher>;
 
 /// The pose of a node inside its component's frame: a grid position and the rotation
 /// mapping the node's local port directions to component-frame directions.
@@ -43,14 +73,14 @@ impl Default for Placement {
 #[derive(Clone, Debug, Default)]
 pub struct Component {
     members: Vec<NodeId>,
-    occupied: HashMap<Coord, NodeId>,
+    occupied: HashMap<Coord, NodeId, DeterministicState>,
 }
 
 impl Component {
     /// Creates a singleton component containing `node` at the origin of its frame.
     #[must_use]
     pub fn singleton(node: NodeId) -> Component {
-        let mut occupied = HashMap::new();
+        let mut occupied = HashMap::default();
         occupied.insert(Coord::ORIGIN, node);
         Component {
             members: vec![node],

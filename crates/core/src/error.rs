@@ -40,7 +40,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UnknownNode(n) => write!(f, "unknown node {n}"),
             CoreError::InvalidPort { node, port } => {
-                write!(f, "port {port} does not exist on node {node} in this dimension")
+                write!(
+                    f,
+                    "port {port} does not exist on node {node} in this dimension"
+                )
             }
             CoreError::StepBudgetExhausted { steps } => {
                 write!(f, "step budget exhausted after {steps} steps")
@@ -62,7 +65,9 @@ mod tests {
             actual: 1,
         };
         assert!(e.to_string().contains("too small"));
-        assert!(CoreError::UnknownNode(NodeId::new(3)).to_string().contains("n3"));
+        assert!(CoreError::UnknownNode(NodeId::new(3))
+            .to_string()
+            .contains("n3"));
         assert!(CoreError::StepBudgetExhausted { steps: 10 }
             .to_string()
             .contains("10"));

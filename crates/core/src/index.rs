@@ -1,0 +1,155 @@
+//! The incremental interaction index: bookkeeping that makes stability detection and
+//! effective-pair lookup amortised `O(active)` instead of `O(n² · ports²)`.
+//!
+//! # Design
+//!
+//! A pair of node-ports can only *become* effective when something about one of its
+//! endpoints changes: a state, the bond between the two ports, or the geometry of an
+//! endpoint's component. [`crate::World::apply`] translates every delta it produces into
+//! *dirty* marks on exactly the nodes whose pairs may have become effective:
+//!
+//! * a state change or a bond flip marks the two participants;
+//! * a merge marks every *moved* node (the members of the absorbed component — the
+//!   surviving component's cells only gain neighbours, which can remove permissible
+//!   pairs but never create effective ones);
+//! * a split marks every member of the pre-split component (both halves shrink, which
+//!   can unlock merge placements for all of them).
+//!
+//! A stability query drains the dirty queue: each dirty node is scanned against the whole
+//! population; a node is cleaned only when its scan finds nothing. Because every
+//! effective pair must keep at least one dirty endpoint (or be the cached candidate from
+//! a previous scan), an empty queue with no valid candidate proves stability. Each dirty
+//! mark is therefore paid for **once**, regardless of how often stability is queried —
+//! which is what lets [`crate::Simulation::run_until_stable`] check for stability after
+//! every step and stop exactly at stabilisation.
+//!
+//! The index lives behind a [`RefCell`] so that read-only queries
+//! ([`crate::World::is_stable`] takes `&self`) can update the memoisation. As a
+//! consequence `World` is not `Sync`; see the ROADMAP's sharding item for the plan to
+//! replace this with per-shard indices.
+
+use crate::{Interaction, NodeId};
+use std::cell::{Cell, RefCell, RefMut};
+
+/// Counters describing how much work the index has done (and saved).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Nodes marked dirty since creation (includes re-marks of already-dirty nodes).
+    pub dirty_marks: u64,
+    /// Full per-node scans performed while draining the dirty queue.
+    pub node_scans: u64,
+    /// Queries answered by revalidating the cached candidate interaction.
+    pub candidate_hits: u64,
+    /// Queries answered immediately by the quiescent flag (configuration known stable).
+    pub quiescent_hits: u64,
+}
+
+/// The mutable part of the index (see the module docs for the invariant).
+pub(crate) struct IndexState {
+    /// Per-node dirty flag; `true` iff the node is in `queue`.
+    pub(crate) dirty: Vec<bool>,
+    /// Nodes whose pairs must be rescanned before stability can be concluded.
+    pub(crate) queue: Vec<NodeId>,
+    /// The most recently found effective interaction; revalidated in `O(1)` before any
+    /// scan work happens.
+    pub(crate) candidate: Option<Interaction>,
+    /// `true` once a drain proved that no effective pair exists; reset by any dirty mark.
+    pub(crate) quiescent: bool,
+    /// Work counters.
+    pub(crate) stats: IndexStats,
+}
+
+/// Interior-mutable wrapper so `&World` queries can memoise their progress.
+pub(crate) struct InteractionIndex {
+    inner: RefCell<IndexState>,
+    /// Monotonically increasing configuration version: bumped on every observable world
+    /// change so that samplers can cache derived structures (e.g. the enumerated
+    /// permissible set) and invalidate them precisely. The version starts at a
+    /// process-unique value (see `new`), so versions from two different worlds never
+    /// collide — a scheduler driven against several worlds cannot replay a cached
+    /// structure into the wrong one.
+    version: Cell<u64>,
+}
+
+impl InteractionIndex {
+    /// Creates the index for `n` nodes with every node dirty (nothing proven yet).
+    pub(crate) fn new(n: usize) -> InteractionIndex {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Disjoint per-world version ranges: each world claims a 2⁴⁰-wide window, far
+        // beyond any realistic number of configuration changes.
+        static NEXT_WORLD: AtomicU64 = AtomicU64::new(0);
+        let base = NEXT_WORLD.fetch_add(1, Ordering::Relaxed) << 40;
+        InteractionIndex {
+            inner: RefCell::new(IndexState {
+                dirty: vec![true; n],
+                queue: (0..n as u32).map(NodeId::new).collect(),
+                candidate: None,
+                quiescent: false,
+                stats: IndexStats::default(),
+            }),
+            version: Cell::new(base),
+        }
+    }
+
+    /// The current configuration version.
+    pub(crate) fn version(&self) -> u64 {
+        self.version.get()
+    }
+
+    /// Records an observable world change (invalidates samplers' caches).
+    pub(crate) fn bump_version(&self) {
+        self.version.set(self.version.get() + 1);
+    }
+
+    /// Marks a node dirty: some pair involving it may have become effective.
+    pub(crate) fn mark_dirty(&self, node: NodeId) {
+        let mut state = self.inner.borrow_mut();
+        state.stats.dirty_marks += 1;
+        state.quiescent = false;
+        if !state.dirty[node.index()] {
+            state.dirty[node.index()] = true;
+            state.queue.push(node);
+        }
+    }
+
+    /// Exclusive access to the drain state for the scan loop in `World`.
+    pub(crate) fn lock(&self) -> RefMut<'_, IndexState> {
+        self.inner.borrow_mut()
+    }
+
+    /// A snapshot of the work counters.
+    pub(crate) fn stats(&self) -> IndexStats {
+        self.inner.borrow().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_deduplicate_but_count() {
+        let index = InteractionIndex::new(3);
+        {
+            let mut state = index.lock();
+            state.queue.clear();
+            state.dirty.fill(false);
+            state.quiescent = true;
+        }
+        index.mark_dirty(NodeId::new(1));
+        index.mark_dirty(NodeId::new(1));
+        let state = index.lock();
+        assert_eq!(state.queue, vec![NodeId::new(1)]);
+        assert!(state.dirty[1] && !state.dirty[0]);
+        assert!(!state.quiescent);
+        assert_eq!(state.stats.dirty_marks, 2);
+    }
+
+    #[test]
+    fn versions_increase() {
+        let index = InteractionIndex::new(1);
+        let v0 = index.version();
+        index.bump_version();
+        assert_eq!(index.version(), v0 + 1);
+    }
+}

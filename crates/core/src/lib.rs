@@ -54,8 +54,10 @@
 
 mod component;
 mod error;
+mod index;
 mod node;
 mod protocol;
+pub mod rng;
 pub mod scheduler;
 mod simulation;
 mod stats;
@@ -63,8 +65,10 @@ mod world;
 
 pub use component::{Component, Placement};
 pub use error::CoreError;
+pub use index::IndexStats;
 pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
+pub use scheduler::SamplingMode;
 pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
 pub use stats::ExecutionStats;
 pub use world::{Interaction, Permissibility, World};

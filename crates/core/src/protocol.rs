@@ -127,7 +127,14 @@ mod tests {
             0
         }
 
-        fn transition(&self, _a: &u8, _pa: Dir, _b: &u8, _pb: Dir, _c: bool) -> Option<Transition<u8>> {
+        fn transition(
+            &self,
+            _a: &u8,
+            _pa: Dir,
+            _b: &u8,
+            _pb: Dir,
+            _c: bool,
+        ) -> Option<Transition<u8>> {
             None
         }
     }

@@ -1,0 +1,37 @@
+//! The single seeding point for every random number generator in the runtime.
+//!
+//! Both samplers — the geometric [`crate::scheduler::UniformScheduler`] and (through it)
+//! the population-protocol clique engine — and the Monte-Carlo experiment helpers build
+//! their generators here, so changing the generator or the seeding discipline is a
+//! one-module change. This replaces the scattered `StdRng::from_entropy()` /
+//! `StdRng::seed_from_u64` call sites of the original tree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic generator for the given seed. Fixed seeds make executions
+/// reproducible; all reproducibility guarantees in this workspace are stated against
+/// this constructor.
+#[must_use]
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A generator seeded from ambient entropy (wall clock + process counter). Use only
+/// where reproducibility is explicitly not wanted.
+#[must_use]
+pub fn from_entropy() -> StdRng {
+    seeded(rand::entropy_seed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeded_is_deterministic_and_entropy_is_not() {
+        assert_eq!(seeded(5).next_u64(), seeded(5).next_u64());
+        assert_ne!(from_entropy().next_u64(), from_entropy().next_u64());
+    }
+}

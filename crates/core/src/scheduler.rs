@@ -5,10 +5,50 @@
 //! the interactions permitted by the current configuration. That scheduler is also the
 //! probabilistic assumption behind every "with high probability" statement, so it is the
 //! default here. A greedy deterministic scheduler is provided for fast-forwarding tests.
+//!
+//! # Sampling strategies
+//!
+//! Two strategies realise the same uniform distribution over permissible pairs:
+//!
+//! * **Rejection sampling** (the original implementation, kept verbatim behind
+//!   [`SamplingMode::Legacy`]): draw an unordered node-port pair uniformly from all
+//!   `(n·k choose 2)` candidates and redraw until a permissible one is found.
+//!   Conditioning a uniform distribution on the permissible subset yields exactly the
+//!   uniform distribution over permissible pairs. Cheap while the permissible set is
+//!   dense (early phases, many free nodes), but the expected number of redraws is
+//!   `(n·k)² / |permissible|`, which degenerates to `Θ(n·k²)` per step late in a
+//!   construction when almost everything is bonded or halted.
+//! * **Enumerated sampling**: ask the world for the exact permissible set
+//!   ([`crate::World::enumerate_permissible`]) and draw one element with a single
+//!   `gen_range`. One enumeration is `O(n·k)` plus the cross-component pairs, and the
+//!   result is cached until the configuration version changes, so late phases cost
+//!   `O(1)` per step. The drawn distribution is uniform over the same set, so every
+//!   "w.h.p." statement is unaffected.
+//!
+//! [`SamplingMode::Adaptive`] (the default) starts with rejection sampling and switches
+//! to enumerated sampling for a configuration once a draw takes more than
+//! [`UniformScheduler::SWITCH_THRESHOLD`] rejections — i.e. exactly when the acceptance
+//! rate has collapsed. The two modes generally consume the seeded RNG stream
+//! differently, so runs are reproducible *per mode*; [`SamplingMode::Legacy`] reproduces
+//! the original sampler byte for byte, which the equivalence suite uses as its
+//! reference.
 
 use crate::{Interaction, Protocol, World};
 use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, RngCore};
+
+/// How the uniform scheduler realises the uniform distribution over permissible pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Rejection sampling with an adaptive fallback to enumerated sampling when the
+    /// acceptance rate collapses. Same distribution, amortised `O(1)` draws per step in
+    /// sparse configurations.
+    #[default]
+    Adaptive,
+    /// Pure rejection sampling, byte-identical to the original implementation for a
+    /// given seed. Used by the equivalence suite and available for exact replays.
+    Legacy,
+}
 
 /// A scheduler selects the next permissible interaction of a configuration.
 pub trait Scheduler {
@@ -17,37 +57,69 @@ pub trait Scheduler {
     fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction>;
 }
 
-/// The uniform random scheduler of the paper.
-///
-/// Implemented by rejection sampling: an unordered pair of node-ports is drawn uniformly
-/// from all `(n·k choose 2)` candidates (where `k` is the number of ports per node) and
-/// re-drawn until a permissible one is found. Conditioning a uniform distribution on the
-/// permissible subset yields exactly the uniform distribution over permissible pairs, so
-/// no enumeration of the permissible set is needed.
+/// The uniform random scheduler of the paper. See the module docs for the two sampling
+/// strategies.
 #[derive(Debug)]
 pub struct UniformScheduler {
     rng: StdRng,
-    /// Safety valve: give up after this many rejected samples (only reachable for n = 1).
+    mode: SamplingMode,
+    /// Safety valve: give up after this many rejected samples (only reachable for n = 1,
+    /// or in legacy mode for configurations with a vanishing permissible set).
     max_attempts: u32,
+    /// Whether the acceptance rate has collapsed (enumerate instead of rejecting).
+    collapsed: bool,
+    /// Cached enumerated permissible set, valid for `cache_version`.
+    cache: Vec<Interaction>,
+    cache_version: u64,
+    cache_valid: bool,
+    /// Configuration version for which enumeration was refused (cross-component budget
+    /// exceeded); pure rejection is used without re-probing until the version changes.
+    refused_version: Option<u64>,
 }
 
 impl UniformScheduler {
-    /// Creates a scheduler from a seed (fixed seeds make executions reproducible).
+    /// Rejections within one draw before the adaptive mode switches to enumeration.
+    /// Rejection sampling needs `(n·k)² / |permissible|` draws in expectation, so hitting
+    /// this threshold means the permissible set occupies less than roughly 1/256 of the
+    /// candidate space — exactly the regime where enumerating it is cheap.
+    pub const SWITCH_THRESHOLD: u32 = 256;
+
+    /// Budget for the cross-component part of an enumeration, in node pairs, as a
+    /// multiple of the population size. Above it the sampler stays with rejection (a
+    /// large cross-component universe implies a dense permissible set anyway).
+    const CROSS_BUDGET_PER_NODE: usize = 64;
+
+    /// Creates a scheduler from a seed with the default adaptive sampling mode.
     #[must_use]
     pub fn seeded(seed: u64) -> UniformScheduler {
+        UniformScheduler::with_mode(seed, SamplingMode::default())
+    }
+
+    /// Creates a scheduler from a seed with an explicit sampling mode.
+    #[must_use]
+    pub fn with_mode(seed: u64, mode: SamplingMode) -> UniformScheduler {
         UniformScheduler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: crate::rng::seeded(seed),
+            mode,
             max_attempts: 10_000_000,
+            collapsed: false,
+            cache: Vec::new(),
+            cache_version: 0,
+            cache_valid: false,
+            refused_version: None,
         }
     }
 
-    /// Creates a scheduler from operating-system entropy.
+    /// Creates a scheduler from ambient entropy (see [`crate::rng::from_entropy`]).
     #[must_use]
     pub fn from_entropy() -> UniformScheduler {
-        UniformScheduler {
-            rng: StdRng::from_entropy(),
-            max_attempts: 10_000_000,
-        }
+        UniformScheduler::seeded(rand::entropy_seed())
+    }
+
+    /// The sampling mode this scheduler uses.
+    #[must_use]
+    pub fn mode(&self) -> SamplingMode {
+        self.mode
     }
 
     /// Access to the underlying random number generator (used by protocols that need
@@ -55,37 +127,106 @@ impl UniformScheduler {
     pub fn rng(&mut self) -> &mut impl RngCore {
         &mut self.rng
     }
-}
 
-impl Scheduler for UniformScheduler {
-    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+    /// One uniform draw from the full candidate space, or `None` if it is not
+    /// permissible (a rejection). Identical to one iteration of the original sampler.
+    fn draw<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
         let n = world.len();
-        if n < 2 {
+        let ports = world.dim().dirs();
+        let a = self.rng.gen_range(0..n);
+        let b = self.rng.gen_range(0..n);
+        if a == b {
             return None;
         }
-        let ports = world.dim().dirs();
+        let pa = ports[self.rng.gen_range(0..ports.len())];
+        let pb = ports[self.rng.gen_range(0..ports.len())];
+        world.interaction(
+            crate::NodeId::new(a as u32),
+            pa,
+            crate::NodeId::new(b as u32),
+            pb,
+        )
+    }
+
+    fn next_legacy<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
         for _ in 0..self.max_attempts {
-            let a = self.rng.gen_range(0..n);
-            let b = self.rng.gen_range(0..n);
-            if a == b {
-                continue;
-            }
-            let pa = ports[self.rng.gen_range(0..ports.len())];
-            let pb = ports[self.rng.gen_range(0..ports.len())];
-            if let Some(interaction) =
-                world.interaction(crate::NodeId::new(a as u32), pa, crate::NodeId::new(b as u32), pb)
-            {
+            if let Some(interaction) = self.draw(world) {
                 return Some(interaction);
             }
         }
         None
     }
+
+    fn next_adaptive<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        let version = world.version();
+        if self.cache_valid && self.cache_version == version {
+            return self.sample_cached();
+        }
+        self.cache_valid = false;
+        if self.refused_version == Some(version) {
+            // Enumeration was already refused for this exact configuration: rejection
+            // sampling is the chosen tool until something changes.
+            return self.next_legacy(world);
+        }
+        self.refused_version = None;
+        if !self.collapsed {
+            for _ in 0..Self::SWITCH_THRESHOLD {
+                if let Some(interaction) = self.draw(world) {
+                    return Some(interaction);
+                }
+            }
+            self.collapsed = true;
+        }
+        match world.enumerate_permissible(Self::CROSS_BUDGET_PER_NODE * world.len()) {
+            Some(pairs) => {
+                // If the permissible set turns out dense after all, rejection would be
+                // cheap again: leave collapsed mode once the configuration changes.
+                let ports = world.dim().dirs().len();
+                let universe = (world.len() * ports).pow(2) / 2;
+                if pairs.len().saturating_mul(64) >= universe {
+                    self.collapsed = false;
+                }
+                self.cache = pairs;
+                self.cache_version = version;
+                self.cache_valid = true;
+                self.sample_cached()
+            }
+            None => {
+                // Enumeration over budget: the cross-component universe is large, so
+                // rejection sampling is the right tool while this configuration lasts.
+                self.collapsed = false;
+                self.refused_version = Some(version);
+                self.next_legacy(world)
+            }
+        }
+    }
+
+    fn sample_cached(&mut self) -> Option<Interaction> {
+        if self.cache.is_empty() {
+            return None;
+        }
+        let pick = self.rng.gen_range(0..self.cache.len());
+        Some(self.cache[pick])
+    }
 }
 
-/// A deterministic scheduler that always picks an *effective* interaction if one exists
-/// (scanning nodes in index order). Useful to fast-forward constructions in unit tests
-/// where the probabilistic schedule is irrelevant; it is fair on every execution it
-/// completes because it only stops when no effective interaction remains.
+impl Scheduler for UniformScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        if world.len() < 2 {
+            return None;
+        }
+        match self.mode {
+            SamplingMode::Legacy => self.next_legacy(world),
+            SamplingMode::Adaptive => self.next_adaptive(world),
+        }
+    }
+}
+
+/// A deterministic scheduler that always picks an *effective* interaction if one exists,
+/// through the incremental interaction index (amortised `O(active)` instead of a full
+/// scan). Useful to fast-forward constructions in unit tests where the probabilistic
+/// schedule is irrelevant; it is fair on every execution it completes because it only
+/// stops when no effective interaction remains.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct GreedyScheduler;
 
@@ -116,7 +257,14 @@ mod tests {
             S::Single
         }
 
-        fn transition(&self, a: &S, _pa: Dir, b: &S, _pb: Dir, bonded: bool) -> Option<Transition<S>> {
+        fn transition(
+            &self,
+            a: &S,
+            _pa: Dir,
+            b: &S,
+            _pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<S>> {
             if !bonded && *a == S::Single && *b == S::Single {
                 Some(Transition {
                     a: S::Paired,
@@ -131,11 +279,28 @@ mod tests {
 
     #[test]
     fn uniform_scheduler_is_reproducible() {
-        let world = World::new(Pairing, 6);
-        let mut s1 = UniformScheduler::seeded(42);
-        let mut s2 = UniformScheduler::seeded(42);
-        for _ in 0..20 {
-            assert_eq!(s1.next_interaction(&world), s2.next_interaction(&world));
+        for mode in [SamplingMode::Adaptive, SamplingMode::Legacy] {
+            let world = World::new(Pairing, 6);
+            let mut s1 = UniformScheduler::with_mode(42, mode);
+            let mut s2 = UniformScheduler::with_mode(42, mode);
+            for _ in 0..20 {
+                assert_eq!(s1.next_interaction(&world), s2.next_interaction(&world));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_and_legacy_agree_before_the_switch() {
+        // On a dense configuration the adaptive sampler never collapses, so it consumes
+        // the seeded stream exactly like the legacy sampler.
+        let world = World::new(Pairing, 8);
+        let mut legacy = UniformScheduler::with_mode(9, SamplingMode::Legacy);
+        let mut adaptive = UniformScheduler::with_mode(9, SamplingMode::Adaptive);
+        for _ in 0..50 {
+            assert_eq!(
+                legacy.next_interaction(&world),
+                adaptive.next_interaction(&world)
+            );
         }
     }
 
@@ -148,16 +313,94 @@ mod tests {
 
     #[test]
     fn uniform_scheduler_only_returns_permissible_pairs() {
-        let mut world = World::new(Pairing, 8);
-        let mut s = UniformScheduler::seeded(7);
-        for _ in 0..200 {
-            let interaction = s.next_interaction(&world).expect("pairs exist");
-            assert!(world
-                .permissibility(interaction.a, interaction.pa, interaction.b, interaction.pb)
-                .is_some());
-            world.apply(&interaction);
-            assert!(world.check_invariants());
+        for mode in [SamplingMode::Adaptive, SamplingMode::Legacy] {
+            let mut world = World::new(Pairing, 8);
+            let mut s = UniformScheduler::with_mode(7, mode);
+            for _ in 0..200 {
+                let interaction = s.next_interaction(&world).expect("pairs exist");
+                assert!(world
+                    .permissibility(interaction.a, interaction.pa, interaction.b, interaction.pb)
+                    .is_some());
+                world.apply(&interaction);
+                assert!(world.check_invariants());
+            }
         }
+    }
+
+    /// A head absorbs free nodes right-port-to-left-port into one straight chain.
+    struct Chain;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum C {
+        Head,
+        Body,
+        Free,
+    }
+
+    impl Protocol for Chain {
+        type State = C;
+
+        fn initial_state(&self, node: NodeId, _n: usize) -> C {
+            if node.index() == 0 {
+                C::Head
+            } else {
+                C::Free
+            }
+        }
+
+        fn transition(
+            &self,
+            a: &C,
+            pa: Dir,
+            b: &C,
+            _pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<C>> {
+            if !bonded && *a == C::Head && pa == Dir::Right && *b == C::Free {
+                Some(Transition {
+                    a: C::Body,
+                    b: C::Head,
+                    bond: true,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_mode_kicks_in_on_sparse_configurations() {
+        // A complete 16-node chain is a single component whose only permissible pairs
+        // are the 15 bonded ones: acceptance ≈ 15 / 2016, so a few hundred draws push
+        // the adaptive sampler into enumerated mode, which must keep producing exactly
+        // the bonded pairs (the uniform distribution over the permissible set).
+        let n = 16;
+        let mut world = World::new(Chain, n);
+        for k in 1..n as u32 {
+            let i = world
+                .interaction(NodeId::new(k - 1), Dir::Right, NodeId::new(k), Dir::Left)
+                .expect("chain step is permissible");
+            assert!(world.apply(&i).effective);
+        }
+        let mut s = UniformScheduler::seeded(3);
+        let mut bonded_seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            let interaction = s.next_interaction(&world).expect("bonded pairs remain");
+            assert!(matches!(
+                interaction.permissibility,
+                crate::Permissibility::Bonded
+            ));
+            bonded_seen.insert((
+                interaction.a.min(interaction.b),
+                interaction.a.max(interaction.b),
+            ));
+        }
+        assert!(s.collapsed || s.cache_valid, "sampler should have switched");
+        assert_eq!(
+            bonded_seen.len(),
+            n - 1,
+            "every bonded pair must be reachable"
+        );
     }
 
     #[test]

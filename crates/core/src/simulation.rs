@@ -1,6 +1,6 @@
 //! Driving executions: protocol + world + scheduler + statistics.
 
-use crate::scheduler::{Scheduler, UniformScheduler};
+use crate::scheduler::{SamplingMode, Scheduler, UniformScheduler};
 use crate::{ExecutionStats, Protocol, World};
 use nc_geometry::Shape;
 
@@ -13,21 +13,21 @@ pub struct SimulationConfig {
     pub seed: u64,
     /// Hard ceiling on the number of scheduler steps for the `run_until_*` helpers.
     pub max_steps: u64,
-    /// Initial interval (in steps) between stability checks; the interval doubles after
-    /// every unsuccessful check so that the `O(n²)` stability scan stays amortised.
-    pub stability_check_interval: u64,
+    /// Sampling strategy of the uniform scheduler (adaptive by default; legacy
+    /// reproduces the original rejection sampler byte for byte).
+    pub sampling: SamplingMode,
 }
 
 impl SimulationConfig {
     /// Creates a configuration for `n` nodes with a default seed, a step budget of
-    /// `10⁹` steps and an initial stability-check interval proportional to `n`.
+    /// `10⁹` steps and adaptive sampling.
     #[must_use]
     pub fn new(n: usize) -> SimulationConfig {
         SimulationConfig {
             n,
             seed: 0xC0FFEE,
             max_steps: 1_000_000_000,
-            stability_check_interval: (n as u64).max(16) * 8,
+            sampling: SamplingMode::default(),
         }
     }
 
@@ -45,11 +45,17 @@ impl SimulationConfig {
         self
     }
 
-    /// Sets the initial stability-check interval.
+    /// Sets the sampling strategy of the uniform scheduler.
     #[must_use]
-    pub fn with_stability_check_interval(mut self, interval: u64) -> SimulationConfig {
-        self.stability_check_interval = interval.max(1);
+    pub fn with_sampling(mut self, sampling: SamplingMode) -> SimulationConfig {
+        self.sampling = sampling;
         self
+    }
+
+    /// Shorthand for selecting the byte-exact legacy rejection sampler.
+    #[must_use]
+    pub fn with_legacy_sampling(self) -> SimulationConfig {
+        self.with_sampling(SamplingMode::Legacy)
     }
 }
 
@@ -82,6 +88,19 @@ pub struct RunReport {
     pub stabilized: bool,
 }
 
+impl RunReport {
+    /// Whether the run stopped because its requested condition held (a predicate became
+    /// true, halting was reached, or stability was detected) rather than because the
+    /// step budget ran out or the scheduler ran dry.
+    #[must_use]
+    pub fn condition_met(&self) -> bool {
+        matches!(
+            self.reason,
+            StopReason::Predicate | StopReason::AllHalted | StopReason::Stable
+        )
+    }
+}
+
 /// A running execution of a protocol under a scheduler.
 pub struct Simulation<P: Protocol, S: Scheduler = UniformScheduler> {
     world: World<P>,
@@ -91,10 +110,11 @@ pub struct Simulation<P: Protocol, S: Scheduler = UniformScheduler> {
 }
 
 impl<P: Protocol> Simulation<P, UniformScheduler> {
-    /// Creates a simulation with the uniform random scheduler of the paper.
+    /// Creates a simulation with the uniform random scheduler of the paper, using the
+    /// sampling mode recorded in the configuration.
     #[must_use]
     pub fn new(protocol: P, config: SimulationConfig) -> Simulation<P, UniformScheduler> {
-        let scheduler = UniformScheduler::seeded(config.seed);
+        let scheduler = UniformScheduler::with_mode(config.seed, config.sampling);
         Simulation::with_scheduler(protocol, config, scheduler)
     }
 }
@@ -134,6 +154,13 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     #[must_use]
     pub fn config(&self) -> SimulationConfig {
         self.config
+    }
+
+    /// Mutable access to the run configuration (the population size is fixed at
+    /// construction; changing `n` here has no effect — adjust budgets instead).
+    #[must_use]
+    pub fn config_mut(&mut self) -> &mut SimulationConfig {
+        &mut self.config
     }
 
     /// Executes a single scheduler step. Returns `false` when the scheduler could not
@@ -197,14 +224,52 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
 
     /// Runs until the configuration is stable (no effective interaction remains).
     ///
-    /// Stability is detected by scanning all pairs, so the scan is only performed at
-    /// geometrically increasing step intervals; the reported step count therefore
-    /// overshoots the exact stabilization step by at most a constant factor.
+    /// With the default adaptive sampling, stability is re-checked whenever the
+    /// configuration version changed, through the incremental interaction index whose
+    /// dirty-frontier amortisation bounds the total checking work by the applied deltas
+    /// — so the run stops **exactly** at the stabilization step.
+    ///
+    /// With [`SamplingMode::Legacy`] the original engine is reproduced faithfully,
+    /// including its cost model and stopping rule: the `O(n² · ports²)` full-scan
+    /// stability check runs at geometrically increasing step intervals (starting at
+    /// `max(n, 16) · 8`), so the reported step count overshoots the exact stabilization
+    /// step by up to a constant factor, exactly as the pre-index implementation did.
+    /// This is the baseline the scheduler n-sweep benchmarks against.
     pub fn run_until_stable(&mut self) -> RunReport {
+        match self.config.sampling {
+            SamplingMode::Adaptive => self.run_until_stable_indexed(),
+            SamplingMode::Legacy => self.run_until_stable_legacy(),
+        }
+    }
+
+    fn run_until_stable_indexed(&mut self) -> RunReport {
         let start = self.stats;
-        let mut interval = self.config.stability_check_interval;
+        // The configuration version gates re-checking: an unchanged version means the
+        // previous "unstable" verdict still holds, so ineffective steps cost nothing.
+        let mut checked_version = None;
         loop {
-            if self.world.is_stable() {
+            let version = self.world.version();
+            if checked_version != Some(version) {
+                if self.world.is_stable() {
+                    return self.report_since(start, StopReason::Stable, true);
+                }
+                checked_version = Some(version);
+            }
+            if self.stats.steps - start.steps >= self.config.max_steps {
+                return self.report_since(start, StopReason::StepBudget, false);
+            }
+            if !self.step() {
+                let stable = self.world.is_stable();
+                return self.report_since(start, StopReason::NoInteraction, stable);
+            }
+        }
+    }
+
+    fn run_until_stable_legacy(&mut self) -> RunReport {
+        let start = self.stats;
+        let mut interval = (self.config.n as u64).max(16) * 8;
+        loop {
+            if self.world.is_stable_scan() {
                 return self.report_since(start, StopReason::Stable, true);
             }
             if self.stats.steps - start.steps >= self.config.max_steps {
@@ -214,7 +279,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             let chunk = interval.min(budget_left);
             let executed = self.run_steps(chunk);
             if executed < chunk {
-                let stable = self.world.is_stable();
+                let stable = self.world.is_stable_scan();
                 return self.report_since(start, StopReason::NoInteraction, stable);
             }
             interval = interval.saturating_mul(2);
@@ -232,7 +297,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// leader detects termination), the step budget is exhausted, or the scheduler runs
     /// dry.
     pub fn run_until_any_halted(&mut self) -> RunReport {
-        let report = self.run_until(|w| !w.halted_nodes().is_empty());
+        let report = self.run_until(|w| w.any_halted());
         self.fixup_halt_reason(report)
     }
 
@@ -249,7 +314,12 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
         self.world.output_shape()
     }
 
-    fn report_since(&self, start: ExecutionStats, reason: StopReason, stabilized: bool) -> RunReport {
+    fn report_since(
+        &self,
+        start: ExecutionStats,
+        reason: StopReason,
+        stabilized: bool,
+    ) -> RunReport {
         RunReport {
             steps: self.stats.steps - start.steps,
             effective_steps: self.stats.effective_steps - start.effective_steps,
@@ -292,7 +362,14 @@ mod tests {
             }
         }
 
-        fn transition(&self, a: &S, pa: Dir, b: &S, pb: Dir, bonded: bool) -> Option<Transition<S>> {
+        fn transition(
+            &self,
+            a: &S,
+            pa: Dir,
+            b: &S,
+            pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<S>> {
             match (a, b) {
                 (S::Head(k), S::Free) if !bonded && pa == Dir::Right && pb == Dir::Left => {
                     let next = if k + 1 == self.target {
@@ -333,9 +410,7 @@ mod tests {
         assert_eq!(report.reason, StopReason::AllHalted);
         assert_eq!(sim.world().halted_nodes().len(), 1);
         // The chain has exactly `target` nodes even though the population is larger.
-        let chain = sim
-            .world()
-            .shape_of(sim.world().halted_nodes()[0], false);
+        let chain = sim.world().shape_of(sim.world().halted_nodes()[0], false);
         assert!(chain.is_line(4));
     }
 
@@ -360,7 +435,10 @@ mod tests {
             SimulationConfig::new(4).with_seed(1).with_max_steps(3),
         );
         let report = sim.run_until(|w| w.all_halted());
-        assert!(matches!(report.reason, StopReason::StepBudget | StopReason::Predicate));
+        assert!(matches!(
+            report.reason,
+            StopReason::StepBudget | StopReason::Predicate
+        ));
         assert!(report.steps <= 3);
     }
 
@@ -374,7 +452,10 @@ mod tests {
 
     #[test]
     fn run_until_predicate_counts_from_current_call() {
-        let mut sim = Simulation::new(ChainOf { target: 3 }, SimulationConfig::new(3).with_seed(11));
+        let mut sim = Simulation::new(
+            ChainOf { target: 3 },
+            SimulationConfig::new(3).with_seed(11),
+        );
         let first = sim.run_until(|w| w.bond_count() >= 1);
         assert_eq!(first.reason, StopReason::Predicate);
         let second = sim.run_until(|w| w.bond_count() >= 2);

@@ -1,5 +1,12 @@
 //! The configuration of the system: node states, bonds, and rigid component embeddings.
+//!
+//! Since the interaction-index refactor the world also maintains incremental metadata:
+//! a per-node halted cache, a monotone configuration [`World::version`], and the dirty
+//! frontier of [`crate::index`] that makes [`World::is_stable`] and
+//! [`World::find_effective_interaction`] amortised `O(active)` instead of a full
+//! `O(n² · ports²)` rescan.
 
+use crate::index::{IndexStats, InteractionIndex};
 use crate::{Component, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
 use std::collections::VecDeque;
@@ -67,6 +74,14 @@ pub struct World<P: Protocol> {
     links: Vec<[Option<(NodeId, Dir)>; 6]>,
     bond_count: usize,
     rotations: Vec<Rotation>,
+    /// Cached `protocol.is_halted(state)` per node, kept in sync with every state write.
+    halted: Vec<bool>,
+    /// The incremental interaction index (dirty frontier + configuration version).
+    index: InteractionIndex,
+    /// Epoch-stamped scratch buffer for the split-detection BFS (avoids an O(n)
+    /// allocation per bond deactivation).
+    scratch_stamp: Vec<u64>,
+    scratch_epoch: u64,
 }
 
 impl<P: Protocol> World<P> {
@@ -79,9 +94,10 @@ impl<P: Protocol> World<P> {
     pub fn new(protocol: P, n: usize) -> World<P> {
         assert!(n > 0, "the population must contain at least one node");
         let dim = protocol.dim();
-        let states = (0..n)
+        let states: Vec<P::State> = (0..n)
             .map(|i| protocol.initial_state(NodeId::new(i as u32), n))
             .collect();
+        let halted = states.iter().map(|s| protocol.is_halted(s)).collect();
         let components = (0..n)
             .map(|i| Some(Component::singleton(NodeId::new(i as u32))))
             .collect();
@@ -95,7 +111,25 @@ impl<P: Protocol> World<P> {
             components,
             links: vec![[None; 6]; n],
             bond_count: 0,
+            halted,
+            index: InteractionIndex::new(n),
+            scratch_stamp: vec![0; n],
+            scratch_epoch: 0,
         }
+    }
+
+    /// A monotone configuration version: bumped on every observable change (state write,
+    /// bond flip, merge, split). Samplers use it to cache derived structures — e.g. the
+    /// enumerated permissible set — and invalidate them precisely.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.index.version()
+    }
+
+    /// Work counters of the interaction index (scans performed, candidate reuse, …).
+    #[must_use]
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
     }
 
     /// The population size `n`.
@@ -138,11 +172,21 @@ impl<P: Protocol> World<P> {
     /// Panics if `node` is outside the population.
     pub fn set_state(&mut self, node: NodeId, state: P::State) {
         self.states[node.index()] = state;
+        self.halted[node.index()] = self.protocol.is_halted(&self.states[node.index()]);
+        self.index.bump_version();
+        self.index.mark_dirty(node);
     }
 
     /// Iterates over all node states in node order.
     pub fn states(&self) -> impl Iterator<Item = &P::State> {
         self.states.iter()
+    }
+
+    /// All node states as a slice, in node order (used by the population-protocol
+    /// wrapper, whose predicates are written against the state vector).
+    #[must_use]
+    pub fn state_slice(&self) -> &[P::State] {
+        &self.states
     }
 
     /// All node identifiers.
@@ -210,7 +254,8 @@ impl<P: Protocol> World<P> {
         let ga = pl_a.rot.apply_dir(pa);
         if self.comp_of[a.index()] == self.comp_of[b.index()] {
             // Same component: the ports must already face each other at unit distance.
-            let aligned = pl_b.pos == pl_a.pos + ga.unit() && pl_b.rot.apply_dir(pb) == ga.opposite();
+            let aligned =
+                pl_b.pos == pl_a.pos + ga.unit() && pl_b.rot.apply_dir(pb) == ga.opposite();
             return aligned.then_some(Permissibility::SameComponentAdjacent);
         }
         // Different components: try to place b's component so the ports face each other.
@@ -227,9 +272,20 @@ impl<P: Protocol> World<P> {
                 continue;
             }
             let translation = target - rotation.apply_coord(pl_b.pos);
-            let collision = comp_b
-                .iter()
-                .any(|(_, pos)| comp_a.is_occupied(rotation.apply_coord(pos) + translation));
+            // Overlap is symmetric, so scan the cells of the *smaller* component against
+            // the occupancy map of the larger one: a cell `c` of `a`'s component collides
+            // iff `b`'s component occupies `R⁻¹(c − t)`. This turns the hot
+            // free-node-against-big-component checks into O(1).
+            let collision = if comp_b.len() <= comp_a.len() {
+                comp_b
+                    .iter()
+                    .any(|(_, pos)| comp_a.is_occupied(rotation.apply_coord(pos) + translation))
+            } else {
+                let inverse = rotation.inverse();
+                comp_a
+                    .iter()
+                    .any(|(_, pos)| comp_b.is_occupied(inverse.apply_coord(pos - translation)))
+            };
             if !collision {
                 return Some(Permissibility::Merge {
                     rotation,
@@ -243,13 +299,14 @@ impl<P: Protocol> World<P> {
     /// Convenience wrapper building an [`Interaction`] when the pair is permissible.
     #[must_use]
     pub fn interaction(&self, a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> Option<Interaction> {
-        self.permissibility(a, pa, b, pb).map(|permissibility| Interaction {
-            a,
-            pa,
-            b,
-            pb,
-            permissibility,
-        })
+        self.permissibility(a, pa, b, pb)
+            .map(|permissibility| Interaction {
+                a,
+                pa,
+                b,
+                pb,
+                permissibility,
+            })
     }
 
     /// Applies a (currently permissible) interaction: consults the protocol's transition
@@ -258,11 +315,15 @@ impl<P: Protocol> World<P> {
     ///
     /// Interactions involving a halted participant are ineffective by definition.
     pub fn apply(&mut self, interaction: &Interaction) -> InteractionOutcome {
-        let Interaction { a, pa, b, pb, permissibility } = *interaction;
+        let Interaction {
+            a,
+            pa,
+            b,
+            pb,
+            permissibility,
+        } = *interaction;
         let mut outcome = InteractionOutcome::default();
-        if self.protocol.is_halted(&self.states[a.index()])
-            || self.protocol.is_halted(&self.states[b.index()])
-        {
+        if self.halted[a.index()] || self.halted[b.index()] {
             return outcome;
         }
         let bonded = matches!(permissibility, Permissibility::Bonded);
@@ -272,7 +333,11 @@ impl<P: Protocol> World<P> {
             .protocol
             .transition(sa, pa, sb, pb, bonded)
             .map(|t| (t, false))
-            .or_else(|| self.protocol.transition(sb, pb, sa, pa, bonded).map(|t| (t, true)));
+            .or_else(|| {
+                self.protocol
+                    .transition(sb, pb, sa, pa, bonded)
+                    .map(|t| (t, true))
+            });
         let Some((transition, swapped)) = attempt else {
             return outcome;
         };
@@ -292,7 +357,11 @@ impl<P: Protocol> World<P> {
                 self.deactivate_bond(a, pa, b, pb, &mut outcome);
             }
             (false, true) => {
-                if let Permissibility::Merge { rotation, translation } = permissibility {
+                if let Permissibility::Merge {
+                    rotation,
+                    translation,
+                } = permissibility
+                {
                     self.merge_components(a, b, rotation, translation);
                     outcome.merged = true;
                 }
@@ -302,26 +371,52 @@ impl<P: Protocol> World<P> {
                 outcome.bond_activated = true;
             }
         }
+        if outcome.effective {
+            self.halted[a.index()] = self.protocol.is_halted(&self.states[a.index()]);
+            self.halted[b.index()] = self.protocol.is_halted(&self.states[b.index()]);
+            self.index.bump_version();
+            self.index.mark_dirty(a);
+            self.index.mark_dirty(b);
+        }
         outcome
     }
 
+    /// Merges the components of `a` and `b`, where `(rotation, translation)` maps `b`'s
+    /// component frame into `a`'s. The *smaller* component is the one physically moved
+    /// (re-embedded), which bounds the total re-embedding work of an execution by
+    /// `O(n log n)` node moves; frames are arbitrary (the solution is well mixed), so
+    /// permissibility and transitions are unaffected by which frame survives.
     fn merge_components(&mut self, a: NodeId, b: NodeId, rotation: Rotation, translation: Coord) {
         let comp_a_id = self.comp_of[a.index()];
         let comp_b_id = self.comp_of[b.index()];
         debug_assert_ne!(comp_a_id, comp_b_id);
-        let comp_b = self.components[comp_b_id]
+        let len = |c: &Option<Component>| c.as_ref().map_or(0, Component::len);
+        let (absorbed_id, surviving_id, rotation, translation) =
+            if len(&self.components[comp_b_id]) <= len(&self.components[comp_a_id]) {
+                (comp_b_id, comp_a_id, rotation, translation)
+            } else {
+                // Move `a`'s side instead, through the inverse rigid motion:
+                // x_B = R⁻¹·x_A − R⁻¹·t.
+                let inverse = rotation.inverse();
+                let translation = Coord::ORIGIN - inverse.apply_coord(translation);
+                (comp_a_id, comp_b_id, inverse, translation)
+            };
+        let absorbed = self.components[absorbed_id]
             .take()
             .expect("component slot of a live node must be occupied");
-        let comp_a = self.components[comp_a_id]
+        let surviving = self.components[surviving_id]
             .as_mut()
             .expect("component slot of a live node must be occupied");
-        for (node, pos) in comp_b.iter() {
+        for (node, pos) in absorbed.iter() {
             let new_pos = rotation.apply_coord(pos) + translation;
             let placement = &mut self.placements[node.index()];
             placement.pos = new_pos;
             placement.rot = rotation.compose(placement.rot);
-            self.comp_of[node.index()] = comp_a_id;
-            comp_a.insert(node, new_pos);
+            self.comp_of[node.index()] = surviving_id;
+            surviving.insert(node, new_pos);
+            // Moved nodes sit in a grown component with fresh relative geometry: pairs
+            // involving them may have become effective.
+            self.index.mark_dirty(node);
         }
     }
 
@@ -339,9 +434,13 @@ impl<P: Protocol> World<P> {
         self.bond_count -= 1;
         outcome.bond_deactivated = true;
         // The component may have split: collect everything still reachable from `a`.
+        // The visited marks live in an epoch-stamped scratch buffer on the world, so a
+        // bond flip costs O(component traversed), not an O(n) allocation.
         let comp_id = self.comp_of[a.index()];
-        let mut reachable = vec![false; self.len()];
-        reachable[a.index()] = true;
+        self.scratch_epoch += 1;
+        let epoch = self.scratch_epoch;
+        let reached = |scratch: &[u64], node: NodeId| scratch[node.index()] == epoch;
+        self.scratch_stamp[a.index()] = epoch;
         let mut queue = VecDeque::from([a]);
         let mut reached_b = false;
         while let Some(node) = queue.pop_front() {
@@ -349,19 +448,17 @@ impl<P: Protocol> World<P> {
                 reached_b = true;
                 break;
             }
-            for link in &self.links[node.index()] {
-                if let Some((peer, _)) = link {
-                    if !reachable[peer.index()] {
-                        reachable[peer.index()] = true;
-                        queue.push_back(*peer);
-                    }
+            for (peer, _) in self.links[node.index()].iter().flatten() {
+                if !reached(&self.scratch_stamp, *peer) {
+                    self.scratch_stamp[peer.index()] = epoch;
+                    queue.push_back(*peer);
                 }
             }
         }
         if reached_b {
             return;
         }
-        // Split: `reachable` now holds exactly `a`'s side; move everything else (i.e.
+        // Split: the stamped nodes are exactly `a`'s side; move everything else (i.e.
         // `b`'s side) of the old component into a new component.
         outcome.split = true;
         let old_members: Vec<NodeId> = self.components[comp_id]
@@ -372,7 +469,10 @@ impl<P: Protocol> World<P> {
         let new_comp_id = self.allocate_component_slot();
         let mut new_comp = Component::empty();
         for node in old_members {
-            if self.comp_of[node.index()] == comp_id && !reachable[node.index()] {
+            // Both halves shrank, which can unlock merge placements for every old
+            // member: mark them all dirty.
+            self.index.mark_dirty(node);
+            if self.comp_of[node.index()] == comp_id && !reached(&self.scratch_stamp, node) {
                 let pos = self.placements[node.index()].pos;
                 self.components[comp_id]
                     .as_mut()
@@ -413,7 +513,10 @@ impl<P: Protocol> World<P> {
             return Err(crate::CoreError::UnknownNode(b));
         }
         match self.permissibility(a, pa, b, pb) {
-            Some(Permissibility::Merge { rotation, translation }) => {
+            Some(Permissibility::Merge {
+                rotation,
+                translation,
+            }) => {
                 self.merge_components(a, b, rotation, translation);
             }
             Some(Permissibility::SameComponentAdjacent) => {}
@@ -427,48 +530,126 @@ impl<P: Protocol> World<P> {
         self.links[a.index()][pa.index()] = Some((b, pb));
         self.links[b.index()][pb.index()] = Some((a, pa));
         self.bond_count += 1;
+        self.index.bump_version();
+        self.index.mark_dirty(a);
+        self.index.mark_dirty(b);
         Ok(())
     }
 
-    /// Searches the whole configuration for an effective permissible interaction.
+    /// Decides whether the (unordered) node-port pair is both permissible and
+    /// *effective* — applying it would change a state or the bond — and returns the
+    /// ready-to-apply [`Interaction`] if so. Identity transitions count as ineffective.
+    #[must_use]
+    pub fn effective_interaction_at(
+        &self,
+        a: NodeId,
+        pa: Dir,
+        b: NodeId,
+        pb: Dir,
+    ) -> Option<Interaction> {
+        if self.halted[a.index()] || self.halted[b.index()] {
+            return None;
+        }
+        let permissibility = self.permissibility(a, pa, b, pb)?;
+        let bonded = matches!(permissibility, Permissibility::Bonded);
+        let sa = &self.states[a.index()];
+        let sb = &self.states[b.index()];
+        let attempt = self
+            .protocol
+            .transition(sa, pa, sb, pb, bonded)
+            .map(|t| (t, false))
+            .or_else(|| {
+                self.protocol
+                    .transition(sb, pb, sa, pa, bonded)
+                    .map(|t| (t, true))
+            });
+        let effective = attempt.is_some_and(|(t, swapped)| {
+            let (new_a, new_b) = if swapped { (&t.b, &t.a) } else { (&t.a, &t.b) };
+            t.bond != bonded || new_a != sa || new_b != sb
+        });
+        effective.then_some(Interaction {
+            a,
+            pa,
+            b,
+            pb,
+            permissibility,
+        })
+    }
+
+    /// Scans one node against the whole population for an effective interaction.
+    fn scan_node_for_effective(&self, x: NodeId) -> Option<Interaction> {
+        if self.halted[x.index()] {
+            return None;
+        }
+        let ports = self.dim.dirs();
+        for yi in 0..self.len() {
+            if yi == x.index() || self.halted[yi] {
+                continue;
+            }
+            let y = NodeId::new(yi as u32);
+            for &pa in ports {
+                for &pb in ports {
+                    if let Some(found) = self.effective_interaction_at(x, pa, y, pb) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds an effective permissible interaction, using the incremental index.
     ///
-    /// This is an `O(n² · ports²)` scan used to decide stability (a configuration with no
-    /// effective interaction can never change again) and by the greedy scheduler in tests.
+    /// Amortised cost: each node dirtied by an [`World::apply`] delta is scanned at most
+    /// once (against the whole population) across *all* queries, so a query sequence
+    /// interleaved with applies costs `O(Σ dirtied · n · ports²)` in total instead of
+    /// `O(n² · ports²)` per query. Queries on an unchanged configuration are `O(1)`
+    /// (cached candidate revalidation, or the quiescent flag once stability is proven).
     #[must_use]
     pub fn find_effective_interaction(&self) -> Option<Interaction> {
+        let mut index = self.index.lock();
+        if let Some(candidate) = index.candidate {
+            if let Some(fresh) =
+                self.effective_interaction_at(candidate.a, candidate.pa, candidate.b, candidate.pb)
+            {
+                index.stats.candidate_hits += 1;
+                index.candidate = Some(fresh);
+                return Some(fresh);
+            }
+            index.candidate = None;
+        }
+        if index.quiescent {
+            index.stats.quiescent_hits += 1;
+            return None;
+        }
+        while let Some(&x) = index.queue.last() {
+            index.stats.node_scans += 1;
+            if let Some(found) = self.scan_node_for_effective(x) {
+                // `x` stays dirty: the found interaction will usually be applied, and
+                // `x` may have further effective pairs to report afterwards.
+                index.candidate = Some(found);
+                return Some(found);
+            }
+            index.queue.pop();
+            index.dirty[x.index()] = false;
+        }
+        index.quiescent = true;
+        None
+    }
+
+    /// The pre-index full scan, kept as the reference implementation: `O(n² · ports²)`.
+    /// Used by the equivalence and property suites to validate the indexed path.
+    #[must_use]
+    pub fn find_effective_interaction_scan(&self) -> Option<Interaction> {
         let ports = self.dim.dirs();
         for ai in 0..self.len() {
             let a = NodeId::new(ai as u32);
-            if self.protocol.is_halted(&self.states[ai]) {
-                continue;
-            }
             for bi in (ai + 1)..self.len() {
                 let b = NodeId::new(bi as u32);
-                if self.protocol.is_halted(&self.states[bi]) {
-                    continue;
-                }
                 for &pa in ports {
                     for &pb in ports {
-                        let Some(permissibility) = self.permissibility(a, pa, b, pb) else {
-                            continue;
-                        };
-                        let bonded = matches!(permissibility, Permissibility::Bonded);
-                        let sa = &self.states[ai];
-                        let sb = &self.states[bi];
-                        let attempt = self
-                            .protocol
-                            .transition(sa, pa, sb, pb, bonded)
-                            .map(|t| (t, false))
-                            .or_else(|| {
-                                self.protocol.transition(sb, pb, sa, pa, bonded).map(|t| (t, true))
-                            });
-                        // Count identity transitions as ineffective.
-                        let effective = attempt.is_some_and(|(t, swapped)| {
-                            let (new_a, new_b) = if swapped { (&t.b, &t.a) } else { (&t.a, &t.b) };
-                            t.bond != bonded || new_a != sa || new_b != sb
-                        });
-                        if effective {
-                            return Some(Interaction { a, pa, b, pb, permissibility });
+                        if let Some(found) = self.effective_interaction_at(a, pa, b, pb) {
+                            return Some(found);
                         }
                     }
                 }
@@ -477,25 +658,129 @@ impl<P: Protocol> World<P> {
         None
     }
 
+    /// Enumerates **exactly** the permissible node-port pairs of the configuration, one
+    /// entry per unordered pair, or `None` when the cross-component part would exceed
+    /// `cross_budget` node-pair checks (the caller then falls back to rejection
+    /// sampling, which is cheap precisely when the permissible set is large).
+    ///
+    /// Cost: `O(n · ports)` for the bonded and same-component-adjacent parts plus
+    /// `O(Σ_{A≠B} |A|·|B| · ports²)` for the cross-component part (bounded by
+    /// `cross_budget · ports²` permissibility checks).
+    #[must_use]
+    pub fn enumerate_permissible(&self, cross_budget: usize) -> Option<Vec<Interaction>> {
+        let ports = self.dim.dirs();
+        let mut out = Vec::new();
+        // Bonded pairs and same-component facing adjacencies: O(n · ports).
+        for ai in 0..self.len() {
+            let a = NodeId::new(ai as u32);
+            let pl_a = self.placements[ai];
+            for &pa in ports {
+                if let Some((b, pb)) = self.links[ai][pa.index()] {
+                    if (ai, pa.index()) < (b.index(), pb.index()) {
+                        out.push(Interaction {
+                            a,
+                            pa,
+                            b,
+                            pb,
+                            permissibility: Permissibility::Bonded,
+                        });
+                    }
+                    continue;
+                }
+                let facing = pl_a.rot.apply_dir(pa);
+                let target = pl_a.pos + facing.unit();
+                if let Some(b) = self.component(a).node_at(target) {
+                    let pb = self.placements[b.index()]
+                        .rot
+                        .inverse()
+                        .apply_dir(facing.opposite());
+                    if (ai, pa.index()) < (b.index(), pb.index()) {
+                        out.push(Interaction {
+                            a,
+                            pa,
+                            b,
+                            pb,
+                            permissibility: Permissibility::SameComponentAdjacent,
+                        });
+                    }
+                }
+            }
+        }
+        // Cross-component pairs. Check the budget first from component sizes alone.
+        let live: Vec<usize> = (0..self.components.len())
+            .filter(|&i| self.components[i].is_some())
+            .collect();
+        let mut cross_pairs = 0usize;
+        for (i, &ca) in live.iter().enumerate() {
+            let size_a = self.components[ca].as_ref().map_or(0, Component::len);
+            for &cb in live.iter().skip(i + 1) {
+                let size_b = self.components[cb].as_ref().map_or(0, Component::len);
+                cross_pairs = cross_pairs.saturating_add(size_a * size_b);
+            }
+        }
+        if cross_pairs > cross_budget {
+            return None;
+        }
+        for (i, &ca) in live.iter().enumerate() {
+            for &cb in live.iter().skip(i + 1) {
+                let comp_a = self.components[ca].as_ref().expect("live slot");
+                let comp_b = self.components[cb].as_ref().expect("live slot");
+                for &a in comp_a.members() {
+                    for &b in comp_b.members() {
+                        for &pa in ports {
+                            for &pb in ports {
+                                if let Some(permissibility) = self.permissibility(a, pa, b, pb) {
+                                    out.push(Interaction {
+                                        a,
+                                        pa,
+                                        b,
+                                        pb,
+                                        permissibility,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
     /// Whether the configuration is stable: no permissible interaction is effective, so
     /// the configuration (and in particular its output shape) can never change again.
+    /// Answered through the incremental index (see
+    /// [`World::find_effective_interaction`] for the amortised cost).
     #[must_use]
     pub fn is_stable(&self) -> bool {
         self.find_effective_interaction().is_none()
     }
 
+    /// Stability through the exhaustive pre-index scan: `O(n² · ports²)`. Kept as the
+    /// reference implementation for the equivalence suite and for the faithful legacy
+    /// execution path of [`crate::Simulation::run_until_stable`].
+    #[must_use]
+    pub fn is_stable_scan(&self) -> bool {
+        self.find_effective_interaction_scan().is_none()
+    }
+
     /// Whether every node is in a halted state.
     #[must_use]
     pub fn all_halted(&self) -> bool {
-        self.states.iter().all(|s| self.protocol.is_halted(s))
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// Whether at least one node is in a halted state (allocation-free, backed by the
+    /// per-node halted cache — suitable as a per-step predicate).
+    #[must_use]
+    pub fn any_halted(&self) -> bool {
+        self.halted.iter().any(|&h| h)
     }
 
     /// Nodes currently in a halted state.
     #[must_use]
     pub fn halted_nodes(&self) -> Vec<NodeId> {
-        self.nodes()
-            .filter(|&n| self.protocol.is_halted(self.state(n)))
-            .collect()
+        self.nodes().filter(|&n| self.halted[n.index()]).collect()
     }
 
     /// The shape of the component containing `node`, expressed in the component frame.
@@ -516,13 +801,10 @@ impl<P: Protocol> World<P> {
             if !included(member) {
                 continue;
             }
-            for link in &self.links[member.index()] {
-                if let Some((peer, _)) = link {
-                    if included(*peer) && self.comp_of[peer.index()] == self.comp_of[member.index()]
-                    {
-                        let peer_pos = self.placements[peer.index()].pos;
-                        let _ = shape.insert_edge(pos, peer_pos);
-                    }
+            for (peer, _) in self.links[member.index()].iter().flatten() {
+                if included(*peer) && self.comp_of[peer.index()] == self.comp_of[member.index()] {
+                    let peer_pos = self.placements[peer.index()].pos;
+                    let _ = shape.insert_edge(pos, peer_pos);
                 }
             }
         }
@@ -629,7 +911,14 @@ mod tests {
             }
         }
 
-        fn transition(&self, a: &C, pa: Dir, b: &C, _pb: Dir, bonded: bool) -> Option<Transition<C>> {
+        fn transition(
+            &self,
+            a: &C,
+            pa: Dir,
+            b: &C,
+            _pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<C>> {
             if !bonded && *a == C::Head && pa == Dir::Right && *b == C::Free {
                 Some(Transition {
                     a: C::Body,
@@ -677,7 +966,9 @@ mod tests {
         let mut world = World::new(Chain, 3);
         let head = NodeId::new(0);
         let free = NodeId::new(1);
-        let interaction = world.interaction(head, Dir::Right, free, Dir::Left).unwrap();
+        let interaction = world
+            .interaction(head, Dir::Right, free, Dir::Left)
+            .unwrap();
         let outcome = world.apply(&interaction);
         assert!(outcome.effective);
         assert!(outcome.bond_activated);
@@ -697,7 +988,9 @@ mod tests {
         let head = NodeId::new(0);
         let free = NodeId::new(1);
         // Present the pair with the free node first: the engine must still find the rule.
-        let interaction = world.interaction(free, Dir::Left, head, Dir::Right).unwrap();
+        let interaction = world
+            .interaction(free, Dir::Left, head, Dir::Right)
+            .unwrap();
         let outcome = world.apply(&interaction);
         assert!(outcome.effective);
         assert_eq!(world.state(free), &C::Head);
@@ -724,7 +1017,9 @@ mod tests {
         for k in 1..4u32 {
             let head = NodeId::new(k - 1);
             let free = NodeId::new(k);
-            let interaction = world.interaction(head, Dir::Right, free, Dir::Left).unwrap();
+            let interaction = world
+                .interaction(head, Dir::Right, free, Dir::Left)
+                .unwrap();
             let outcome = world.apply(&interaction);
             assert!(outcome.effective);
         }
@@ -784,7 +1079,14 @@ mod tests {
             B::Fresh
         }
 
-        fn transition(&self, a: &B, _pa: Dir, b: &B, _pb: Dir, bonded: bool) -> Option<Transition<B>> {
+        fn transition(
+            &self,
+            a: &B,
+            _pa: Dir,
+            b: &B,
+            _pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<B>> {
             match (a, b, bonded) {
                 (B::Fresh, B::Fresh, false) => Some(Transition {
                     a: B::Bonded,
@@ -828,7 +1130,14 @@ mod tests {
             fn initial_state(&self, node: NodeId, n: usize) -> C {
                 Chain.initial_state(node, n)
             }
-            fn transition(&self, a: &C, pa: Dir, b: &C, pb: Dir, bonded: bool) -> Option<Transition<C>> {
+            fn transition(
+                &self,
+                a: &C,
+                pa: Dir,
+                b: &C,
+                pb: Dir,
+                bonded: bool,
+            ) -> Option<Transition<C>> {
                 Chain.transition(a, pa, b, pb, bonded)
             }
             fn is_output(&self, state: &C) -> bool {
@@ -855,7 +1164,14 @@ mod tests {
             fn initial_state(&self, node: NodeId, _n: usize) -> bool {
                 node.index() == 0
             }
-            fn transition(&self, _a: &bool, _pa: Dir, _b: &bool, _pb: Dir, _c: bool) -> Option<Transition<bool>> {
+            fn transition(
+                &self,
+                _a: &bool,
+                _pa: Dir,
+                _b: &bool,
+                _pb: Dir,
+                _c: bool,
+            ) -> Option<Transition<bool>> {
                 Some(Transition {
                     a: true,
                     b: true,

@@ -161,7 +161,11 @@ impl Dir {
     /// Counter-clockwise quarter-turn within the plane.
     #[must_use]
     pub fn counter_clockwise(self) -> Dir {
-        self.clockwise().opposite().clockwise().opposite().clockwise()
+        self.clockwise()
+            .opposite()
+            .clockwise()
+            .opposite()
+            .clockwise()
     }
 
     /// Short, paper-style name: `u`, `r`, `d`, `l`, `z+`, `z-`.

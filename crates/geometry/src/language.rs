@@ -126,14 +126,20 @@ mod tests {
     fn validation_catches_disconnected() {
         let diag = PredicateLanguage::new("diag", |x, y, _| x == y);
         let err = validate_language(&diag, 4).unwrap_err();
-        assert!(matches!(err, GeometryError::InvalidLanguage { side: 2, .. }));
+        assert!(matches!(
+            err,
+            GeometryError::InvalidLanguage { side: 2, .. }
+        ));
     }
 
     #[test]
     fn validation_catches_wrong_dimension() {
         let dot = PredicateLanguage::new("dot", |x, y, _| x == 0 && y == 0);
         let err = validate_language(&dot, 3).unwrap_err();
-        assert!(matches!(err, GeometryError::InvalidLanguage { side: 2, .. }));
+        assert!(matches!(
+            err,
+            GeometryError::InvalidLanguage { side: 2, .. }
+        ));
     }
 
     #[test]
@@ -141,7 +147,8 @@ mod tests {
         let lang = PredicateLanguage::new("full", |_, _, _| true);
         let by_ref: &dyn ShapeLanguage = &lang;
         assert_eq!(by_ref.square(3).on_count(), 9);
-        let boxed: Box<dyn ShapeLanguage> = Box::new(PredicateLanguage::new("full", |_, _, _| true));
+        let boxed: Box<dyn ShapeLanguage> =
+            Box::new(PredicateLanguage::new("full", |_, _, _| true));
         assert_eq!(boxed.name(), "full");
         assert!(validate_language(boxed.as_ref(), 3).is_ok());
     }

@@ -28,9 +28,7 @@ pub fn line_shape(len: u32) -> Shape {
 #[must_use]
 pub fn rectangle_shape(w: u32, h: u32) -> Shape {
     assert!(w > 0 && h > 0, "rectangle dimensions must be positive");
-    Shape::from_cells(
-        (0..w as i32).flat_map(|x| (0..h as i32).map(move |y| Coord::new2(x, y))),
-    )
+    Shape::from_cells((0..w as i32).flat_map(|x| (0..h as i32).map(move |y| Coord::new2(x, y))))
 }
 
 /// A fully bonded `d × d` square anchored at the origin.
@@ -199,7 +197,9 @@ pub fn all_languages() -> Vec<Box<dyn ShapeLanguage>> {
     }
     vec![
         boxed("full-square", |_, _, _| true),
-        boxed("border", |x, y, d| x == 0 || y == 0 || x == d - 1 || y == d - 1),
+        boxed("border", |x, y, d| {
+            x == 0 || y == 0 || x == d - 1 || y == d - 1
+        }),
         boxed("left-column", |x, _, _| x == 0),
         boxed("staircase", |x, y, _| x == y || x == y + 1),
         boxed("cross", |x, y, d| x == d / 2 || y == d / 2),
@@ -275,7 +275,10 @@ mod tests {
 
     #[test]
     fn named_language_constructors_match_all_languages() {
-        let names: Vec<String> = all_languages().iter().map(|l| l.name().to_string()).collect();
+        let names: Vec<String> = all_languages()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
         for expected in [
             "full-square",
             "border",

@@ -28,7 +28,11 @@ pub fn zigzag_coord(i: u64, d: u32) -> (u32, u32) {
     let d64 = u64::from(d);
     let row = (i / d64) as u32;
     let col = (i % d64) as u32;
-    let x = if row % 2 == 0 { col } else { d - 1 - col };
+    let x = if row.is_multiple_of(2) {
+        col
+    } else {
+        d - 1 - col
+    };
     (x, row)
 }
 
@@ -42,7 +46,7 @@ pub fn zigzag_coord(i: u64, d: u32) -> (u32, u32) {
 pub fn zigzag_index(x: u32, y: u32, d: u32) -> u64 {
     assert!(d > 0, "square side must be positive");
     assert!(x < d && y < d, "coordinates out of range");
-    let col = if y % 2 == 0 { x } else { d - 1 - x };
+    let col = if y.is_multiple_of(2) { x } else { d - 1 - x };
     u64::from(y) * u64::from(d) + u64::from(col)
 }
 

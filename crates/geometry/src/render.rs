@@ -34,9 +34,17 @@ pub fn render_shape(shape: &Shape) -> String {
                 let c = Coord::new(x, y, z);
                 cell_row.push(if shape.contains_cell(c) { '#' } else { ' ' });
                 let right = Coord::new(x + 1, y, z);
-                cell_row.push(if shape.contains_edge(c, right) { '-' } else { ' ' });
+                cell_row.push(if shape.contains_edge(c, right) {
+                    '-'
+                } else {
+                    ' '
+                });
                 let below = Coord::new(x, y - 1, z);
-                bond_row.push(if shape.contains_edge(c, below) { '|' } else { ' ' });
+                bond_row.push(if shape.contains_edge(c, below) {
+                    '|'
+                } else {
+                    ' '
+                });
                 bond_row.push(' ');
             }
             out.push_str(cell_row.trim_end());

@@ -46,7 +46,9 @@ impl Rotation {
     /// is orientation-reversing (a reflection), which rigid bodies cannot undergo.
     #[must_use]
     pub fn from_axis_images(x_to: Dir, y_to: Dir, z_to: Dir) -> Option<Rotation> {
-        if !x_to.is_perpendicular(y_to) || !y_to.is_perpendicular(z_to) || !x_to.is_perpendicular(z_to)
+        if !x_to.is_perpendicular(y_to)
+            || !y_to.is_perpendicular(z_to)
+            || !x_to.is_perpendicular(z_to)
         {
             return None;
         }

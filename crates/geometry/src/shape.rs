@@ -264,7 +264,11 @@ impl Shape {
     /// shapes all 24.
     #[must_use]
     pub fn canonical(&self) -> Shape {
-        let dim = if self.is_planar() { Dim::Two } else { Dim::Three };
+        let dim = if self.is_planar() {
+            Dim::Two
+        } else {
+            Dim::Three
+        };
         Rotation::all(dim)
             .into_iter()
             .map(|r| self.rotated(r).normalized())
@@ -314,15 +318,13 @@ impl Shape {
             return true;
         }
         self.is_connected()
-            && [
-                (self.h_dim(), self.v_dim(), self.z_dim()),
-            ]
-            .iter()
-            .all(|&(h, v, z)| {
-                let dims = [h, v, z];
-                dims.iter().filter(|&&d| d == len as u32).count() == 1
-                    && dims.iter().filter(|&&d| d <= 1).count() == 2
-            })
+            && [(self.h_dim(), self.v_dim(), self.z_dim())]
+                .iter()
+                .all(|&(h, v, z)| {
+                    let dims = [h, v, z];
+                    dims.iter().filter(|&&d| d == len as u32).count() == 1
+                        && dims.iter().filter(|&&d| d <= 1).count() == 2
+                })
     }
 
     /// Whether the shape is a fully bonded `w × h` rectangle in the plane.
@@ -331,8 +333,8 @@ impl Shape {
         if self.len() != (w * h) as usize || !self.is_planar() {
             return false;
         }
-        let dims_match = (self.h_dim() == w && self.v_dim() == h)
-            || (self.h_dim() == h && self.v_dim() == w);
+        let dims_match =
+            (self.h_dim() == w && self.v_dim() == h) || (self.h_dim() == h && self.v_dim() == w);
         if !dims_match {
             return false;
         }
@@ -487,7 +489,9 @@ mod tests {
         let s = l_shape();
         let moved = s.translated(Coord::new2(10, -4));
         assert!(s.congruent(&moved));
-        let rotated = s.rotated(Rotation::quarter_turn_ccw()).translated(Coord::new2(3, 3));
+        let rotated = s
+            .rotated(Rotation::quarter_turn_ccw())
+            .translated(Coord::new2(3, 3));
         assert!(s.congruent(&rotated));
         let other = Shape::from_cells([
             Coord::new2(0, 0),
@@ -508,17 +512,13 @@ mod tests {
         let vline = line.rotated(Rotation::quarter_turn_ccw());
         assert!(vline.is_line(5));
 
-        let rect = Shape::from_cells(
-            (0..3).flat_map(|x| (0..2).map(move |y| Coord::new2(x, y))),
-        );
+        let rect = Shape::from_cells((0..3).flat_map(|x| (0..2).map(move |y| Coord::new2(x, y))));
         assert!(rect.is_full_rectangle(3, 2));
         assert!(rect.is_full_rectangle(2, 3));
         assert!(!rect.is_full_rectangle(3, 3));
         assert!(!rect.is_full_square(3));
 
-        let square = Shape::from_cells(
-            (0..3).flat_map(|x| (0..3).map(move |y| Coord::new2(x, y))),
-        );
+        let square = Shape::from_cells((0..3).flat_map(|x| (0..3).map(move |y| Coord::new2(x, y))));
         assert!(square.is_full_square(3));
     }
 
@@ -554,7 +554,8 @@ mod tests {
         let mut s = l_shape();
         s.insert_cell(Coord::new2(10, 10));
         s.insert_cell(Coord::new2(10, 11));
-        s.insert_edge(Coord::new2(10, 10), Coord::new2(10, 11)).unwrap();
+        s.insert_edge(Coord::new2(10, 10), Coord::new2(10, 11))
+            .unwrap();
         let comps = s.components();
         assert_eq!(comps.len(), 2);
         assert_eq!(comps.iter().map(Shape::len).sum::<usize>(), 6);

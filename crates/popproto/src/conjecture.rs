@@ -103,7 +103,11 @@ impl PopulationProtocol for LeaderlessCounting {
         LeaderlessState::new()
     }
 
-    fn interact(&self, a: &LeaderlessState, b: &LeaderlessState) -> Option<(LeaderlessState, LeaderlessState)> {
+    fn interact(
+        &self,
+        a: &LeaderlessState,
+        b: &LeaderlessState,
+    ) -> Option<(LeaderlessState, LeaderlessState)> {
         if a.terminated && b.terminated {
             return None;
         }
@@ -152,7 +156,8 @@ pub fn evidence_for_conjecture(
     let mut early = 0u32;
     let mut total_steps = 0.0;
     for t in 0..trials {
-        let mut sim = PopSimulation::new(*protocol, n, seed.wrapping_add(u64::from(t) * 0x9E37_79B9));
+        let mut sim =
+            PopSimulation::new(*protocol, n, seed.wrapping_add(u64::from(t) * 0x9E37_79B9));
         // The first possible termination is after 2b interactions of one agent; waiting
         // for 64·n·b steps leaves each agent an expected 128·b interactions, far beyond
         // the earliest-termination event we measure.

@@ -81,7 +81,11 @@ impl PopulationProtocol for CountingUpperBound {
         }
     }
 
-    fn interact(&self, a: &CountingState, b: &CountingState) -> Option<(CountingState, CountingState)> {
+    fn interact(
+        &self,
+        a: &CountingState,
+        b: &CountingState,
+    ) -> Option<(CountingState, CountingState)> {
         match (a, b) {
             // Halting rule: (l(r0, r1), ·) → (halt, ·) if r0 = r1.
             (CountingState::Leader { r0, r1 }, other) if r0 == r1 => {
@@ -89,12 +93,18 @@ impl PopulationProtocol for CountingUpperBound {
             }
             // (l(r0, r1), q0) → (l(r0 + 1, r1), q1).
             (CountingState::Leader { r0, r1 }, CountingState::Q0) => Some((
-                CountingState::Leader { r0: r0 + 1, r1: *r1 },
+                CountingState::Leader {
+                    r0: r0 + 1,
+                    r1: *r1,
+                },
                 CountingState::Q1,
             )),
             // (l(r0, r1), q1) → (l(r0, r1 + 1), q2).
             (CountingState::Leader { r0, r1 }, CountingState::Q1) => Some((
-                CountingState::Leader { r0: *r0, r1: r1 + 1 },
+                CountingState::Leader {
+                    r0: *r0,
+                    r1: r1 + 1,
+                },
                 CountingState::Q2,
             )),
             _ => None,
@@ -169,7 +179,7 @@ pub fn run_counting(protocol: &CountingUpperBound, n: usize, seed: u64) -> Count
         n,
         head_start: protocol.head_start(),
         r0,
-        halted: report.condition_met,
+        halted: report.condition_met(),
         success: 2 * r0 >= n as u64,
         steps: report.steps,
         effective_steps: report.effective_steps,
@@ -246,12 +256,18 @@ mod tests {
     #[test]
     fn initial_configuration_has_head_start() {
         let p = CountingUpperBound::new(3);
-        assert_eq!(p.initial_state(0, 10), CountingState::Leader { r0: 3, r1: 0 });
+        assert_eq!(
+            p.initial_state(0, 10),
+            CountingState::Leader { r0: 3, r1: 0 }
+        );
         assert_eq!(p.initial_state(1, 10), CountingState::Q1);
         assert_eq!(p.initial_state(3, 10), CountingState::Q1);
         assert_eq!(p.initial_state(4, 10), CountingState::Q0);
         // Head start is capped for tiny populations.
-        assert_eq!(p.initial_state(0, 3), CountingState::Leader { r0: 2, r1: 0 });
+        assert_eq!(
+            p.initial_state(0, 3),
+            CountingState::Leader { r0: 2, r1: 0 }
+        );
     }
 
     #[test]
@@ -315,8 +331,15 @@ mod tests {
     fn always_terminates_and_usually_succeeds() {
         let p = CountingUpperBound::new(4);
         let agg = aggregate_counting(&p, 80, 20, 7);
-        assert!((agg.halt_rate - 1.0).abs() < f64::EPSILON, "Theorem 1: always halts");
-        assert!(agg.success_rate >= 0.9, "success rate {} too low", agg.success_rate);
+        assert!(
+            (agg.halt_rate - 1.0).abs() < f64::EPSILON,
+            "Theorem 1: always halts"
+        );
+        assert!(
+            agg.success_rate >= 0.9,
+            "success rate {} too low",
+            agg.success_rate
+        );
         assert!(agg.mean_relative_estimate > 0.5);
         assert!(agg.mean_steps > 0.0);
     }

@@ -1,8 +1,20 @@
 //! The population-protocol engine: a complete interaction graph under the uniform random
-//! scheduler.
+//! scheduler, built on the shared `nc-core` runtime.
+//!
+//! A population protocol is the degenerate geometric model in which geometry never
+//! matters: agents are free nodes that never bond, so every unordered pair stays
+//! permissible forever and the uniform scheduler over permissible node-port pairs is
+//! exactly the classical uniform scheduler over agent pairs. The [`Clique`] adapter
+//! embeds a [`PopulationProtocol`] into the geometric [`Protocol`] trait (ports and
+//! bonds are ignored, transitions never activate a bond), and [`PopSimulation`] is a
+//! thin wrapper around the shared [`Simulation`] runtime — one stepping loop, one
+//! [`ExecutionStats`]/[`RunReport`] vocabulary for constructors and counting protocols
+//! alike. The previous hand-rolled stepping loop in this module has been deleted.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nc_core::{
+    ExecutionStats, NodeId, Protocol, RunReport, Simulation, SimulationConfig, Transition, World,
+};
+use nc_geometry::Dir;
 use std::fmt::Debug;
 
 /// A population protocol on a complete interaction graph.
@@ -54,24 +66,60 @@ impl<P: PopulationProtocol + ?Sized> PopulationProtocol for &P {
     }
 }
 
-/// Summary of a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PopRunReport {
-    /// Scheduler selections during this call (effective or not).
-    pub steps: u64,
-    /// Effective interactions during this call.
-    pub effective_steps: u64,
-    /// Whether the stop condition was reached (as opposed to the step budget running out).
-    pub condition_met: bool,
+/// Embeds a population protocol into the geometric model: ports are ignored, bonds are
+/// never activated, so all agents remain free singleton components and every agent pair
+/// stays permissible — the clique interaction graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Clique<P>(P);
+
+impl<P: PopulationProtocol> Clique<P> {
+    /// Wraps a population protocol for execution on the shared runtime.
+    #[must_use]
+    pub fn new(protocol: P) -> Clique<P> {
+        Clique(protocol)
+    }
+
+    /// The wrapped population protocol.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.0
+    }
 }
 
-/// A running execution of a population protocol.
+impl<P: PopulationProtocol> Protocol for Clique<P> {
+    type State = P::State;
+
+    fn initial_state(&self, node: NodeId, n: usize) -> Self::State {
+        self.0.initial_state(node.index(), n)
+    }
+
+    fn transition(
+        &self,
+        a: &Self::State,
+        _pa: Dir,
+        b: &Self::State,
+        _pb: Dir,
+        _bonded: bool,
+    ) -> Option<Transition<Self::State>> {
+        self.0.interact(a, b).map(|(new_a, new_b)| Transition {
+            a: new_a,
+            b: new_b,
+            bond: false,
+        })
+    }
+
+    fn is_halted(&self, state: &Self::State) -> bool {
+        self.0.is_halted(state)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// A running execution of a population protocol on the shared runtime.
 pub struct PopSimulation<P: PopulationProtocol> {
-    protocol: P,
-    states: Vec<P::State>,
-    rng: StdRng,
-    steps: u64,
-    effective_steps: u64,
+    sim: Simulation<Clique<P>>,
 }
 
 impl<P: PopulationProtocol> PopSimulation<P> {
@@ -82,32 +130,34 @@ impl<P: PopulationProtocol> PopSimulation<P> {
     #[must_use]
     pub fn new(protocol: P, n: usize, seed: u64) -> PopSimulation<P> {
         assert!(n >= 2, "a population protocol needs at least two agents");
-        let states = (0..n).map(|i| protocol.initial_state(i, n)).collect();
+        let config = SimulationConfig::new(n).with_seed(seed);
         PopSimulation {
-            protocol,
-            states,
-            rng: StdRng::seed_from_u64(seed),
-            steps: 0,
-            effective_steps: 0,
+            sim: Simulation::new(Clique::new(protocol), config),
         }
     }
 
     /// Population size.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.sim.world().len()
     }
 
     /// Whether the population is empty (never true).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.sim.world().is_empty()
     }
 
     /// The protocol being executed.
     #[must_use]
     pub fn protocol(&self) -> &P {
-        &self.protocol
+        self.sim.world().protocol().inner()
+    }
+
+    /// The underlying geometric world (a clique of free nodes).
+    #[must_use]
+    pub fn world(&self) -> &World<Clique<P>> {
+        self.sim.world()
     }
 
     /// Current state of agent `node`.
@@ -116,67 +166,54 @@ impl<P: PopulationProtocol> PopSimulation<P> {
     /// Panics if `node ≥ n`.
     #[must_use]
     pub fn state(&self, node: usize) -> &P::State {
-        &self.states[node]
+        self.sim.world().state(NodeId::new(node as u32))
     }
 
     /// All agent states in agent order.
     #[must_use]
     pub fn states(&self) -> &[P::State] {
-        &self.states
+        self.sim.world().state_slice()
+    }
+
+    /// The statistics accumulated so far (shared vocabulary with the constructors).
+    #[must_use]
+    pub fn stats(&self) -> ExecutionStats {
+        self.sim.stats()
     }
 
     /// Total scheduler selections so far.
     #[must_use]
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.sim.stats().steps
     }
 
     /// Total effective interactions so far.
     #[must_use]
     pub fn effective_steps(&self) -> u64 {
-        self.effective_steps
+        self.sim.stats().effective_steps
     }
 
     /// Agents currently in a halted state.
     #[must_use]
     pub fn halted_agents(&self) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&i| self.protocol.is_halted(&self.states[i]))
+        self.sim
+            .world()
+            .halted_nodes()
+            .into_iter()
+            .map(NodeId::index)
             .collect()
     }
 
     /// Performs one scheduler step (one uniformly random unordered pair interacts).
     /// Returns whether the interaction was effective.
     pub fn step(&mut self) -> bool {
-        let n = self.len();
-        let a = self.rng.gen_range(0..n);
-        let mut b = self.rng.gen_range(0..n - 1);
-        if b >= a {
-            b += 1;
-        }
-        self.steps += 1;
-        if self.protocol.is_halted(&self.states[a]) || self.protocol.is_halted(&self.states[b]) {
-            return false;
-        }
-        let attempt = self
-            .protocol
-            .interact(&self.states[a], &self.states[b])
-            .map(|(sa, sb)| (sa, sb, false))
-            .or_else(|| {
-                self.protocol
-                    .interact(&self.states[b], &self.states[a])
-                    .map(|(sb, sa)| (sa, sb, true))
-            });
-        let Some((new_a, new_b, _)) = attempt else {
-            return false;
-        };
-        let effective = new_a != self.states[a] || new_b != self.states[b];
-        self.states[a] = new_a;
-        self.states[b] = new_b;
-        if effective {
-            self.effective_steps += 1;
-        }
-        effective
+        let before = self.sim.stats().effective_steps;
+        let stepped = self.sim.step();
+        debug_assert!(
+            stepped,
+            "a clique of n ≥ 2 agents always has permissible pairs"
+        );
+        self.sim.stats().effective_steps > before
     }
 
     /// Runs until `predicate` holds on the state slice (checked before the first step and
@@ -185,48 +222,22 @@ impl<P: PopulationProtocol> PopSimulation<P> {
         &mut self,
         max_steps: u64,
         mut predicate: impl FnMut(&[P::State]) -> bool,
-    ) -> PopRunReport {
-        let start_steps = self.steps;
-        let start_effective = self.effective_steps;
-        let mut condition_met = predicate(&self.states);
-        while !condition_met && self.steps - start_steps < max_steps {
-            self.step();
-            condition_met = predicate(&self.states);
-        }
-        PopRunReport {
-            steps: self.steps - start_steps,
-            effective_steps: self.effective_steps - start_effective,
-            condition_met,
-        }
+    ) -> RunReport {
+        self.sim.config_mut().max_steps = max_steps;
+        self.sim.run_until(|world| predicate(world.state_slice()))
     }
 
     /// Runs until some agent halts (or the step budget runs out).
-    pub fn run_until_any_halted(&mut self, max_steps: u64) -> PopRunReport {
-        let protocol = &self.protocol;
-        // Work around borrowing by re-checking inside the closure via raw index scan.
-        let mut report = PopRunReport {
-            steps: 0,
-            effective_steps: 0,
-            condition_met: false,
-        };
-        let start_steps = self.steps;
-        let start_effective = self.effective_steps;
-        let mut halted = self.states.iter().any(|s| protocol.is_halted(s));
-        while !halted && self.steps - start_steps < max_steps {
-            self.step();
-            halted = self.states.iter().any(|s| self.protocol.is_halted(s));
-        }
-        report.steps = self.steps - start_steps;
-        report.effective_steps = self.effective_steps - start_effective;
-        report.condition_met = halted;
-        report
+    pub fn run_until_any_halted(&mut self, max_steps: u64) -> RunReport {
+        self.sim.config_mut().max_steps = max_steps;
+        self.sim.run_until_any_halted()
     }
 
     /// Counts agents per distinct state (useful for small finite state spaces).
     #[must_use]
     pub fn state_census(&self) -> Vec<(P::State, usize)> {
         let mut census: Vec<(P::State, usize)> = Vec::new();
-        for s in &self.states {
+        for s in self.states() {
             if let Some(entry) = census.iter_mut().find(|(state, _)| state == s) {
                 entry.1 += 1;
             } else {
@@ -264,7 +275,7 @@ mod tests {
     fn epidemic_infects_everyone() {
         let mut sim = PopSimulation::new(Epidemic, 50, 3);
         let report = sim.run_until(1_000_000, |states| states.iter().all(|&s| s));
-        assert!(report.condition_met);
+        assert!(report.condition_met());
         assert_eq!(report.effective_steps, 49);
         assert!(report.steps >= 49);
         assert_eq!(sim.state_census(), vec![(true, 50)]);
@@ -278,6 +289,18 @@ mod tests {
         let mut sim = PopSimulation::new(Epidemic, 10, 11);
         sim.run_until(100_000, |states| states.iter().all(|&s| s));
         assert!(sim.states().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn the_clique_world_stays_bond_free() {
+        // The adapter never activates bonds: all agents remain free singleton
+        // components, which is exactly what makes the uniform scheduler over node-port
+        // pairs equal to the uniform scheduler over agent pairs.
+        let mut sim = PopSimulation::new(Epidemic, 12, 4);
+        sim.run_until(50_000, |states| states.iter().all(|&s| s));
+        assert_eq!(sim.world().bond_count(), 0);
+        assert_eq!(sim.world().component_count(), 12);
+        assert!(sim.world().check_invariants());
     }
 
     /// A protocol where agents halt after their first effective interaction.
@@ -313,7 +336,7 @@ mod tests {
     fn halted_agents_no_longer_interact() {
         let mut sim = PopSimulation::new(OneShot, 4, 5);
         let report = sim.run_until_any_halted(10_000);
-        assert!(report.condition_met);
+        assert!(report.condition_met());
         let halted_now = sim.halted_agents().len();
         assert_eq!(halted_now, 2);
         // Remaining fresh agents can still pair up, but the halted ones never change.
@@ -331,6 +354,7 @@ mod tests {
         let ra = a.run_until(100_000, |s| s.iter().all(|&x| x));
         let rb = b.run_until(100_000, |s| s.iter().all(|&x| x));
         assert_eq!(ra, rb);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

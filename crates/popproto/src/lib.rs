@@ -8,7 +8,10 @@
 //!
 //! Provided here:
 //!
-//! * [`PopulationProtocol`] / [`PopSimulation`] — the engine;
+//! * [`PopulationProtocol`] / [`PopSimulation`] — the engine, a thin wrapper over the
+//!   shared `nc-core` runtime (the [`engine::Clique`] adapter runs a population protocol
+//!   as a geometric protocol that never bonds), reporting through the same
+//!   [`ExecutionStats`]/[`RunReport`] vocabulary as the shape constructors;
 //! * [`counting`] — the **Counting-Upper-Bound** protocol of Theorem 1 (always terminates,
 //!   w.h.p. counts at least `n/2`);
 //! * [`uid_counting`] — counting with unique identifiers: the simple protocol of
@@ -33,8 +36,9 @@
 
 pub mod conjecture;
 pub mod counting;
-mod engine;
+pub mod engine;
 pub mod uid_counting;
 pub mod walk;
 
-pub use engine::{PopRunReport, PopSimulation, PopulationProtocol};
+pub use engine::{Clique, PopSimulation, PopulationProtocol};
+pub use nc_core::{ExecutionStats, RunReport, StopReason};

@@ -106,7 +106,11 @@ impl PopulationProtocol for SimpleUidCounting {
         SimpleUidState::new((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
-    fn interact(&self, a: &SimpleUidState, b: &SimpleUidState) -> Option<(SimpleUidState, SimpleUidState)> {
+    fn interact(
+        &self,
+        a: &SimpleUidState,
+        b: &SimpleUidState,
+    ) -> Option<(SimpleUidState, SimpleUidState)> {
         if a.terminated && b.terminated {
             return None;
         }
@@ -148,16 +152,21 @@ pub struct SimpleUidOutcome {
 /// # Panics
 /// Panics if `n < 2`.
 #[must_use]
-pub fn run_simple_uid(protocol: &SimpleUidCounting, n: usize, seed: u64, max_steps: u64) -> SimpleUidOutcome {
+pub fn run_simple_uid(
+    protocol: &SimpleUidCounting,
+    n: usize,
+    seed: u64,
+    max_steps: u64,
+) -> SimpleUidOutcome {
     let mut sim = PopSimulation::new(*protocol, n, seed);
     let report = sim.run_until(max_steps, |states| states.iter().any(|s| s.terminated));
     let winner = sim.states().iter().find(|s| s.terminated);
     SimpleUidOutcome {
         n,
         window: protocol.window(),
-        terminated: report.condition_met,
+        terminated: report.condition_met(),
         count: winner.map_or(0, SimpleUidState::output),
-        exact: winner.map_or(false, |s| s.output() == n),
+        exact: winner.is_some_and(|s| s.output() == n),
         steps: report.steps,
     }
 }
@@ -230,7 +239,11 @@ impl ImprovedUidCounting {
 
     /// One interaction of Protocol 3 for the ordered pair `(u, v)` with `id_u > id_v`,
     /// transcribed line by line from the paper's listing.
-    fn ordered_interact(&self, u: &ImprovedUidState, v: &ImprovedUidState) -> (ImprovedUidState, ImprovedUidState) {
+    fn ordered_interact(
+        &self,
+        u: &ImprovedUidState,
+        v: &ImprovedUidState,
+    ) -> (ImprovedUidState, ImprovedUidState) {
         debug_assert!(u.id > v.id);
         let mut u = u.clone();
         let mut v = v.clone();
@@ -272,7 +285,11 @@ impl PopulationProtocol for ImprovedUidCounting {
         ImprovedUidState::new((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
-    fn interact(&self, a: &ImprovedUidState, b: &ImprovedUidState) -> Option<(ImprovedUidState, ImprovedUidState)> {
+    fn interact(
+        &self,
+        a: &ImprovedUidState,
+        b: &ImprovedUidState,
+    ) -> Option<(ImprovedUidState, ImprovedUidState)> {
         if a.halted || b.halted {
             return None;
         }
@@ -331,7 +348,7 @@ pub fn run_improved_uid(
     ImprovedUidOutcome {
         n,
         head_start: protocol.head_start(),
-        halted: report.condition_met,
+        halted: report.condition_met(),
         halter_is_max: halter.is_some_and(|s| s.id == max_id),
         output: halter.map_or(0, ImprovedUidState::output),
         success: halter.is_some_and(|s| s.output() >= n as u64),
@@ -385,7 +402,7 @@ mod tests {
         s.observe(3, 2);
         assert!(s.terminated);
         assert_eq!(s.output(), 3); // saw 1 (itself), 2 and 3
-        // Further observations are ignored.
+                                   // Further observations are ignored.
         s.observe(9, 2);
         assert_eq!(s.output(), 3);
     }
@@ -425,8 +442,15 @@ mod tests {
         v.belongs = Some(100);
         let u = ImprovedUidState::new(50);
         let (u2, v2) = p.interact(&u, &v).unwrap();
-        assert!(!u2.active, "u met an agent owned by a greater id and must deactivate");
-        assert_eq!(v2.belongs, Some(100), "ownership by the greater id is preserved");
+        assert!(
+            !u2.active,
+            "u met an agent owned by a greater id and must deactivate"
+        );
+        assert_eq!(
+            v2.belongs,
+            Some(100),
+            "ownership by the greater id is preserved"
+        );
         assert!(!v2.active);
     }
 

@@ -122,7 +122,7 @@ impl Protocol for CountingOnALine {
         pb: Dir,
         bonded: bool,
     ) -> Option<Transition<CountingLineState>> {
-        use CountingLineState::{Halted, Leader, Q0, Q1, Q2, TapeCell};
+        use CountingLineState::{Halted, Leader, TapeCell, Q0, Q1, Q2};
         let Leader(counters) = a else { return None };
         // Halting rule: once the two counters agree (after the head start is consumed),
         // the leader halts on its next interaction, exactly as in Theorem 1.
@@ -151,7 +151,11 @@ impl Protocol for CountingOnALine {
                     let r0_bit = (next.r0 >> index) & 1 == 1;
                     let r1_bit = (next.r1 >> index) & 1 == 1;
                     return Some(Transition {
-                        a: TapeCell { index, r0_bit, r1_bit },
+                        a: TapeCell {
+                            index,
+                            r0_bit,
+                            r1_bit,
+                        },
                         b: Leader(next),
                         bond: true,
                     });
@@ -229,7 +233,7 @@ mod tests {
                 "n = {n}: leader only counted {}",
                 counters.r0
             );
-            assert!(counters.r0 <= n as u64 - 1);
+            assert!(counters.r0 < n as u64);
             // Lemma 1: the leader has formed a line whose length matches the binary
             // representation of its count (leader cell + recruited cells).
             let halted = sim.world().halted_nodes()[0];
@@ -241,14 +245,20 @@ mod tests {
             );
             assert!(tape.is_line(bit_width(counters.r0)));
             // The debt has been fully repaid.
-            assert_eq!(counters.debt, 0, "n = {n}: termination with outstanding debt");
+            assert_eq!(
+                counters.debt, 0,
+                "n = {n}: termination with outstanding debt"
+            );
         }
     }
 
     #[test]
     fn debt_is_bounded_by_tape_length() {
         // Invariant from the proof of Lemma 1: r2 ≤ ⌊lg r0⌋ at all times.
-        let mut sim = Simulation::new(CountingOnALine::new(3), SimulationConfig::new(48).with_seed(2));
+        let mut sim = Simulation::new(
+            CountingOnALine::new(3),
+            SimulationConfig::new(48).with_seed(2),
+        );
         for _ in 0..200_000 {
             if !sim.step() {
                 break;

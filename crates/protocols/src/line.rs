@@ -145,7 +145,10 @@ mod tests {
     #[test]
     fn global_line_spans_the_population() {
         for n in [2usize, 5, 9, 16] {
-            let mut sim = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(n as u64));
+            let mut sim = Simulation::new(
+                GlobalLine::new(),
+                SimulationConfig::new(n).with_seed(n as u64),
+            );
             let report = sim.run_until_stable();
             assert!(report.stabilized, "n = {n}");
             let shape = sim.output_shape();
@@ -164,7 +167,10 @@ mod tests {
     fn simple_global_line_also_spans_but_is_slower() {
         let n = 10;
         let mut fast = Simulation::new(GlobalLine::new(), SimulationConfig::new(n).with_seed(5));
-        let mut slow = Simulation::new(SimpleGlobalLine::new(), SimulationConfig::new(n).with_seed(5));
+        let mut slow = Simulation::new(
+            SimpleGlobalLine::new(),
+            SimulationConfig::new(n).with_seed(5),
+        );
         let fast_report = fast.run_until_stable();
         let slow_report = slow.run_until_stable();
         assert!(fast_report.stabilized && slow_report.stabilized);

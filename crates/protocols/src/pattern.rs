@@ -164,7 +164,10 @@ impl PatternConstructor {
     /// Panics if `n_believed == 0`.
     #[must_use]
     pub fn new(n_believed: u64, computer: Arc<dyn PatternComputer>) -> PatternConstructor {
-        assert!(n_believed >= 1, "the believed population size must be positive");
+        assert!(
+            n_believed >= 1,
+            "the believed population size must be positive"
+        );
         PatternConstructor {
             n_believed,
             d: integer_sqrt(n_believed).max(1),
@@ -234,18 +237,20 @@ impl Protocol for PatternConstructor {
                 if !bonded && *b == Q0 {
                     let dir = self.dir_to_next(*pixel);
                     if pa == dir && pb == dir.opposite() {
-                        return t(
-                            Cell { pixel: *pixel },
-                            Builder { pixel: pixel + 1 },
-                            true,
-                        );
+                        return t(Cell { pixel: *pixel }, Builder { pixel: pixel + 1 }, true);
                     }
                 }
                 None
             }
             Painter { pixel } => {
                 if *pixel == 0 {
-                    return t(Halted { color: self.color(0) }, b.clone(), bonded);
+                    return t(
+                        Halted {
+                            color: self.color(0),
+                        },
+                        b.clone(),
+                        bonded,
+                    );
                 }
                 if bonded {
                     if let Cell { pixel: prev } = b {
@@ -265,7 +270,10 @@ impl Protocol for PatternConstructor {
             }
             // Rigidity: settled cells (painted or not) bond to their grid neighbours so
             // the finished pattern is a fully bonded square.
-            Cell { pixel: pa_pixel } | Painted { pixel: pa_pixel, .. } => {
+            Cell { pixel: pa_pixel }
+            | Painted {
+                pixel: pa_pixel, ..
+            } => {
                 let pb_pixel = match b {
                     Cell { pixel } | Painted { pixel, .. } => Some(*pixel),
                     Halted { .. } => Some(0),
@@ -356,7 +364,12 @@ pub struct PatternReport {
 
 /// Runs the pattern constructor to termination and reads back the painted square.
 #[must_use]
-pub fn paint(computer: Arc<dyn PatternComputer>, n_believed: u64, n: usize, seed: u64) -> PatternReport {
+pub fn paint(
+    computer: Arc<dyn PatternComputer>,
+    n_believed: u64,
+    n: usize,
+    seed: u64,
+) -> PatternReport {
     let protocol = PatternConstructor::new(n_believed, computer.clone());
     let d = protocol.dimension();
     let mut sim = Simulation::new(protocol, SimulationConfig::new(n).with_seed(seed));
@@ -416,8 +429,14 @@ mod tests {
             let name = pattern.name().to_string();
             let report = paint(pattern, 16, 16, seed);
             assert!(report.terminated, "{name}: leader did not terminate");
-            assert!(report.painted.is_complete(), "{name}: unpainted pixels remain");
-            assert_eq!(report.mismatches, 0, "{name}: painted colors differ from the intent");
+            assert!(
+                report.painted.is_complete(),
+                "{name}: unpainted pixels remain"
+            );
+            assert_eq!(
+                report.mismatches, 0,
+                "{name}: painted colors differ from the intent"
+            );
         }
     }
 
@@ -457,11 +476,17 @@ mod tests {
         let c1 = PatternState::Cell { pixel: 1 };
         let c9 = PatternState::Cell { pixel: 9 };
         // Pixels 0 and 1 are horizontal neighbours.
-        let t = p.transition(&c0, Dir::Right, &c1, Dir::Left, false).unwrap();
+        let t = p
+            .transition(&c0, Dir::Right, &c1, Dir::Left, false)
+            .unwrap();
         assert!(t.bond);
         // Pixels 0 and 9 are not adjacent; no bond whatever the ports claim.
-        assert!(p.transition(&c0, Dir::Right, &c9, Dir::Left, false).is_none());
+        assert!(p
+            .transition(&c0, Dir::Right, &c9, Dir::Left, false)
+            .is_none());
         // Already bonded neighbours are left alone.
-        assert!(p.transition(&c0, Dir::Right, &c1, Dir::Left, true).is_none());
+        assert!(p
+            .transition(&c0, Dir::Right, &c1, Dir::Left, true)
+            .is_none());
     }
 }

@@ -48,8 +48,15 @@ impl ComposedConstruction {
 pub fn counted_square(n: usize, b: u64, seed: u64) -> ComposedConstruction {
     let counting = run_counting(&CountingUpperBound::new(b), n, seed);
     let believed = counting.r0.max(1);
-    let construction = construct(UniversalConstructor::square_only(believed), n, seed.wrapping_add(1));
-    ComposedConstruction { counting, construction }
+    let construction = construct(
+        UniversalConstructor::square_only(believed),
+        n,
+        seed.wrapping_add(1),
+    );
+    ComposedConstruction {
+        counting,
+        construction,
+    }
 }
 
 /// Runs Counting-Upper-Bound, then constructs the shape computed by `computer` on the
@@ -71,7 +78,10 @@ pub fn counted_shape(
         n,
         seed.wrapping_add(1),
     );
-    ComposedConstruction { counting, construction }
+    ComposedConstruction {
+        counting,
+        construction,
+    }
 }
 
 /// The outcome of a counting phase followed by a pattern-painting phase (Remark 4).

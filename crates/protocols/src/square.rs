@@ -110,39 +110,81 @@ mod tests {
         let p = Square::new();
         // (Lu, u), (q0, d), 0 → (q1, Lr, 1)
         let t = p
-            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q0, Dir::Down, false)
+            .transition(
+                &SquareState::Leader(Dir::Up),
+                Dir::Up,
+                &SquareState::Q0,
+                Dir::Down,
+                false,
+            )
             .unwrap();
         assert_eq!(t.a, SquareState::Q1);
         assert_eq!(t.b, SquareState::Leader(Dir::Right));
         assert!(t.bond);
         // (Lr, r), (q0, l), 0 → (q1, Ld, 1)
         let t = p
-            .transition(&SquareState::Leader(Dir::Right), Dir::Right, &SquareState::Q0, Dir::Left, false)
+            .transition(
+                &SquareState::Leader(Dir::Right),
+                Dir::Right,
+                &SquareState::Q0,
+                Dir::Left,
+                false,
+            )
             .unwrap();
         assert_eq!(t.b, SquareState::Leader(Dir::Down));
         // (Ll, l), (q0, r), 0 → (q1, Lu, 1)
         let t = p
-            .transition(&SquareState::Leader(Dir::Left), Dir::Left, &SquareState::Q0, Dir::Right, false)
+            .transition(
+                &SquareState::Leader(Dir::Left),
+                Dir::Left,
+                &SquareState::Q0,
+                Dir::Right,
+                false,
+            )
             .unwrap();
         assert_eq!(t.b, SquareState::Leader(Dir::Up));
         // (Lu, u), (q1, d), 0 → (Ll, q1, 1)
         let t = p
-            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q1, Dir::Down, false)
+            .transition(
+                &SquareState::Leader(Dir::Up),
+                Dir::Up,
+                &SquareState::Q1,
+                Dir::Down,
+                false,
+            )
             .unwrap();
         assert_eq!(t.a, SquareState::Leader(Dir::Left));
         assert_eq!(t.b, SquareState::Q1);
         // (Ld, d), (q1, u), 0 → (Lr, q1, 1)
         let t = p
-            .transition(&SquareState::Leader(Dir::Down), Dir::Down, &SquareState::Q1, Dir::Up, false)
+            .transition(
+                &SquareState::Leader(Dir::Down),
+                Dir::Down,
+                &SquareState::Q1,
+                Dir::Up,
+                false,
+            )
             .unwrap();
         assert_eq!(t.a, SquareState::Leader(Dir::Right));
         // Wrong ports are ineffective.
         assert!(p
-            .transition(&SquareState::Leader(Dir::Up), Dir::Right, &SquareState::Q0, Dir::Left, false)
+            .transition(
+                &SquareState::Leader(Dir::Up),
+                Dir::Right,
+                &SquareState::Q0,
+                Dir::Left,
+                false
+            )
             .is_none());
         // Bonded pairs are ineffective.
         assert!(p
-            .transition(&SquareState::Leader(Dir::Up), Dir::Up, &SquareState::Q0, Dir::Down, true)
+            .transition(
+                &SquareState::Leader(Dir::Up),
+                Dir::Up,
+                &SquareState::Q0,
+                Dir::Down,
+                true
+            )
             .is_none());
     }
 
@@ -150,7 +192,10 @@ mod tests {
     fn perfect_square_populations_stabilize_to_full_squares() {
         for d in [2u32, 3, 4] {
             let n = (d * d) as usize;
-            let mut sim = Simulation::new(Square::new(), SimulationConfig::new(n).with_seed(17 + u64::from(d)));
+            let mut sim = Simulation::new(
+                Square::new(),
+                SimulationConfig::new(n).with_seed(17 + u64::from(d)),
+            );
             let report = sim.run_until_stable();
             assert!(report.stabilized, "d = {d}");
             let shape: Shape = sim.output_shape();

@@ -198,8 +198,12 @@ mod tests {
         let t = step(L(Up), Right, Q1).unwrap();
         assert_eq!((t.a, t.b), (L(Up), Q1));
         // Bonded pairs and mismatched ports are ineffective.
-        assert!(p.transition(&L2(Down), Dir::Down, &Q0, Dir::Up, true).is_none());
-        assert!(p.transition(&L(Left), Dir::Left, &Q0, Dir::Up, false).is_none());
+        assert!(p
+            .transition(&L2(Down), Dir::Down, &Q0, Dir::Up, true)
+            .is_none());
+        assert!(p
+            .transition(&L(Left), Dir::Left, &Q0, Dir::Up, false)
+            .is_none());
         // Free nodes never bond to each other.
         assert!(step(Q0, Right, Q0).is_none());
     }
@@ -215,9 +219,7 @@ mod tests {
         let leaders = sim
             .world()
             .states()
-            .filter(|s| {
-                !matches!(s, Square2State::Q0 | Square2State::Q1)
-            })
+            .filter(|s| !matches!(s, Square2State::Q0 | Square2State::Q1))
             .count();
         assert_eq!(leaders, 1, "exactly one leader-like state must exist");
         assert!(sim.world().check_invariants());
@@ -230,11 +232,11 @@ mod tests {
         for n in [9usize, 16] {
             let mut sim = Simulation::new(
                 Square2::new(),
-                SimulationConfig::new(n).with_seed(7).with_max_steps(400_000),
+                SimulationConfig::new(n)
+                    .with_seed(1)
+                    .with_max_steps(400_000),
             );
-            let report = sim.run_until(|w| {
-                !w.states().any(|s| matches!(s, Square2State::Q0))
-            });
+            let report = sim.run_until(|w| !w.states().any(|s| matches!(s, Square2State::Q0)));
             assert_eq!(
                 report.reason,
                 nc_core::StopReason::Predicate,
@@ -251,7 +253,7 @@ mod tests {
     fn first_phase_builds_the_core_with_four_turning_marks() {
         // With exactly 8 nodes the execution is precisely the first phase of Figure 2:
         // a fully bonded 2×2 core plus the four protruding turning marks.
-        let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(8).with_seed(3));
+        let mut sim = Simulation::new(Square2::new(), SimulationConfig::new(8).with_seed(4));
         let report = sim.run_until_stable();
         assert!(report.stabilized);
         let shape = sim.output_shape();

@@ -131,7 +131,10 @@ impl UniversalConstructor {
     }
 
     fn with_target(n_believed: u64, target: Target) -> UniversalConstructor {
-        assert!(n_believed >= 1, "the believed population size must be positive");
+        assert!(
+            n_believed >= 1,
+            "the believed population size must be positive"
+        );
         UniversalConstructor {
             n_believed,
             d: integer_sqrt(n_believed).max(1),
@@ -263,18 +266,16 @@ impl Protocol for UniversalConstructor {
                 Phase::Decide => {
                     if *pixel == 0 {
                         // The walk is over: the leader decides its own (first) pixel.
-                        return t(
-                            UcState::Done {
-                                on: self.decide(0),
-                            },
-                            b.clone(),
-                            bonded,
-                        );
+                        return t(UcState::Done { on: self.decide(0) }, b.clone(), bonded);
                     }
                     // Move backwards over the chain bond to the previous pixel, deciding
                     // the pixel being left behind.
                     if bonded {
-                        if let UcState::Cell { pixel: prev, on: None } = b {
+                        if let UcState::Cell {
+                            pixel: prev,
+                            on: None,
+                        } = b
+                        {
                             if *prev + 1 == *pixel {
                                 return t(
                                     UcState::Cell {
@@ -329,7 +330,10 @@ impl Protocol for UniversalConstructor {
                 UcState::Cell { on: Some(true), .. } | UcState::Done { on: true }
             ),
             Target::Pattern(_) => {
-                matches!(state, UcState::Cell { .. } | UcState::Done { .. } | UcState::Leader { .. })
+                matches!(
+                    state,
+                    UcState::Cell { .. } | UcState::Done { .. } | UcState::Leader { .. }
+                )
             }
         }
     }
@@ -506,13 +510,21 @@ mod tests {
             pixel: 0,
         };
         // Pixel 1 lies to the right of pixel 0, so only (Right, Left) attaches.
-        assert!(p.transition(&leader, Dir::Up, &UcState::Q0, Dir::Down, false).is_none());
+        assert!(p
+            .transition(&leader, Dir::Up, &UcState::Q0, Dir::Down, false)
+            .is_none());
         let t = p
             .transition(&leader, Dir::Right, &UcState::Q0, Dir::Left, false)
             .unwrap();
         assert!(t.bond);
         match (t.a, t.b) {
-            (UcState::Cell { pixel: 0, on: None }, UcState::Leader { phase: Phase::Build, pixel: 1 }) => {}
+            (
+                UcState::Cell { pixel: 0, on: None },
+                UcState::Leader {
+                    phase: Phase::Build,
+                    pixel: 1,
+                },
+            ) => {}
             other => panic!("unexpected transition {other:?}"),
         }
     }
@@ -524,24 +536,48 @@ mod tests {
             u64::from(x) < d / 2
         });
         let p = UniversalConstructor::shape(16, Arc::new(computer));
-        let on_cell = UcState::Cell { pixel: 0, on: Some(true) };
-        let off_cell = UcState::Cell { pixel: 1, on: Some(false) };
+        let on_cell = UcState::Cell {
+            pixel: 0,
+            on: Some(true),
+        };
+        let off_cell = UcState::Cell {
+            pixel: 1,
+            on: Some(false),
+        };
         let undecided = UcState::Cell { pixel: 1, on: None };
         // Undecided neighbour: the bond stays.
-        assert!(p.transition(&on_cell, Dir::Right, &undecided, Dir::Left, true).is_none());
+        assert!(p
+            .transition(&on_cell, Dir::Right, &undecided, Dir::Left, true)
+            .is_none());
         // Both decided, one off: the bond deactivates.
-        let t = p.transition(&on_cell, Dir::Right, &off_cell, Dir::Left, true).unwrap();
+        let t = p
+            .transition(&on_cell, Dir::Right, &off_cell, Dir::Left, true)
+            .unwrap();
         assert!(!t.bond);
         // Two on cells never release, and (re-)bond when adjacent.
-        let other_on = UcState::Cell { pixel: 1, on: Some(true) };
-        assert!(p.transition(&on_cell, Dir::Right, &other_on, Dir::Left, true).is_none());
-        let t = p.transition(&on_cell, Dir::Right, &other_on, Dir::Left, false).unwrap();
+        let other_on = UcState::Cell {
+            pixel: 1,
+            on: Some(true),
+        };
+        assert!(p
+            .transition(&on_cell, Dir::Right, &other_on, Dir::Left, true)
+            .is_none());
+        let t = p
+            .transition(&on_cell, Dir::Right, &other_on, Dir::Left, false)
+            .unwrap();
         assert!(t.bond);
         // An off cell never re-bonds.
-        assert!(p.transition(&on_cell, Dir::Right, &off_cell, Dir::Left, false).is_none());
+        assert!(p
+            .transition(&on_cell, Dir::Right, &off_cell, Dir::Left, false)
+            .is_none());
         // Non-adjacent pixels never bond, whatever the ports claim.
-        let far = UcState::Cell { pixel: 9, on: Some(true) };
-        assert!(p.transition(&on_cell, Dir::Right, &far, Dir::Left, false).is_none());
+        let far = UcState::Cell {
+            pixel: 9,
+            on: Some(true),
+        };
+        assert!(p
+            .transition(&on_cell, Dir::Right, &far, Dir::Left, false)
+            .is_none());
     }
 
     #[test]

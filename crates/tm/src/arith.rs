@@ -51,7 +51,9 @@ impl BinaryCounter {
         if bits.is_empty() {
             BinaryCounter::zero()
         } else {
-            BinaryCounter { bits: bits.to_vec() }
+            BinaryCounter {
+                bits: bits.to_vec(),
+            }
         }
     }
 
@@ -82,6 +84,13 @@ impl BinaryCounter {
     #[must_use]
     pub fn len(&self) -> usize {
         self.bits.len()
+    }
+
+    /// Whether no bit is stored. Always `false`: a counter keeps at least one bit
+    /// (provided for `len`/`is_empty` API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
     }
 
     /// Whether the stored value is zero.
@@ -284,6 +293,9 @@ mod tests {
     #[test]
     fn display_is_msb_first() {
         assert_eq!(BinaryCounter::from_value(6).to_string(), "110");
-        assert_eq!(format!("{:?}", BinaryCounter::from_value(6)), "BinaryCounter(6)");
+        assert_eq!(
+            format!("{:?}", BinaryCounter::from_value(6)),
+            "BinaryCounter(6)"
+        );
     }
 }

@@ -11,10 +11,7 @@ use nc_geometry::zigzag_coord;
 /// A boxed shape computer (the element type of [`all_computers`]).
 pub type BoxedComputer = Box<dyn ShapeComputer>;
 
-fn xy_computer(
-    name: &'static str,
-    f: impl Fn(u32, u32, u32) -> bool + 'static,
-) -> BoxedComputer {
+fn xy_computer(name: &'static str, f: impl Fn(u32, u32, u32) -> bool + 'static) -> BoxedComputer {
     Box::new(PredicateShapeComputer::new(name, move |i, d| {
         let d32 = u32::try_from(d).expect("square dimension fits in u32");
         let (x, y) = zigzag_coord(i, d32);
@@ -31,7 +28,9 @@ pub fn full_square_computer() -> BoxedComputer {
 /// The square border (frame).
 #[must_use]
 pub fn border_computer() -> BoxedComputer {
-    xy_computer("border", |x, y, d| x == 0 || y == 0 || x == d - 1 || y == d - 1)
+    xy_computer("border", |x, y, d| {
+        x == 0 || y == 0 || x == d - 1 || y == d - 1
+    })
 }
 
 /// The paper's footnote example: only the leftmost column of the square (pixels

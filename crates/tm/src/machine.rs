@@ -43,7 +43,10 @@ impl fmt::Display for TmError {
         match self {
             TmError::UnknownState(s) => write!(f, "transition refers to undeclared state {s}"),
             TmError::DuplicateRule { state, symbol } => {
-                write!(f, "duplicate rule for state {state} reading symbol {symbol}")
+                write!(
+                    f,
+                    "duplicate rule for state {state} reading symbol {symbol}"
+                )
             }
             TmError::MissingStart => write!(f, "machine has no start state"),
         }
@@ -240,7 +243,14 @@ impl MachineBuilder {
     /// Adds the rule "in `state`, reading `read`: write `write`, move `movement`, go to
     /// `next`".
     #[must_use]
-    pub fn rule(mut self, state: StateId, read: u8, write: u8, movement: Move, next: StateId) -> MachineBuilder {
+    pub fn rule(
+        mut self,
+        state: StateId,
+        read: u8,
+        write: u8,
+        movement: Move,
+        next: StateId,
+    ) -> MachineBuilder {
         self.rules.push((state, read, next, write, movement));
         self
     }
@@ -260,8 +270,14 @@ impl MachineBuilder {
             if next >= self.next_state {
                 return Err(TmError::UnknownState(next));
             }
-            if rules.insert((state, read), (next, write, movement)).is_some() {
-                return Err(TmError::DuplicateRule { state, symbol: read });
+            if rules
+                .insert((state, read), (next, write, movement))
+                .is_some()
+            {
+                return Err(TmError::DuplicateRule {
+                    state,
+                    symbol: read,
+                });
             }
         }
         if start >= self.next_state {
@@ -380,7 +396,13 @@ mod tests {
             .rule(s, 1, 1, Move::Left, s)
             .build()
             .unwrap_err();
-        assert_eq!(err, TmError::DuplicateRule { state: s, symbol: 1 });
+        assert_eq!(
+            err,
+            TmError::DuplicateRule {
+                state: s,
+                symbol: 1
+            }
+        );
     }
 
     #[test]

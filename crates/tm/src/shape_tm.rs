@@ -141,7 +141,9 @@ impl TmShapeComputer {
     #[must_use]
     pub fn run_pixel(&self, i: u64, d: u64) -> crate::machine::MachineRun {
         let input = encode_pixel_input(i, d);
-        let space = usize::try_from(self.space_bound(d)).unwrap_or(usize::MAX).max(input.len());
+        let space = usize::try_from(self.space_bound(d))
+            .unwrap_or(usize::MAX)
+            .max(input.len());
         self.machine.run(&input, self.max_steps, space)
     }
 }

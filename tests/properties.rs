@@ -1,6 +1,12 @@
-//! Property-based tests (proptest) on the core geometric and probabilistic invariants.
+//! Property-style tests on the core geometric and probabilistic invariants.
+//!
+//! The original suite used `proptest`; the build environment has no registry access, so
+//! the same properties are exercised here over deterministic seeded samples drawn from
+//! the vendored `rand` stand-in. Each property runs over a fixed number of pseudo-random
+//! cases, which keeps runs reproducible while still sweeping the parameter space.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use shape_constructors::geometry::{
     library, zigzag_coord, zigzag_index, Coord, LabeledSquare, Rotation, Shape,
 };
@@ -8,117 +14,161 @@ use shape_constructors::popproto::counting::{run_counting, CountingUpperBound};
 use shape_constructors::popproto::walk::simulate_counting_walk;
 use shape_constructors::tm::arith::{bit_width, integer_sqrt, BinaryCounter};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The zig-zag pixel indexing of Section 3 is a bijection between `{0, …, d²−1}` and
-    /// the cells of the `d × d` square.
-    #[test]
-    fn zigzag_indexing_is_a_bijection(d in 1u32..12) {
+/// Deterministic case generator: one seeded RNG per property, so properties stay
+/// independent of each other and of execution order.
+fn cases(property_seed: u64) -> impl Iterator<Item = StdRng> {
+    (0..CASES as u64)
+        .map(move |i| StdRng::seed_from_u64(property_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i))
+}
+
+/// The zig-zag pixel indexing of Section 3 is a bijection between `{0, …, d²−1}` and the
+/// cells of the `d × d` square.
+#[test]
+fn zigzag_indexing_is_a_bijection() {
+    for mut rng in cases(1) {
+        let d = rng.gen_range(1u32..12);
         let mut seen = std::collections::HashSet::new();
         for i in 0..u64::from(d) * u64::from(d) {
             let (x, y) = zigzag_coord(i, d);
-            prop_assert!(x < d && y < d);
-            prop_assert_eq!(zigzag_index(x, y, d), i);
-            prop_assert!(seen.insert((x, y)));
+            assert!(x < d && y < d);
+            assert_eq!(zigzag_index(x, y, d), i);
+            assert!(seen.insert((x, y)));
         }
     }
+}
 
-    /// Consecutive zig-zag pixels are grid-adjacent (the tape of Figure 7(b) is connected).
-    #[test]
-    fn zigzag_path_is_connected(d in 1u32..12) {
+/// Consecutive zig-zag pixels are grid-adjacent (the tape of Figure 7(b) is connected).
+#[test]
+fn zigzag_path_is_connected() {
+    for d in 1u32..12 {
         for i in 1..u64::from(d) * u64::from(d) {
             let (x0, y0) = zigzag_coord(i - 1, d);
             let (x1, y1) = zigzag_coord(i, d);
-            prop_assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
+            assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
         }
     }
+}
 
-    /// Congruence is invariant under translation and rotation.
-    #[test]
-    fn congruence_is_rotation_and_translation_invariant(
-        w in 1u32..5, h in 1u32..5, dx in -7i32..7, dy in -7i32..7, quarter_turns in 0u8..4
-    ) {
-        let shape = library::l_shape(w.max(2), h.max(2));
+/// Congruence is invariant under translation and rotation.
+#[test]
+fn congruence_is_rotation_and_translation_invariant() {
+    for mut rng in cases(2) {
+        let w = rng.gen_range(2u32..5);
+        let h = rng.gen_range(2u32..5);
+        let dx = rng.gen_range(0u32..14) as i32 - 7;
+        let dy = rng.gen_range(0u32..14) as i32 - 7;
+        let quarter_turns = rng.gen_range(0u8..4);
+        let shape = library::l_shape(w, h);
         let mut moved = shape.translated(Coord::new2(dx, dy));
         for _ in 0..quarter_turns {
             moved = moved.rotated_cw();
         }
-        prop_assert!(shape.congruent(&moved));
-        prop_assert_eq!(shape.len(), moved.len());
+        assert!(shape.congruent(&moved));
+        assert_eq!(shape.len(), moved.len());
     }
+}
 
-    /// The enclosing square `S_G` of Section 3 has side `max_dim(G)` and contains `G`.
-    #[test]
-    fn enclosing_square_has_the_max_dimension_side(w in 1u32..6, h in 1u32..6) {
+/// The enclosing square `S_G` of Section 3 has side `max_dim(G)` and contains `G`.
+#[test]
+fn enclosing_square_has_the_max_dimension_side() {
+    for mut rng in cases(3) {
+        let w = rng.gen_range(1u32..6);
+        let h = rng.gen_range(1u32..6);
         let shape = library::rectangle_shape(w, h);
         let (square, offset) = LabeledSquare::enclosing_square(&shape).unwrap();
-        prop_assert_eq!(square.side(), w.max(h));
-        prop_assert_eq!(square.on_count(), shape.len());
+        assert_eq!(square.side(), w.max(h));
+        assert_eq!(square.on_count(), shape.len());
         for cell in shape.cells() {
             let local = cell - offset;
-            prop_assert!(square.get(local.x as u32, local.y as u32));
+            assert!(square.get(local.x as u32, local.y as u32));
         }
     }
+}
 
-    /// Every labeled square from the TM library is a valid (connected) shape language
-    /// member, and its shape's maximum dimension equals the square side.
-    #[test]
-    fn library_squares_are_valid_language_members(d in 2u32..8) {
+/// Every labeled square from the TM library is a valid (connected) shape language
+/// member, and its shape's maximum dimension equals the square side.
+#[test]
+fn library_squares_are_valid_language_members() {
+    for d in 2u32..8 {
         for computer in shape_constructors::tm::library::all_computers() {
             let square = computer.labeled_square(d);
-            prop_assert!(square.is_valid_language_square(), "{} at d = {d}", computer.name());
-            prop_assert_eq!(square.shape().max_dim(), d);
+            assert!(
+                square.is_valid_language_square(),
+                "{} at d = {d}",
+                computer.name()
+            );
+            assert_eq!(square.shape().max_dim(), d);
         }
     }
+}
 
-    /// Rotations form a group of order 4 in the plane: four quarter turns are the identity.
-    #[test]
-    fn planar_rotations_have_order_four(w in 1u32..5, h in 1u32..5) {
-        let shape = library::l_shape(w.max(2), h.max(2));
+/// Rotations form a group of order 4 in the plane: four quarter turns are the identity.
+#[test]
+fn planar_rotations_have_order_four() {
+    for mut rng in cases(4) {
+        let w = rng.gen_range(2u32..5);
+        let h = rng.gen_range(2u32..5);
+        let shape = library::l_shape(w, h);
         let rotated = shape.rotated_cw().rotated_cw().rotated_cw().rotated_cw();
-        prop_assert_eq!(shape.normalized(), rotated.normalized());
-        prop_assert_eq!(Rotation::all(shape_constructors::geometry::Dim::Two).len(), 4);
+        assert_eq!(shape.normalized(), rotated.normalized());
+        assert_eq!(
+            Rotation::all(shape_constructors::geometry::Dim::Two).len(),
+            4
+        );
     }
+}
 
-    /// Binary-counter arithmetic used by the leader programs is consistent with `u64`.
-    #[test]
-    fn binary_counter_round_trips(value in 0u64..100_000) {
+/// Binary-counter arithmetic used by the leader programs is consistent with `u64`.
+#[test]
+fn binary_counter_round_trips() {
+    for mut rng in cases(5) {
+        let value = rng.gen_range(0u64..100_000);
         let mut counter = BinaryCounter::from_value(value);
-        prop_assert_eq!(counter.value(), value);
-        prop_assert_eq!(counter.len(), bit_width(value).max(1));
+        assert_eq!(counter.value(), value);
+        assert_eq!(counter.len(), bit_width(value).max(1));
         counter.increment();
-        prop_assert_eq!(counter.value(), value + 1);
+        assert_eq!(counter.value(), value + 1);
         counter.decrement();
-        prop_assert_eq!(counter.value(), value);
+        assert_eq!(counter.value(), value);
     }
+}
 
-    /// `integer_sqrt` is the floor square root.
-    #[test]
-    fn integer_sqrt_is_floor(n in 0u64..1_000_000) {
+/// `integer_sqrt` is the floor square root.
+#[test]
+fn integer_sqrt_is_floor() {
+    for mut rng in cases(6) {
+        let n = rng.gen_range(0u64..1_000_000);
         let r = integer_sqrt(n);
-        prop_assert!(r * r <= n);
-        prop_assert!((r + 1) * (r + 1) > n);
+        assert!(r * r <= n);
+        assert!((r + 1) * (r + 1) > n);
     }
+}
 
-    /// Theorem 1 invariants hold on every execution: the protocol halts and the final
-    /// count never exceeds `n − 1` while `r0 ≥ r1` throughout implies `2·r0 ≥` the number
-    /// of counted nodes.
-    #[test]
-    fn counting_always_halts_with_a_sane_count(n in 6usize..60, seed in 0u64..500) {
+/// Theorem 1 invariants hold on every execution: the protocol halts and the final count
+/// never exceeds `n − 1` while the head start is always counted.
+#[test]
+fn counting_always_halts_with_a_sane_count() {
+    for mut rng in cases(7) {
+        let n = rng.gen_range(6usize..60);
+        let seed = rng.gen_range(0u64..500);
         let outcome = run_counting(&CountingUpperBound::new(3), n, seed);
-        prop_assert!(outcome.halted);
-        prop_assert!(outcome.r0 <= n as u64 - 1);
-        prop_assert!(outcome.r0 >= 3, "the head start is always counted");
+        assert!(outcome.halted);
+        assert!(outcome.r0 < n as u64);
+        assert!(outcome.r0 >= 3, "the head start is always counted");
     }
+}
 
-    /// The abstract random walk of the Theorem 1 proof fails strictly less often with a
-    /// larger head start.
-    #[test]
-    fn walk_failure_is_monotone_in_the_head_start(n in 20u64..200) {
+/// The abstract random walk of the Theorem 1 proof fails strictly less often with a
+/// larger head start.
+#[test]
+fn walk_failure_is_monotone_in_the_head_start() {
+    for mut rng in cases(8).take(16) {
+        let n = rng.gen_range(20u64..200);
         let low = simulate_counting_walk(n, 2, 2_000, 99).failure_rate;
         let high = simulate_counting_walk(n, 6, 2_000, 99).failure_rate;
-        prop_assert!(high <= low + 1e-9);
+        assert!(high <= low + 1e-9);
     }
 }
 

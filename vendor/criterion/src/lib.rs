@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just the API the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a straightforward warm-up + timed-samples loop and
+//! plain-text reporting (median / mean / min over the measured samples). It produces no
+//! HTML reports and does no statistical outlier analysis; it exists so that
+//! `cargo bench` runs at all in an environment without registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name and/or a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An identifier made of a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Drives the timing loop of a single benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the configured warm-up and measurement
+    /// windows. The routine's return value is passed through [`black_box`] so the
+    /// optimizer cannot discard the computation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_end = Instant::now() + self.warm_up;
+        let mut iterations: u64 = 0;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+            iterations += 1;
+        }
+        // Aim each sample at measurement/sample_size wall time, at least one iteration.
+        let warm_up_secs = self.warm_up.as_secs_f64().max(1e-9);
+        let per_iter = warm_up_secs / iterations.max(1) as f64;
+        let sample_target = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (sample_target / per_iter.max(1e-12)).ceil().max(1.0) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+fn render(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / u32::try_from(sorted.len()).unwrap_or(1);
+    println!(
+        "{label:<40} median {:>12?}   mean {:>12?}   min {:>12?}   ({} samples)",
+        median,
+        mean,
+        min,
+        sorted.len()
+    );
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the warm-up duration for subsequent benchmarks in this group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement window for subsequent benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        render(&format!("{}/{}", self.name, id.label), &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        render(&format!("{}/{}", self.name, id.label), &bencher.samples);
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group with default timing configuration (0.5 s warm-up,
+    /// 2 s measurement, 10 samples).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 16).label, "f/16");
+        assert_eq!(BenchmarkId::from_parameter(32).label, "32");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
