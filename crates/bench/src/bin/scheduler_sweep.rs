@@ -1,108 +1,294 @@
-//! The scheduler n-sweep: `GlobalLine` runs to stability under the legacy rejection
-//! sampler and under the adaptive indexed sampler, on the same seed, for
-//! n = 64 … 1024. Emits `BENCH_scheduler.json` (steps/sec and speedup per size), the
-//! perf baseline that later PRs compare against.
+//! The scheduler n-sweep: `GlobalLine`, `Square` and `CountingOnALine` run to
+//! completion under the legacy rejection sampler, the adaptive indexed sampler, and the
+//! batched geometric-jump sampler, on the same seed, for n = 64 … 1024. Emits
+//! `BENCH_scheduler.json` (steps/sec and speedup per size), the perf baseline that
+//! later PRs compare against.
+//!
+//! "Steps" follow the paper's convention — every scheduler selection counts, and the
+//! batched sampler's bulk-credited ineffective selections are included (they have the
+//! same distribution as one-at-a-time draws; see the geometric-jump invariant in
+//! `nc_core::scheduler`), so steps/sec across modes compares like for like.
 //!
 //! ```text
 //! cargo run -p nc-bench --release --bin scheduler_sweep            # writes BENCH_scheduler.json
 //! cargo run -p nc-bench --release --bin scheduler_sweep -- --out /dev/stdout
+//! cargo run -p nc-bench --release --bin scheduler_sweep -- --smoke # CI gate, see below
 //! ```
+//!
+//! `--smoke` runs n = 256 only and asserts (a) every mode completes with the protocol's
+//! guaranteed outcome and (b) batched achieves at least the indexed steps/sec, so a
+//! perf regression on the batched hot path fails the build.
+//!
+//! Per-protocol caps keep the sweep finite: the legacy sampler's full-scan stability
+//! checks cost `O(n²·ports²)` per probe, which at GlobalLine n = 1024 is ~13 minutes
+//! (recorded once in PR 1) and far worse for Square, whose single productive port pair
+//! drives the step count towards `Θ(n³)` — Square n = 512 already needs ~3·10⁸
+//! selections and n = 1024 exceeds 2·10⁹, so Square is swept to 512 and its legacy
+//! rows to 128. `--legacy-max` can lower (never raise) the legacy caps.
 
 use nc_core::{SamplingMode, Simulation, SimulationConfig, StopReason};
+use nc_protocols::counting_line::{final_count, CountingOnALine};
 use nc_protocols::line::GlobalLine;
+use nc_protocols::square::Square;
 use std::time::Instant;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Line,
+    Square,
+    Counting,
+}
+
+impl Proto {
+    fn name(self) -> &'static str {
+        match self {
+            Proto::Line => "global-line",
+            Proto::Square => "square",
+            Proto::Counting => "counting-on-a-line",
+        }
+    }
+
+    /// Largest population the legacy rejection sampler is run at (see module docs).
+    fn legacy_cap(self) -> usize {
+        match self {
+            Proto::Line => 512,
+            Proto::Square => 128,
+            Proto::Counting => 1024,
+        }
+    }
+
+    /// Largest population swept at all (Square's step count explodes past 512).
+    fn size_cap(self) -> usize {
+        match self {
+            Proto::Square => 512,
+            Proto::Line | Proto::Counting => 1024,
+        }
+    }
+}
+
 struct Row {
+    protocol: &'static str,
     n: usize,
     mode: &'static str,
     seed: u64,
     seconds: f64,
     steps: u64,
     effective_steps: u64,
+    skipped_steps: u64,
     steps_per_sec: f64,
-    stabilized: bool,
+    completed: bool,
 }
 
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "    {{\"n\": {}, \"mode\": \"{}\", \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"steps_per_sec\": {:.1}, \"stabilized\": {}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}}}",
+            self.protocol,
             self.n,
             self.mode,
             self.seed,
             self.seconds,
             self.steps,
             self.effective_steps,
+            self.skipped_steps,
             self.steps_per_sec,
-            self.stabilized
+            self.completed
         )
     }
 }
 
-fn run_one(n: usize, seed: u64, mode: SamplingMode) -> Row {
+fn mode_name(mode: SamplingMode) -> &'static str {
+    match mode {
+        SamplingMode::Legacy => "legacy",
+        SamplingMode::Adaptive => "indexed",
+        SamplingMode::Batched => "batched",
+    }
+}
+
+/// Runs one protocol to its completion condition and checks the guaranteed outcome:
+/// the spanning line, the ⌊√n⌋ square for perfect squares, or a halted counting leader.
+fn run_one(proto: Proto, n: usize, seed: u64, mode: SamplingMode) -> Row {
     let config = SimulationConfig::new(n)
         .with_seed(seed)
         .with_max_steps(2_000_000_000)
         .with_sampling(mode);
-    let mut sim = Simulation::new(GlobalLine::new(), config);
     let started = Instant::now();
-    let report = sim.run_until_stable();
+    let (report, stats, completed) = match proto {
+        Proto::Line => {
+            let mut sim = Simulation::new(GlobalLine::new(), config);
+            let report = sim.run_until_stable();
+            let ok = report.reason == StopReason::Stable;
+            assert!(
+                !ok || sim.output_shape().is_line(n),
+                "a stable GlobalLine run must produce the spanning line"
+            );
+            (report, sim.stats(), ok)
+        }
+        Proto::Square => {
+            let mut sim = Simulation::new(Square::new(), config);
+            let report = sim.run_until_stable();
+            let ok = report.reason == StopReason::Stable;
+            let d = (n as f64).sqrt() as u32;
+            assert!(
+                !ok || (d as usize * d as usize != n) || sim.output_shape().is_full_square(d),
+                "a stable Square run on a perfect-square population must produce the square"
+            );
+            (report, sim.stats(), ok)
+        }
+        Proto::Counting => {
+            let mut sim = Simulation::new(CountingOnALine::new(2), config);
+            let report = sim.run_until_any_halted();
+            let ok = report.reason == StopReason::AllHalted;
+            assert!(
+                !ok || final_count(&sim).is_some(),
+                "a halted counting run must leave a halted leader"
+            );
+            (report, sim.stats(), ok)
+        }
+    };
     let seconds = started.elapsed().as_secs_f64();
-    assert!(
-        report.reason != StopReason::Stable || sim.output_shape().is_line(n),
-        "a stable GlobalLine run must produce the spanning line"
-    );
     Row {
+        protocol: proto.name(),
         n,
-        mode: match mode {
-            SamplingMode::Legacy => "legacy",
-            SamplingMode::Adaptive => "indexed",
-        },
+        mode: mode_name(mode),
         seed,
         seconds,
         steps: report.steps,
         effective_steps: report.effective_steps,
+        skipped_steps: stats.skipped_steps,
         steps_per_sec: report.steps as f64 / seconds.max(1e-9),
-        stabilized: report.reason == StopReason::Stable,
+        completed,
     }
+}
+
+/// Asserts the cross-mode equivalences the smoke gate guards: the stable output shape
+/// of GlobalLine/Square is unique, so every mode must reach it (checked inside
+/// `run_one`); counting's final tape length is schedule-dependent, so only the halting
+/// guarantee is compared. On top of that, batched must not be slower than indexed.
+fn smoke(protos: &[Proto], seed: u64) {
+    let n = 256;
+    let mut failures = Vec::new();
+    for &proto in protos {
+        let mut per_mode = Vec::new();
+        for mode in [
+            SamplingMode::Legacy,
+            SamplingMode::Adaptive,
+            SamplingMode::Batched,
+        ] {
+            if mode == SamplingMode::Legacy && n > proto.legacy_cap() {
+                continue;
+            }
+            let row = run_one(proto, n, seed, mode);
+            eprintln!(
+                "smoke {:>18} {:>8}: {:>12.3}s {:>12} steps {:>14.0} steps/s completed={}",
+                row.protocol, row.mode, row.seconds, row.steps, row.steps_per_sec, row.completed
+            );
+            if !row.completed {
+                failures.push(format!("{} {} did not complete", proto.name(), row.mode));
+            }
+            per_mode.push(row);
+        }
+        let indexed = per_mode.iter().find(|r| r.mode == "indexed").unwrap();
+        let batched = per_mode.iter().find(|r| r.mode == "batched").unwrap();
+        if batched.steps_per_sec < indexed.steps_per_sec {
+            failures.push(format!(
+                "{}: batched {:.0} steps/s slower than indexed {:.0} steps/s",
+                proto.name(),
+                batched.steps_per_sec,
+                indexed.steps_per_sec
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "smoke failures: {failures:?}");
+    eprintln!("smoke ok: batched ≥ indexed steps/sec and all modes completed at n = {n}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
-
-    let sizes = [64usize, 128, 256, 512, 1024];
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+    let protos: Vec<Proto> = flag_value("--protocols")
+        .map(|list| {
+            list.split(',')
+                .map(|p| match p {
+                    "line" => Proto::Line,
+                    "square" => Proto::Square,
+                    "counting" => Proto::Counting,
+                    other => panic!("unknown protocol {other} (use line,square,counting)"),
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![Proto::Line, Proto::Square, Proto::Counting]);
+    let sizes: Vec<usize> = flag_value("--sizes")
+        .map(|list| {
+            list.split(',')
+                .map(|s| s.parse().expect("size must be an integer"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![64, 128, 256, 512, 1024]);
+    let legacy_max: usize = flag_value("--legacy-max")
+        .map(|v| v.parse().expect("--legacy-max must be an integer"))
+        .unwrap_or(usize::MAX);
     let seed = 1u64;
+
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&protos, seed);
+        return;
+    }
+
     let mut rows: Vec<Row> = Vec::new();
-    eprintln!("protocol = global-line, seed = {seed}, run_until_stable wall-clock");
+    eprintln!("seed = {seed}, run-to-completion wall-clock (steps incl. batched credits)");
     eprintln!(
-        "{:>6}  {:>8}  {:>12}  {:>12}  {:>14}  {:>7}",
-        "n", "mode", "seconds", "steps", "steps/sec", "stable"
+        "{:>18}  {:>6}  {:>8}  {:>12}  {:>12}  {:>14}  {:>9}",
+        "protocol", "n", "mode", "seconds", "steps", "steps/sec", "completed"
     );
-    for &n in &sizes {
-        let mut seconds_per_mode = Vec::new();
-        for mode in [SamplingMode::Legacy, SamplingMode::Adaptive] {
-            let row = run_one(n, seed, mode);
-            eprintln!(
-                "{:>6}  {:>8}  {:>12.3}  {:>12}  {:>14.0}  {:>7}",
-                row.n, row.mode, row.seconds, row.steps, row.steps_per_sec, row.stabilized
-            );
-            seconds_per_mode.push(row.seconds);
-            rows.push(row);
+    for &proto in &protos {
+        for &n in &sizes {
+            if n > proto.size_cap() {
+                continue;
+            }
+            let mut indexed_secs = f64::NAN;
+            for mode in [
+                SamplingMode::Legacy,
+                SamplingMode::Adaptive,
+                SamplingMode::Batched,
+            ] {
+                if mode == SamplingMode::Legacy && n > legacy_max.min(proto.legacy_cap()) {
+                    continue;
+                }
+                let row = run_one(proto, n, seed, mode);
+                eprintln!(
+                    "{:>18}  {:>6}  {:>8}  {:>12.3}  {:>12}  {:>14.0}  {:>9}",
+                    row.protocol,
+                    row.n,
+                    row.mode,
+                    row.seconds,
+                    row.steps,
+                    row.steps_per_sec,
+                    row.completed
+                );
+                if mode == SamplingMode::Adaptive {
+                    indexed_secs = row.seconds;
+                }
+                if mode == SamplingMode::Batched {
+                    eprintln!(
+                        "{:>18}  {n:>6}  speedup (indexed/batched): {:.2}x",
+                        proto.name(),
+                        indexed_secs / row.seconds.max(1e-9)
+                    );
+                }
+                rows.push(row);
+            }
         }
-        eprintln!(
-            "{n:>6}  speedup (legacy/indexed): {:.2}x",
-            seconds_per_mode[0] / seconds_per_mode[1].max(1e-9)
-        );
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"protocol\": \"global-line\",\n  \"metric\": \"run_until_stable wall-clock, same seed per size\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched bulk credits; legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write bench artifact");

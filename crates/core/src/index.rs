@@ -1,7 +1,10 @@
-//! The incremental interaction index: bookkeeping that makes stability detection and
-//! effective-pair lookup amortised `O(active)` instead of `O(n² · ports²)`.
+//! The incremental indexes of the runtime: the *interaction index* (dirty frontier)
+//! that makes stability detection and effective-pair lookup amortised `O(active)`
+//! instead of `O(n² · ports²)`, and — further down in this module — the
+//! *permissible-pair index* that maintains exact per-version permissible/effective
+//! pair counts for the batched geometric-jump sampler.
 //!
-//! # Design
+//! # Design (interaction index)
 //!
 //! A pair of node-ports can only *become* effective when something about one of its
 //! endpoints changes: a state, the bond between the two ports, or the geometry of an
@@ -28,8 +31,12 @@
 //! consequence `World` is not `Sync`; see the ROADMAP's sharding item for the plan to
 //! replace this with per-shard indices.
 
-use crate::{Interaction, NodeId};
+use crate::component::{Component, DeterministicState};
+use crate::{Interaction, NodeId, Placement, Protocol};
+use nc_geometry::{Dim, Dir};
+use rand::{Rng, RngCore};
 use std::cell::{Cell, RefCell, RefMut};
+use std::collections::HashMap;
 
 /// Counters describing how much work the index has done (and saved).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -120,6 +127,842 @@ impl InteractionIndex {
     /// A snapshot of the work counters.
     pub(crate) fn stats(&self) -> IndexStats {
         self.inner.borrow().stats
+    }
+}
+
+// ===========================================================================
+// The incremental permissible-pair index (PR 2)
+// ===========================================================================
+//
+// While the dirty-frontier index above answers "does *some* effective pair exist?",
+// the batched sampler ([`crate::SamplingMode::Batched`]) needs the exact *counts* of
+// permissible and effective pairs of a frozen configuration — and the ability to draw
+// uniformly from either set — without re-enumerating `O(n²·ports²)` candidates per
+// configuration version. The [`PairIndex`] below maintains those counts in `O(changed)`
+// per world delta, fed from the same delta stream that feeds the dirty frontier (state
+// writes, bond flips, merges, splits).
+//
+// # Decomposition
+//
+// The permissible set splits into classes whose sizes are maintainable exactly:
+//
+// 1. **Intra-component pairs** (bonded, or facing-adjacent in the same component):
+//    purely local — whether `(x, pa)` participates depends only on `x`'s links and the
+//    occupancy of the single cell its port faces. Stored per node-port with canonical
+//    de-duplication; a delta re-derives the entries of the touched nodes in `O(ports)`.
+// 2. **Multi-component node × free singleton**: a port of a node in a ≥2-node component
+//    whose facing cell is unoccupied accepts *any* free singleton through *any* of its
+//    ports (singletons are arbitrarily rotatable and have no other cells to collide),
+//    so these pairs are counted as `free_ports · ports · singletons` without being
+//    materialised. Effectiveness only depends on the two states and the two ports, so
+//    grouping singletons (and free ports) by *state class* turns the effective count
+//    into a small sum over class pairs, memoised per `(class, port, class, port)`.
+// 3. **Singleton × singleton**: always permissible (any ports, a rotation always
+//    exists, nothing can collide), counted as `ports² · C(s, 2)`; effectiveness again
+//    via the class memo.
+// 4. **Multi × multi cross-component pairs**: the only class whose permissibility
+//    depends on non-local geometry (collision between two rigid shapes). These are
+//    *not* maintained incrementally — [`crate::World::enumerate_cross_multi`]
+//    enumerates them per frozen version under a budget, and the caller falls back to
+//    rejection sampling when the budget is exceeded. In the growth workloads this PR
+//    optimises (one growing component absorbing free nodes) this class is empty.
+//
+// Exactness of the merge case is worth spelling out: when a component grows, pairs
+// anchored at its *unmoved* members can silently lose permissibility (the new cells
+// block previously valid placements), which is why class 4 cannot ride the dirty
+// stream. Classes 1–3 are immune: intra adjacency is rigid under merges, and the
+// singleton classes only depend on the facing cell of one port — the world marks the
+// neighbours of every newly inserted cell as touched, which is exactly the set whose
+// free-port flags can flip.
+//
+// The pre-existing full enumeration ([`crate::World::enumerate_permissible`]) is kept
+// as the validation oracle; [`crate::World::validate_pair_index`] compares counts and
+// effective sets after arbitrary delta sequences.
+
+/// Hard cap on simultaneously *live* state classes. Protocols whose live state
+/// diversity exceeds this (e.g. universal TM constructors) overflow the index, which
+/// permanently falls back to the adaptive sampler — a soundness valve, not an error.
+const CLASS_CAP: usize = 64;
+
+/// Sentinel for "not a member" positions.
+const NONE: u32 = u32::MAX;
+
+/// Packs an unordered node-port pair into a canonical `u64` key.
+pub(crate) fn pair_key(a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> u64 {
+    // Node ids get 24 bits each; beyond that the keys would alias silently.
+    debug_assert!(
+        a.index() < (1 << 24) && b.index() < (1 << 24),
+        "pair keys support at most 2^24 nodes"
+    );
+    let (lo, hi) = if (a.index(), pa.index()) <= (b.index(), pb.index()) {
+        ((a, pa), (b, pb))
+    } else {
+        ((b, pb), (a, pa))
+    };
+    ((lo.0.index() as u64) << 40)
+        | ((lo.1.index() as u64) << 32)
+        | ((hi.0.index() as u64) << 8)
+        | hi.1.index() as u64
+}
+
+fn unpack_key(key: u64) -> (NodeId, Dir, NodeId, Dir) {
+    (
+        NodeId::new(((key >> 40) & 0xFF_FFFF) as u32),
+        Dir::from_index(((key >> 32) & 0xFF) as usize),
+        NodeId::new(((key >> 8) & 0xFF_FFFF) as u32),
+        Dir::from_index((key & 0xFF) as usize),
+    )
+}
+
+/// A set of canonical pair keys supporting O(1) insert, remove and uniform indexing.
+#[derive(Default)]
+pub(crate) struct PairList {
+    items: Vec<u64>,
+    pos: HashMap<u64, u32, DeterministicState>,
+}
+
+impl PairList {
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn get(&self, i: usize) -> u64 {
+        self.items[i]
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Inserts a key; returns whether it was new.
+    pub(crate) fn insert(&mut self, key: u64) -> bool {
+        if self.pos.contains_key(&key) {
+            return false;
+        }
+        self.pos.insert(key, self.items.len() as u32);
+        self.items.push(key);
+        true
+    }
+
+    /// Removes a key (swap-remove); returns whether it was present.
+    pub(crate) fn remove(&mut self, key: u64) -> bool {
+        let Some(at) = self.pos.remove(&key) else {
+            return false;
+        };
+        let last = self.items.pop().expect("pos implies non-empty");
+        if last != key {
+            self.items[at as usize] = last;
+            self.pos.insert(last, at);
+        }
+        true
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+        self.pos.clear();
+    }
+}
+
+/// A read-only view of the world geometry the pair index derives its entries from.
+/// Bundled so the index can live beside the `World` fields it reads without borrow
+/// conflicts.
+pub(crate) struct GeomView<'a, S> {
+    pub(crate) dim: Dim,
+    pub(crate) states: &'a [S],
+    pub(crate) halted: &'a [bool],
+    pub(crate) comp_of: &'a [usize],
+    pub(crate) components: &'a [Option<Component>],
+    pub(crate) placements: &'a [Placement],
+    pub(crate) links: &'a [[Option<(NodeId, Dir)>; 6]],
+}
+
+impl<S> GeomView<'_, S> {
+    fn comp(&self, x: NodeId) -> &Component {
+        self.components[self.comp_of[x.index()]]
+            .as_ref()
+            .expect("component slot of a live node must be occupied")
+    }
+
+    fn is_singleton(&self, x: NodeId) -> bool {
+        self.comp(x).len() == 1
+    }
+
+    /// Whether the cell faced by `x`'s port `pa` is unoccupied in `x`'s component.
+    fn port_free(&self, x: NodeId, pa: Dir) -> bool {
+        let pl = self.placements[x.index()];
+        let target = pl.pos + pl.rot.apply_dir(pa).unit();
+        !self.comp(x).is_occupied(target)
+    }
+
+    /// The intra-component pair `x`'s port `pa` currently participates in, if any:
+    /// the bonded peer, or the same-component node whose facing cell it touches.
+    fn intra_entry_at(&self, x: NodeId, pa: Dir) -> Option<IntraEntry> {
+        if let Some((peer, pport)) = self.links[x.index()][pa.index()] {
+            return Some(IntraEntry {
+                peer,
+                pport,
+                bonded: true,
+            });
+        }
+        let pl = self.placements[x.index()];
+        let facing = pl.rot.apply_dir(pa);
+        let target = pl.pos + facing.unit();
+        let peer = self.comp(x).node_at(target)?;
+        let pport = self.placements[peer.index()]
+            .rot
+            .inverse()
+            .apply_dir(facing.opposite());
+        Some(IntraEntry {
+            peer,
+            pport,
+            bonded: false,
+        })
+    }
+}
+
+/// One intra-component pair as seen from one of its endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct IntraEntry {
+    peer: NodeId,
+    pport: Dir,
+    bonded: bool,
+}
+
+/// A live state class: all bookkeeping grouped by protocol state.
+struct ClassSlot<S> {
+    state: S,
+    halted: bool,
+    /// Number of nodes registered with this class (frees the slot at zero).
+    refs: u32,
+    /// The free singleton nodes currently in this state.
+    singletons: Vec<NodeId>,
+    /// Per port: the multi-component nodes in this state whose port faces a free cell.
+    free_ports: [Vec<NodeId>; 6],
+}
+
+/// Exact base counts of the frozen configuration, excluding multi×multi cross pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct BaseCounts {
+    /// Permissible pairs in classes 1–3 of the decomposition.
+    pub(crate) permissible: u64,
+    /// Effective pairs in classes 1–3.
+    pub(crate) effective: u64,
+}
+
+/// The incremental permissible-pair index. See the section comment above for the
+/// decomposition and the exactness argument.
+pub(crate) struct PairIndex<S> {
+    /// Class id each node is registered under (`NONE` before `build`).
+    node_class: Vec<u32>,
+    /// Whether the node is registered as a free singleton.
+    reg_singleton: Vec<bool>,
+    /// Position of the node in its class singleton list (`NONE` when not a singleton).
+    singleton_pos: Vec<u32>,
+    /// Position of the node in the flat singleton list.
+    singleton_flat_pos: Vec<u32>,
+    /// Per node-port: position in the class free-port bucket (`NONE` when not free).
+    free_bucket_pos: Vec<[u32; 6]>,
+    /// Per node-port: position in the flat free-port list.
+    free_flat_pos: Vec<[u32; 6]>,
+    /// Per node-port: the intra-component pair the port participates in.
+    intra: Vec<[Option<IntraEntry>; 6]>,
+    classes: Vec<Option<ClassSlot<S>>>,
+    free_class_slots: Vec<u32>,
+    live_classes: usize,
+    /// All free singletons (flat, for uniform draws).
+    singletons_flat: Vec<NodeId>,
+    /// All free ports of multi-component nodes (flat, for uniform draws).
+    free_flat: Vec<(NodeId, Dir)>,
+    /// All intra pairs, canonical keys.
+    intra_list: PairList,
+    /// The effective subset of `intra_list`.
+    intra_eff: PairList,
+    /// Effectiveness memo per `(class, port, class, port)` for unbonded cross pairs.
+    memo: HashMap<u64, bool, DeterministicState>,
+}
+
+/// Raised when the live class count exceeds [`CLASS_CAP`]; the world then abandons the
+/// index for the rest of the execution.
+pub(crate) struct ClassOverflow;
+
+impl<S: Clone + PartialEq> PairIndex<S> {
+    pub(crate) fn new() -> PairIndex<S> {
+        PairIndex {
+            node_class: Vec::new(),
+            reg_singleton: Vec::new(),
+            singleton_pos: Vec::new(),
+            singleton_flat_pos: Vec::new(),
+            free_bucket_pos: Vec::new(),
+            free_flat_pos: Vec::new(),
+            intra: Vec::new(),
+            classes: Vec::new(),
+            free_class_slots: Vec::new(),
+            live_classes: 0,
+            singletons_flat: Vec::new(),
+            free_flat: Vec::new(),
+            intra_list: PairList::default(),
+            intra_eff: PairList::default(),
+            memo: HashMap::default(),
+        }
+    }
+
+    /// Builds the index from scratch for the current configuration.
+    pub(crate) fn build<P: Protocol<State = S>>(
+        &mut self,
+        view: &GeomView<'_, S>,
+        protocol: &P,
+    ) -> Result<(), ClassOverflow> {
+        let n = view.states.len();
+        self.node_class = vec![NONE; n];
+        self.reg_singleton = vec![false; n];
+        self.singleton_pos = vec![NONE; n];
+        self.singleton_flat_pos = vec![NONE; n];
+        self.free_bucket_pos = vec![[NONE; 6]; n];
+        self.free_flat_pos = vec![[NONE; 6]; n];
+        self.intra = vec![[None; 6]; n];
+        self.classes.clear();
+        self.free_class_slots.clear();
+        self.live_classes = 0;
+        self.singletons_flat.clear();
+        self.free_flat.clear();
+        self.intra_list.clear();
+        self.intra_eff.clear();
+        self.memo.clear();
+        for i in 0..n {
+            self.reindex(view, protocol, NodeId::new(i as u32))?;
+        }
+        Ok(())
+    }
+
+    /// Drops every registration (after an overflow: the index stays unusable).
+    pub(crate) fn clear(&mut self) {
+        *self = PairIndex::new();
+    }
+
+    /// Number of free singleton nodes (= singleton components).
+    pub(crate) fn singleton_count(&self) -> usize {
+        self.singletons_flat.len()
+    }
+
+    fn class_for(&mut self, state: &S, halted: bool) -> Result<u32, ClassOverflow> {
+        for (id, slot) in self.classes.iter().enumerate() {
+            if let Some(slot) = slot {
+                if slot.state == *state {
+                    return Ok(id as u32);
+                }
+            }
+        }
+        if self.live_classes == CLASS_CAP {
+            return Err(ClassOverflow);
+        }
+        self.live_classes += 1;
+        let slot = ClassSlot {
+            state: state.clone(),
+            halted,
+            refs: 0,
+            singletons: Vec::new(),
+            free_ports: std::array::from_fn(|_| Vec::new()),
+        };
+        if let Some(id) = self.free_class_slots.pop() {
+            self.classes[id as usize] = Some(slot);
+            Ok(id)
+        } else {
+            self.classes.push(Some(slot));
+            Ok(self.classes.len() as u32 - 1)
+        }
+    }
+
+    fn release_class(&mut self, id: u32) {
+        let slot = self.classes[id as usize]
+            .as_mut()
+            .expect("released class must be live");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            debug_assert!(slot.singletons.is_empty());
+            debug_assert!(slot.free_ports.iter().all(Vec::is_empty));
+            self.classes[id as usize] = None;
+            self.free_class_slots.push(id);
+            self.live_classes -= 1;
+            // Memo entries referencing a retired class id would alias its successor.
+            self.memo.retain(|&key, _| {
+                (key >> 40) as u32 != id && ((key >> 8) & 0xFF_FFFF) as u32 != id
+            });
+        }
+    }
+
+    fn class(&self, id: u32) -> &ClassSlot<S> {
+        self.classes[id as usize]
+            .as_ref()
+            .expect("class id must be live")
+    }
+
+    fn class_mut(&mut self, id: u32) -> &mut ClassSlot<S> {
+        self.classes[id as usize]
+            .as_mut()
+            .expect("class id must be live")
+    }
+
+    fn drop_singleton_reg(&mut self, x: NodeId) {
+        if !self.reg_singleton[x.index()] {
+            return;
+        }
+        self.reg_singleton[x.index()] = false;
+        let class = self.node_class[x.index()];
+        let at = self.singleton_pos[x.index()] as usize;
+        self.singleton_pos[x.index()] = NONE;
+        let slot = self.class_mut(class);
+        let last = slot.singletons.pop().expect("registered singleton");
+        if last != x {
+            slot.singletons[at] = last;
+            self.singleton_pos[last.index()] = at as u32;
+        }
+        let at = self.singleton_flat_pos[x.index()] as usize;
+        self.singleton_flat_pos[x.index()] = NONE;
+        let last = self.singletons_flat.pop().expect("registered singleton");
+        if last != x {
+            self.singletons_flat[at] = last;
+            self.singleton_flat_pos[last.index()] = at as u32;
+        }
+    }
+
+    fn drop_free_port_reg(&mut self, x: NodeId, pa: Dir) {
+        let at = self.free_bucket_pos[x.index()][pa.index()];
+        if at == NONE {
+            return;
+        }
+        self.free_bucket_pos[x.index()][pa.index()] = NONE;
+        let class = self.node_class[x.index()];
+        let bucket = &mut self.class_mut(class).free_ports[pa.index()];
+        let last = bucket.pop().expect("registered free port");
+        if last != x {
+            bucket[at as usize] = last;
+            self.free_bucket_pos[last.index()][pa.index()] = at;
+        }
+        let at = self.free_flat_pos[x.index()][pa.index()] as usize;
+        self.free_flat_pos[x.index()][pa.index()] = NONE;
+        let last = self.free_flat.pop().expect("registered free port");
+        if last != (x, pa) {
+            self.free_flat[at] = last;
+            self.free_flat_pos[last.0.index()][last.1.index()] = at as u32;
+        }
+    }
+
+    /// Removes the stored intra pair anchored at `(x, pa)` from the lists and clears
+    /// the mirror entry if it still points back.
+    fn unlink_intra(&mut self, x: NodeId, pa: Dir, entry: IntraEntry) {
+        let key = pair_key(x, pa, entry.peer, entry.pport);
+        self.intra_list.remove(key);
+        self.intra_eff.remove(key);
+        self.intra[x.index()][pa.index()] = None;
+        let mirror = &mut self.intra[entry.peer.index()][entry.pport.index()];
+        if mirror.is_some_and(|m| m.peer == x && m.pport == pa) {
+            *mirror = None;
+        }
+    }
+
+    /// Re-derives every registration of `x` from the current geometry. Idempotent, and
+    /// the only mutation entry point after `build`: the world calls it for exactly the
+    /// nodes a delta may have re-classified (participants, moved nodes, split members,
+    /// and the neighbours of newly inserted cells).
+    pub(crate) fn reindex<P: Protocol<State = S>>(
+        &mut self,
+        view: &GeomView<'_, S>,
+        protocol: &P,
+        x: NodeId,
+    ) -> Result<(), ClassOverflow> {
+        let xi = x.index();
+        let halted = view.halted[xi];
+        let class = match self.class_for(&view.states[xi], halted) {
+            Ok(class) => class,
+            Err(ClassOverflow) => {
+                // If `x` is the sole member of its current class, that class is about
+                // to be retired anyway: retiring it first frees a slot, so protocols
+                // whose *steady-state* diversity sits exactly at the cap (one node
+                // churning through fresh states) do not spuriously overflow.
+                let old = self.node_class[xi];
+                if old == NONE || self.class(old).refs > 1 {
+                    return Err(ClassOverflow);
+                }
+                self.drop_singleton_reg(x);
+                for &pa in view.dim.dirs() {
+                    self.drop_free_port_reg(x, pa);
+                }
+                self.node_class[xi] = NONE;
+                self.release_class(old);
+                self.class_for(&view.states[xi], halted)?
+            }
+        };
+        let old_class = self.node_class[xi];
+        if old_class != class {
+            // Memberships are keyed by class: detach them before re-registering.
+            self.drop_singleton_reg(x);
+            for &pa in view.dim.dirs() {
+                self.drop_free_port_reg(x, pa);
+            }
+            self.class_mut(class).refs += 1;
+            self.node_class[xi] = class;
+            if old_class != NONE {
+                self.release_class(old_class);
+            }
+        }
+        let singleton = view.is_singleton(x);
+        if singleton != self.reg_singleton[xi] {
+            if singleton {
+                let slot = self.class_mut(class);
+                let at = slot.singletons.len() as u32;
+                slot.singletons.push(x);
+                self.singleton_pos[xi] = at;
+                self.singleton_flat_pos[xi] = self.singletons_flat.len() as u32;
+                self.singletons_flat.push(x);
+                self.reg_singleton[xi] = true;
+            } else {
+                self.drop_singleton_reg(x);
+            }
+        }
+        for &pa in view.dim.dirs() {
+            let free = !singleton && view.port_free(x, pa);
+            let registered = self.free_bucket_pos[xi][pa.index()] != NONE;
+            if free && !registered {
+                let slot = self.class_mut(class);
+                let at = slot.free_ports[pa.index()].len() as u32;
+                slot.free_ports[pa.index()].push(x);
+                self.free_bucket_pos[xi][pa.index()] = at;
+                self.free_flat_pos[xi][pa.index()] = self.free_flat.len() as u32;
+                self.free_flat.push((x, pa));
+            } else if !free && registered {
+                self.drop_free_port_reg(x, pa);
+            }
+            // Intra pair at this port.
+            let desired = view.intra_entry_at(x, pa);
+            let stored = self.intra[xi][pa.index()];
+            if stored != desired {
+                if let Some(old) = stored {
+                    self.unlink_intra(x, pa, old);
+                }
+                if let Some(new) = desired {
+                    if let Some(stale) = self.intra[new.peer.index()][new.pport.index()] {
+                        if stale.peer != x || stale.pport != pa {
+                            self.unlink_intra(new.peer, new.pport, stale);
+                        }
+                    }
+                    self.intra[xi][pa.index()] = Some(new);
+                    self.intra[new.peer.index()][new.pport.index()] = Some(IntraEntry {
+                        peer: x,
+                        pport: pa,
+                        bonded: new.bonded,
+                    });
+                    self.intra_list.insert(pair_key(x, pa, new.peer, new.pport));
+                }
+            }
+            if let Some(entry) = self.intra[xi][pa.index()] {
+                let key = pair_key(x, pa, entry.peer, entry.pport);
+                let eff = !view.halted[xi]
+                    && !view.halted[entry.peer.index()]
+                    && crate::world::transition_effective(
+                        protocol,
+                        &view.states[xi],
+                        pa,
+                        &view.states[entry.peer.index()],
+                        entry.pport,
+                        entry.bonded,
+                    );
+                if eff {
+                    self.intra_eff.insert(key);
+                } else {
+                    self.intra_eff.remove(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Memoised effectiveness of an unbonded cross pair between a node of class `ca`
+    /// interacting through `pa` and a node of class `cb` through `pb`.
+    fn cross_effective<P: Protocol<State = S>>(
+        &mut self,
+        protocol: &P,
+        ca: u32,
+        pa: Dir,
+        cb: u32,
+        pb: Dir,
+    ) -> bool {
+        let key = (u64::from(ca) << 40)
+            | ((pa.index() as u64) << 32)
+            | (u64::from(cb) << 8)
+            | pb.index() as u64;
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        let a = self.class(ca);
+        let b = self.class(cb);
+        let v = !a.halted
+            && !b.halted
+            && crate::world::transition_effective(protocol, &a.state, pa, &b.state, pb, false);
+        self.memo.insert(key, v);
+        v
+    }
+
+    /// Live class ids in ascending order (the canonical cell-walk order).
+    fn live_class_ids(&self) -> Vec<u32> {
+        (0..self.classes.len() as u32)
+            .filter(|&id| self.classes[id as usize].is_some())
+            .collect()
+    }
+
+    /// Exact counts of the base classes (1–3) of the decomposition. `O(classes²·ports²)`.
+    pub(crate) fn counts<P: Protocol<State = S>>(&mut self, protocol: &P, dim: Dim) -> BaseCounts {
+        let p = dim.port_count() as u64;
+        let s = self.singletons_flat.len() as u64;
+        let permissible = self.intra_list.len() as u64
+            + self.free_flat.len() as u64 * p * s
+            + p * p * s.saturating_sub(1) * s / 2;
+        let mut effective = self.intra_eff.len() as u64;
+        let ids = self.live_class_ids();
+        // Class 2: multi-component free ports × singletons, by class pair.
+        for &ca in &ids {
+            for &pa in dim.dirs() {
+                let g = self.class(ca).free_ports[pa.index()].len() as u64;
+                if g == 0 {
+                    continue;
+                }
+                for &cb in &ids {
+                    let sc = self.class(cb).singletons.len() as u64;
+                    if sc == 0 {
+                        continue;
+                    }
+                    for &pb in dim.dirs() {
+                        if self.cross_effective(protocol, ca, pa, cb, pb) {
+                            effective += g * sc;
+                        }
+                    }
+                }
+            }
+        }
+        // Class 3: singleton × singleton, by unordered class pair; for pairs within one
+        // class the node with the smaller id takes `pa`, so each unordered interaction
+        // is counted exactly once over the ordered `(pa, pb)` sweep.
+        for (i, &ca) in ids.iter().enumerate() {
+            let sa = self.class(ca).singletons.len() as u64;
+            if sa == 0 {
+                continue;
+            }
+            for &cb in &ids[i..] {
+                let sb = self.class(cb).singletons.len() as u64;
+                if sb == 0 {
+                    continue;
+                }
+                let pairs = if ca == cb { sa * (sa - 1) / 2 } else { sa * sb };
+                if pairs == 0 {
+                    continue;
+                }
+                for &pa in dim.dirs() {
+                    for &pb in dim.dirs() {
+                        if self.cross_effective(protocol, ca, pa, cb, pb) {
+                            effective += pairs;
+                        }
+                    }
+                }
+            }
+        }
+        BaseCounts {
+            permissible,
+            effective,
+        }
+    }
+
+    /// The `idx`-th effective base pair under the same walk order as [`Self::counts`]
+    /// (intra, then class 2 cells, then class 3 cells), with uniform within-cell member
+    /// choice from `rng`. The result is uniform over the effective base set when `idx`
+    /// is uniform over `0..counts().effective`.
+    pub(crate) fn sample_effective<P: Protocol<State = S>, R: RngCore>(
+        &mut self,
+        protocol: &P,
+        dim: Dim,
+        rng: &mut R,
+        mut idx: u64,
+    ) -> (NodeId, Dir, NodeId, Dir) {
+        if idx < self.intra_eff.len() as u64 {
+            let (a, pa, b, pb) = unpack_key(self.intra_eff.get(idx as usize));
+            return (a, pa, b, pb);
+        }
+        idx -= self.intra_eff.len() as u64;
+        let ids = self.live_class_ids();
+        for &ca in &ids {
+            for &pa in dim.dirs() {
+                let g = self.class(ca).free_ports[pa.index()].len() as u64;
+                if g == 0 {
+                    continue;
+                }
+                for &cb in &ids {
+                    let sc = self.class(cb).singletons.len() as u64;
+                    if sc == 0 {
+                        continue;
+                    }
+                    for &pb in dim.dirs() {
+                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                            continue;
+                        }
+                        let cell = g * sc;
+                        if idx < cell {
+                            let x =
+                                self.class(ca).free_ports[pa.index()][rng.gen_range(0..g as usize)];
+                            let y = self.class(cb).singletons[rng.gen_range(0..sc as usize)];
+                            return (x, pa, y, pb);
+                        }
+                        idx -= cell;
+                    }
+                }
+            }
+        }
+        for (i, &ca) in ids.iter().enumerate() {
+            let sa = self.class(ca).singletons.len() as u64;
+            if sa == 0 {
+                continue;
+            }
+            for &cb in &ids[i..] {
+                let sb = self.class(cb).singletons.len() as u64;
+                if sb == 0 {
+                    continue;
+                }
+                let pairs = if ca == cb { sa * (sa - 1) / 2 } else { sa * sb };
+                if pairs == 0 {
+                    continue;
+                }
+                for &pa in dim.dirs() {
+                    for &pb in dim.dirs() {
+                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                            continue;
+                        }
+                        if idx < pairs {
+                            return self.pick_singleton_pair(rng, ca, cb, pa, pb);
+                        }
+                        idx -= pairs;
+                    }
+                }
+            }
+        }
+        unreachable!("sample index exceeded the effective base count");
+    }
+
+    /// Uniformly picks a singleton pair for cell `(ca, pa, cb, pb)`; within one class
+    /// the smaller node id takes `pa` (the counting convention of [`Self::counts`]).
+    fn pick_singleton_pair<R: RngCore>(
+        &self,
+        rng: &mut R,
+        ca: u32,
+        cb: u32,
+        pa: Dir,
+        pb: Dir,
+    ) -> (NodeId, Dir, NodeId, Dir) {
+        if ca == cb {
+            let list = &self.class(ca).singletons;
+            let i = rng.gen_range(0..list.len());
+            let mut j = rng.gen_range(0..list.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (lo, hi) = (list[i].min(list[j]), list[i].max(list[j]));
+            (lo, pa, hi, pb)
+        } else {
+            let y = self.class(ca).singletons[rng.gen_range(0..self.class(ca).singletons.len())];
+            let z = self.class(cb).singletons[rng.gen_range(0..self.class(cb).singletons.len())];
+            (y, pa, z, pb)
+        }
+    }
+
+    /// The `idx`-th *permissible* base pair (uniform over the base permissible set when
+    /// `idx` is uniform): intra pairs, then free-port × singleton, then singleton².
+    pub(crate) fn sample_permissible<R: RngCore>(
+        &self,
+        dim: Dim,
+        rng: &mut R,
+        mut idx: u64,
+    ) -> (NodeId, Dir, NodeId, Dir) {
+        if idx < self.intra_list.len() as u64 {
+            return unpack_key(self.intra_list.get(idx as usize));
+        }
+        idx -= self.intra_list.len() as u64;
+        let p = dim.port_count() as u64;
+        let s = self.singletons_flat.len() as u64;
+        let ms = self.free_flat.len() as u64 * p * s;
+        if idx < ms {
+            let (x, pa) = self.free_flat[(idx / (p * s)) as usize];
+            let rem = idx % (p * s);
+            let pb = dim.dirs()[(rem / s) as usize];
+            let y = self.singletons_flat[(rem % s) as usize];
+            return (x, pa, y, pb);
+        }
+        // Singleton × singleton: the block index only selects the block; the pair and
+        // ports are drawn fresh, which is the same uniform distribution.
+        let i = rng.gen_range(0..s as usize);
+        let mut j = rng.gen_range(0..s as usize - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (a, b) = (self.singletons_flat[i], self.singletons_flat[j]);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let pa = dim.dirs()[rng.gen_range(0..p as usize)];
+        let pb = dim.dirs()[rng.gen_range(0..p as usize)];
+        (lo, pa, hi, pb)
+    }
+
+    /// Expands the full effective base set (validation oracle support; `O(E)`).
+    pub(crate) fn collect_effective<P: Protocol<State = S>>(
+        &mut self,
+        protocol: &P,
+        dim: Dim,
+    ) -> Vec<u64> {
+        let mut out: Vec<u64> = self.intra_eff.iter().collect();
+        let ids = self.live_class_ids();
+        for &ca in &ids {
+            for &pa in dim.dirs() {
+                if self.class(ca).free_ports[pa.index()].is_empty() {
+                    continue;
+                }
+                for &cb in &ids {
+                    if self.class(cb).singletons.is_empty() {
+                        continue;
+                    }
+                    for &pb in dim.dirs() {
+                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                            continue;
+                        }
+                        let xs = self.class(ca).free_ports[pa.index()].clone();
+                        let ys = self.class(cb).singletons.clone();
+                        for x in xs {
+                            for &y in &ys {
+                                out.push(pair_key(x, pa, y, pb));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &ca) in ids.iter().enumerate() {
+            for &cb in &ids[i..] {
+                for &pa in dim.dirs() {
+                    for &pb in dim.dirs() {
+                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                            continue;
+                        }
+                        let ys = self.class(ca).singletons.clone();
+                        let zs = self.class(cb).singletons.clone();
+                        for &y in &ys {
+                            for &z in &zs {
+                                // Within one class the smaller id takes `pa` (the
+                                // counting convention); across classes all ordered
+                                // role assignments are distinct cells already.
+                                if ca == cb && y >= z {
+                                    continue;
+                                }
+                                out.push(pair_key(y, pa, z, pb));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

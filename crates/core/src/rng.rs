@@ -7,7 +7,7 @@
 //! `StdRng::seed_from_u64` call sites of the original tree.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// A deterministic generator for the given seed. Fixed seeds make executions
 /// reproducible; all reproducibility guarantees in this workspace are stated against
@@ -24,10 +24,64 @@ pub fn from_entropy() -> StdRng {
     seeded(rand::entropy_seed())
 }
 
+/// Draws the index `T ≥ 1` of the first success in a sequence of independent Bernoulli
+/// trials with success probability `p`, i.e. a geometric variate with
+/// `P(T = k) = (1 − p)^{k−1} · p`, by inversion of the CDF with a single uniform draw.
+///
+/// This is the batched sampler's jump length: on a frozen configuration each uniform
+/// selection is effective independently with probability `p = effective / permissible`,
+/// so the number of selections up to and including the first effective one is exactly
+/// this distribution.
+///
+/// # Panics
+/// Panics unless `0 < p ≤ 1`.
+#[must_use]
+pub fn geometric(rng: &mut impl RngCore, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric needs 0 < p ≤ 1, got {p}");
+    if p >= 1.0 {
+        return 1;
+    }
+    // A uniform in (0, 1): the standard 53-bit construction, rejecting exact zero so
+    // the logarithm below is finite.
+    let unit = loop {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            break u;
+        }
+    };
+    // ln(1 − p) via ln_1p keeps full precision for small p (sparse configurations).
+    let t = 1.0 + (unit.ln() / (-p).ln_1p()).floor();
+    if t >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        t as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
+
+    #[test]
+    fn geometric_mean_matches_inverse_probability() {
+        let mut rng = seeded(7);
+        for &p in &[0.5f64, 0.1, 0.01] {
+            let trials = 20_000;
+            let total: u64 = (0..trials).map(|_| geometric(&mut rng, p)).sum();
+            let mean = total as f64 / f64::from(trials);
+            let expected = 1.0 / p;
+            assert!(
+                (mean - expected).abs() < expected * 0.1,
+                "p = {p}: mean {mean}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_with_certain_success_is_one() {
+        let mut rng = seeded(1);
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
 
     #[test]
     fn seeded_is_deterministic_and_entropy_is_not() {

@@ -25,13 +25,43 @@
 //!   `O(1)` per step. The drawn distribution is uniform over the same set, so every
 //!   "w.h.p." statement is unaffected.
 //!
-//! [`SamplingMode::Adaptive`] (the default) starts with rejection sampling and switches
-//! to enumerated sampling for a configuration once a draw takes more than
+//! [`SamplingMode::Adaptive`] starts with rejection sampling and switches to enumerated
+//! sampling for a configuration once a draw takes more than
 //! [`UniformScheduler::SWITCH_THRESHOLD`] rejections — i.e. exactly when the acceptance
-//! rate has collapsed. The two modes generally consume the seeded RNG stream
-//! differently, so runs are reproducible *per mode*; [`SamplingMode::Legacy`] reproduces
-//! the original sampler byte for byte, which the equivalence suite uses as its
-//! reference.
+//! rate has collapsed. The modes generally consume the seeded RNG stream differently,
+//! so runs are reproducible *per mode*; [`SamplingMode::Legacy`] reproduces the
+//! original sampler byte for byte, which the equivalence suite uses as its reference.
+//!
+//! # Batched sampling and the geometric-jump invariant
+//!
+//! [`SamplingMode::Batched`] exploits that the configuration is *frozen*
+//! between effective interactions: ineffective selections change nothing (by
+//! definition), so consecutive selections are i.i.d. uniform draws over one fixed
+//! permissible set. In such a sequence,
+//!
+//! 1. the index `T` of the first *effective* selection is geometrically distributed
+//!    with success probability `p = |effective| / |permissible|`, and
+//! 2. the value of that selection is uniform over the effective subset, independent
+//!    of `T`.
+//!
+//! Both facts are elementary conditioning: each draw is effective independently with
+//! probability `p`, and conditioned on being effective it is uniform over the
+//! effective subset. The batched sampler therefore draws `T` directly
+//! ([`crate::rng::geometric`]), credits the `T − 1` skipped ineffective selections to
+//! the step counters, and draws one uniform *effective* pair — producing exactly the
+//! same distribution over configuration trajectories **and** step counts as the
+//! one-at-a-time sampler, while doing `O(1)` work per effective step instead of
+//! `O(|permissible| / |effective|)`. Fairness and every "w.h.p." statement of the
+//! paper are therefore untouched: the realized executions are distributed identically.
+//!
+//! The exact per-version counts (and uniform access to the effective set) come from
+//! the incremental permissible-pair index (see `crate::index`), which maintains them
+//! in `O(changed)` per applied delta. Two situations make the index unusable and fall
+//! back to the adaptive strategy, which realises the same per-step distribution, just
+//! more slowly: a protocol whose live state diversity overflows the index's class
+//! table (permanent fallback), and configurations with two or more multi-node
+//! components whose cross product exceeds the enumeration budget (per-version
+//! fallback).
 
 use crate::{Interaction, Protocol, World};
 use rand::rngs::StdRng;
@@ -48,6 +78,13 @@ pub enum SamplingMode {
     /// Pure rejection sampling, byte-identical to the original implementation for a
     /// given seed. Used by the equivalence suite and available for exact replays.
     Legacy,
+    /// Geometric-jump batching over the incremental permissible-pair index: the number
+    /// of consecutive ineffective selections on a frozen configuration is sampled in
+    /// one draw and credited to the step counters, then one uniform *effective* pair
+    /// is returned. Identical per-step distribution (see the module docs), `O(1)` work
+    /// per effective step. Falls back to [`SamplingMode::Adaptive`] behaviour where
+    /// the index cannot serve exact counts.
+    Batched,
 }
 
 /// A scheduler selects the next permissible interaction of a configuration.
@@ -55,6 +92,30 @@ pub trait Scheduler {
     /// Selects the next interaction, or `None` when no permissible pair exists (which can
     /// only happen for a population of a single node).
     fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction>;
+
+    /// Like [`Scheduler::next_interaction`], but consuming at most `max_steps`
+    /// scheduler selections (including the returned one). A batching scheduler whose
+    /// sampled jump would overshoot the allowance credits exactly `max_steps` skipped
+    /// selections (drained via [`Scheduler::drain_skipped_steps`]) and returns `None`
+    /// — the faithful behaviour of a step-budgeted run that spent its whole remaining
+    /// budget on ineffective selections. Non-batching schedulers take one selection
+    /// per call and ignore the bound.
+    fn next_interaction_bounded<P: Protocol>(
+        &mut self,
+        world: &World<P>,
+        max_steps: u64,
+    ) -> Option<Interaction> {
+        let _ = max_steps;
+        self.next_interaction(world)
+    }
+
+    /// Takes (and resets) the number of scheduler selections that were credited in
+    /// bulk — skipped ineffective selections of a batching scheduler — since the last
+    /// drain. The caller must add them to its step accounting after every
+    /// `next_interaction*` call.
+    fn drain_skipped_steps(&mut self) -> u64 {
+        0
+    }
 }
 
 /// The uniform random scheduler of the paper. See the module docs for the two sampling
@@ -75,6 +136,24 @@ pub struct UniformScheduler {
     /// Configuration version for which enumeration was refused (cross-component budget
     /// exceeded); pure rejection is used without re-probing until the version changes.
     refused_version: Option<u64>,
+    /// Skipped ineffective selections credited by batched jumps, awaiting a drain.
+    pending_skips: u64,
+    /// Configuration version the batched counts below were computed for.
+    batch_version: u64,
+    batch_valid: bool,
+    /// Sticky: the pair index overflowed its class table — batched mode permanently
+    /// delegates to the adaptive strategy.
+    batch_overflow: bool,
+    /// This-version fallback: the multi×multi cross enumeration exceeded its budget.
+    batch_fallback: bool,
+    /// Exact permissible / effective pair counts of the frozen configuration
+    /// (base classes from the incremental index + the enumerated multi×multi pairs).
+    batch_permissible: u64,
+    batch_effective: u64,
+    /// Enumerated multi×multi cross pairs of the frozen configuration.
+    batch_mm: Vec<Interaction>,
+    /// The effective subset of `batch_mm`.
+    batch_mm_eff: Vec<Interaction>,
 }
 
 impl UniformScheduler {
@@ -86,8 +165,9 @@ impl UniformScheduler {
 
     /// Budget for the cross-component part of an enumeration, in node pairs, as a
     /// multiple of the population size. Above it the sampler stays with rejection (a
-    /// large cross-component universe implies a dense permissible set anyway).
-    const CROSS_BUDGET_PER_NODE: usize = 64;
+    /// large cross-component universe implies a dense permissible set anyway). Shared
+    /// with the world's stability fast path so both agree on affordability.
+    const CROSS_BUDGET_PER_NODE: usize = crate::world::CROSS_BUDGET_PER_NODE;
 
     /// Creates a scheduler from a seed with the default adaptive sampling mode.
     #[must_use]
@@ -107,6 +187,15 @@ impl UniformScheduler {
             cache_version: 0,
             cache_valid: false,
             refused_version: None,
+            pending_skips: 0,
+            batch_version: 0,
+            batch_valid: false,
+            batch_overflow: false,
+            batch_fallback: false,
+            batch_permissible: 0,
+            batch_effective: 0,
+            batch_mm: Vec::new(),
+            batch_mm_eff: Vec::new(),
         }
     }
 
@@ -208,17 +297,126 @@ impl UniformScheduler {
         let pick = self.rng.gen_range(0..self.cache.len());
         Some(self.cache[pick])
     }
+
+    /// Recomputes the exact pair counts for the current frozen configuration: the base
+    /// classes come from the incremental permissible-pair index in `O(changed)`
+    /// amortised; multi×multi cross pairs (empty in single-growth workloads) are
+    /// enumerated under the cross budget.
+    fn refresh_batch<P: Protocol>(&mut self, world: &World<P>, version: u64) {
+        self.batch_valid = false;
+        self.batch_fallback = false;
+        self.batch_mm.clear();
+        self.batch_mm_eff.clear();
+        let Some(summary) = world.pair_counts() else {
+            self.batch_overflow = true;
+            return;
+        };
+        if summary.multi_components >= 2 {
+            match world.enumerate_cross_multi(world.cross_multi_budget()) {
+                Some(list) => {
+                    for (interaction, effective) in list {
+                        if effective {
+                            self.batch_mm_eff.push(interaction);
+                        }
+                        self.batch_mm.push(interaction);
+                    }
+                }
+                None => {
+                    self.batch_fallback = true;
+                }
+            }
+        }
+        self.batch_permissible = summary.permissible_base + self.batch_mm.len() as u64;
+        self.batch_effective = summary.effective_base + self.batch_mm_eff.len() as u64;
+        self.batch_version = version;
+        self.batch_valid = true;
+    }
+
+    /// One batched selection: sample the geometric jump to the next effective
+    /// selection, credit the skipped ineffective ones, and return a uniform effective
+    /// pair — or, within `max_steps` of budget, stop early. See the module docs for
+    /// why this realises the exact per-step uniform distribution.
+    fn next_batched<P: Protocol>(
+        &mut self,
+        world: &World<P>,
+        max_steps: u64,
+    ) -> Option<Interaction> {
+        if self.batch_overflow {
+            return self.next_adaptive(world);
+        }
+        let version = world.version();
+        if !self.batch_valid || self.batch_version != version {
+            self.refresh_batch(world, version);
+            if self.batch_overflow {
+                return self.next_adaptive(world);
+            }
+        }
+        if self.batch_fallback {
+            return self.next_adaptive(world);
+        }
+        if self.batch_permissible == 0 {
+            return None;
+        }
+        if self.batch_effective == 0 {
+            // The configuration is stable: every further selection is ineffective, so
+            // there is no effective selection to jump to. Draw single uniform
+            // permissible selections, one per call, exactly like the other modes.
+            let idx = self.rng.gen_range(0..self.batch_permissible);
+            return Some(self.pick_permissible(world, idx));
+        }
+        let p = self.batch_effective as f64 / self.batch_permissible as f64;
+        let jump = crate::rng::geometric(&mut self.rng, p);
+        if jump > max_steps {
+            // The whole remaining step budget is spent on ineffective selections.
+            self.pending_skips += max_steps;
+            return None;
+        }
+        self.pending_skips += jump - 1;
+        let idx = self.rng.gen_range(0..self.batch_effective);
+        Some(self.pick_effective(world, idx))
+    }
+
+    fn pick_effective<P: Protocol>(&mut self, world: &World<P>, idx: u64) -> Interaction {
+        let base = self.batch_effective - self.batch_mm_eff.len() as u64;
+        if idx < base {
+            world.sample_effective_base(&mut self.rng, idx)
+        } else {
+            self.batch_mm_eff[(idx - base) as usize]
+        }
+    }
+
+    fn pick_permissible<P: Protocol>(&mut self, world: &World<P>, idx: u64) -> Interaction {
+        let base = self.batch_permissible - self.batch_mm.len() as u64;
+        if idx < base {
+            world.sample_permissible_base(&mut self.rng, idx)
+        } else {
+            self.batch_mm[(idx - base) as usize]
+        }
+    }
 }
 
 impl Scheduler for UniformScheduler {
     fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
-        if world.len() < 2 {
+        self.next_interaction_bounded(world, u64::MAX)
+    }
+
+    fn next_interaction_bounded<P: Protocol>(
+        &mut self,
+        world: &World<P>,
+        max_steps: u64,
+    ) -> Option<Interaction> {
+        if world.len() < 2 || max_steps == 0 {
             return None;
         }
         match self.mode {
             SamplingMode::Legacy => self.next_legacy(world),
             SamplingMode::Adaptive => self.next_adaptive(world),
+            SamplingMode::Batched => self.next_batched(world, max_steps),
         }
+    }
+
+    fn drain_skipped_steps(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_skips)
     }
 }
 

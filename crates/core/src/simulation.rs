@@ -1,7 +1,7 @@
 //! Driving executions: protocol + world + scheduler + statistics.
 
 use crate::scheduler::{SamplingMode, Scheduler, UniformScheduler};
-use crate::{ExecutionStats, Protocol, World};
+use crate::{ExecutionStats, IndexStats, Protocol, World};
 use nc_geometry::Shape;
 
 /// Configuration of a simulation run.
@@ -57,6 +57,12 @@ impl SimulationConfig {
     pub fn with_legacy_sampling(self) -> SimulationConfig {
         self.with_sampling(SamplingMode::Legacy)
     }
+
+    /// Shorthand for selecting the geometric-jump batched sampler.
+    #[must_use]
+    pub fn with_batched_sampling(self) -> SimulationConfig {
+        self.with_sampling(SamplingMode::Batched)
+    }
 }
 
 /// Why a `run_until_*` helper returned.
@@ -77,7 +83,7 @@ pub enum StopReason {
 /// Summary of a `run_until_*` call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunReport {
-    /// Scheduler steps taken during this call.
+    /// Scheduler steps taken during this call (including batched-mode bulk credits).
     pub steps: u64,
     /// Effective steps taken during this call.
     pub effective_steps: u64,
@@ -86,6 +92,11 @@ pub struct RunReport {
     /// Whether the final configuration is stable (always true when `reason` is
     /// [`StopReason::Stable`], checked explicitly for the other reasons only when cheap).
     pub stabilized: bool,
+    /// Work counters of the world's incremental interaction index at the end of the
+    /// run (cumulative over the world's lifetime): how much scanning the dirty
+    /// frontier performed and how often the candidate / quiescent memoisation answered
+    /// queries outright.
+    pub index: IndexStats,
 }
 
 impl RunReport {
@@ -99,6 +110,16 @@ impl RunReport {
             StopReason::Predicate | StopReason::AllHalted | StopReason::Stable
         )
     }
+}
+
+/// Outcome of one bounded scheduler call.
+enum StepOutcome {
+    /// An interaction was selected and applied (plus possibly bulk-credited skips).
+    Applied,
+    /// The whole allowance was spent on bulk-credited ineffective selections.
+    BudgetSpent,
+    /// The scheduler produced nothing (single-node population).
+    Dry,
 }
 
 /// A running execution of a protocol under a scheduler.
@@ -164,10 +185,28 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     }
 
     /// Executes a single scheduler step. Returns `false` when the scheduler could not
-    /// produce an interaction (single-node population).
+    /// produce an interaction (single-node population). In batched mode one call may
+    /// credit many skipped ineffective selections to the step counters before applying
+    /// the effective one.
     pub fn step(&mut self) -> bool {
-        let Some(interaction) = self.scheduler.next_interaction(&self.world) else {
-            return false;
+        matches!(self.step_within(u64::MAX), StepOutcome::Applied)
+    }
+
+    /// One scheduler call with a step allowance (batched jumps that would overshoot it
+    /// spend it on skipped ineffective selections instead).
+    fn step_within(&mut self, max_steps: u64) -> StepOutcome {
+        let picked = self
+            .scheduler
+            .next_interaction_bounded(&self.world, max_steps);
+        let skipped = self.scheduler.drain_skipped_steps();
+        self.stats.steps += skipped;
+        self.stats.skipped_steps += skipped;
+        let Some(interaction) = picked else {
+            return if skipped > 0 {
+                StepOutcome::BudgetSpent
+            } else {
+                StepOutcome::Dry
+            };
         };
         let outcome = self.world.apply(&interaction);
         self.stats.steps += 1;
@@ -186,17 +225,20 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
         if outcome.split {
             self.stats.splits += 1;
         }
-        true
+        StepOutcome::Applied
     }
 
-    /// Executes up to `steps` scheduler steps; returns how many were actually executed.
+    /// Executes up to `steps` scheduler steps (counting batched bulk credits); returns
+    /// how many were actually executed.
     pub fn run_steps(&mut self, steps: u64) -> u64 {
-        for executed in 0..steps {
-            if !self.step() {
-                return executed;
+        let start = self.stats.steps;
+        while self.stats.steps - start < steps {
+            let left = steps - (self.stats.steps - start);
+            if matches!(self.step_within(left), StepOutcome::Dry) {
+                break;
             }
         }
-        steps
+        self.stats.steps - start
     }
 
     /// Runs until the given predicate on the configuration holds (checked after every
@@ -209,13 +251,19 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             reason = StopReason::Predicate;
         } else {
             while self.stats.steps - start.steps < self.config.max_steps {
-                if !self.step() {
-                    reason = StopReason::NoInteraction;
-                    break;
-                }
-                if predicate(&self.world) {
-                    reason = StopReason::Predicate;
-                    break;
+                let left = self.config.max_steps - (self.stats.steps - start.steps);
+                match self.step_within(left) {
+                    StepOutcome::Applied => {
+                        if predicate(&self.world) {
+                            reason = StopReason::Predicate;
+                            break;
+                        }
+                    }
+                    StepOutcome::BudgetSpent => {}
+                    StepOutcome::Dry => {
+                        reason = StopReason::NoInteraction;
+                        break;
+                    }
                 }
             }
         }
@@ -224,10 +272,13 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
 
     /// Runs until the configuration is stable (no effective interaction remains).
     ///
-    /// With the default adaptive sampling, stability is re-checked whenever the
+    /// With adaptive or batched sampling, stability is re-checked whenever the
     /// configuration version changed, through the incremental interaction index whose
     /// dirty-frontier amortisation bounds the total checking work by the applied deltas
-    /// — so the run stops **exactly** at the stabilization step.
+    /// — so the run stops **exactly** at the stabilization step. Batched sampling
+    /// additionally credits whole runs of ineffective selections in bulk (see
+    /// [`SamplingMode::Batched`]), so the reported step counts keep the same
+    /// distribution while the wall-clock cost is `O(1)` per *effective* step.
     ///
     /// With [`SamplingMode::Legacy`] the original engine is reproduced faithfully,
     /// including its cost model and stopping rule: the `O(n² · ports²)` full-scan
@@ -237,7 +288,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// This is the baseline the scheduler n-sweep benchmarks against.
     pub fn run_until_stable(&mut self) -> RunReport {
         match self.config.sampling {
-            SamplingMode::Adaptive => self.run_until_stable_indexed(),
+            SamplingMode::Adaptive | SamplingMode::Batched => self.run_until_stable_indexed(),
             SamplingMode::Legacy => self.run_until_stable_legacy(),
         }
     }
@@ -258,9 +309,13 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             if self.stats.steps - start.steps >= self.config.max_steps {
                 return self.report_since(start, StopReason::StepBudget, false);
             }
-            if !self.step() {
-                let stable = self.world.is_stable();
-                return self.report_since(start, StopReason::NoInteraction, stable);
+            let left = self.config.max_steps - (self.stats.steps - start.steps);
+            match self.step_within(left) {
+                StepOutcome::Applied | StepOutcome::BudgetSpent => {}
+                StepOutcome::Dry => {
+                    let stable = self.world.is_stable();
+                    return self.report_since(start, StopReason::NoInteraction, stable);
+                }
             }
         }
     }
@@ -325,6 +380,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             effective_steps: self.stats.effective_steps - start.effective_steps,
             reason,
             stabilized: stabilized || reason == StopReason::Stable,
+            index: self.world.index_stats(),
         }
     }
 }

@@ -6,10 +6,15 @@
 /// whether or not the selected interaction is effective.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecutionStats {
-    /// Scheduler selections (interactions), effective or not.
+    /// Scheduler selections (interactions), effective or not. Includes the steps
+    /// credited in bulk by the batched sampler (see `skipped_steps`).
     pub steps: u64,
     /// Interactions that changed a state or a bond.
     pub effective_steps: u64,
+    /// Of `steps`, how many were credited in bulk by the batched sampler's geometric
+    /// jumps (ineffective selections that were counted without being drawn one by
+    /// one). Always zero outside `SamplingMode::Batched`.
+    pub skipped_steps: u64,
     /// Bond activations.
     pub bonds_activated: u64,
     /// Bond deactivations.
@@ -35,6 +40,7 @@ impl ExecutionStats {
     pub fn absorb(&mut self, other: &ExecutionStats) {
         self.steps += other.steps;
         self.effective_steps += other.effective_steps;
+        self.skipped_steps += other.skipped_steps;
         self.bonds_activated += other.bonds_activated;
         self.bonds_deactivated += other.bonds_deactivated;
         self.merges += other.merges;
@@ -60,6 +66,7 @@ mod tests {
         let mut a = ExecutionStats {
             steps: 5,
             effective_steps: 2,
+            skipped_steps: 1,
             bonds_activated: 1,
             bonds_deactivated: 0,
             merges: 1,
@@ -68,6 +75,7 @@ mod tests {
         let b = ExecutionStats {
             steps: 7,
             effective_steps: 3,
+            skipped_steps: 2,
             bonds_activated: 2,
             bonds_deactivated: 1,
             merges: 0,
@@ -75,6 +83,7 @@ mod tests {
         };
         a.absorb(&b);
         assert_eq!(a.steps, 12);
+        assert_eq!(a.skipped_steps, 3);
         assert_eq!(a.effective_steps, 5);
         assert_eq!(a.bonds_activated, 3);
         assert_eq!(a.bonds_deactivated, 1);

@@ -6,10 +6,75 @@
 //! [`World::find_effective_interaction`] amortised `O(active)` instead of a full
 //! `O(n² · ports²)` rescan.
 
-use crate::index::{IndexStats, InteractionIndex};
+use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
 use crate::{Component, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
+use rand::RngCore;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+
+/// Budget for cross-component enumeration work, in node pairs, as a multiple of the
+/// population size. One constant shared by the adaptive sampler's enumeration refusal,
+/// the batched sampler's multi×multi enumeration, and the stability fast path, so they
+/// all agree on when cross-component enumeration is affordable.
+pub(crate) const CROSS_BUDGET_PER_NODE: usize = 64;
+
+/// Whether applying the pair `(sa, pa) – (sb, pb)` (in either order, as the simulator
+/// does) would change a state or the bond. Shared between
+/// [`World::effective_interaction_at`] and the permissible-pair index so both agree on
+/// one definition of effectiveness. Halted-participant filtering is the caller's job.
+pub(crate) fn transition_effective<P: Protocol>(
+    protocol: &P,
+    sa: &P::State,
+    pa: Dir,
+    sb: &P::State,
+    pb: Dir,
+    bonded: bool,
+) -> bool {
+    let attempt = protocol
+        .transition(sa, pa, sb, pb, bonded)
+        .map(|t| (t, false))
+        .or_else(|| {
+            protocol
+                .transition(sb, pb, sa, pa, bonded)
+                .map(|t| (t, true))
+        });
+    attempt.is_some_and(|(t, swapped)| {
+        let (new_a, new_b) = if swapped { (&t.b, &t.a) } else { (&t.a, &t.b) };
+        t.bond != bonded || new_a != sa || new_b != sb
+    })
+}
+
+/// Lifecycle of the permissible-pair index: built lazily on first use (so executions
+/// that never sample in batched mode pay nothing), abandoned permanently when the
+/// protocol's live state diversity overflows the class table.
+enum PairMode {
+    Disabled,
+    Active,
+    Overflowed,
+}
+
+struct PairCell<S> {
+    mode: PairMode,
+    index: PairIndex<S>,
+    /// Base counts memoised per configuration version (the index itself is always
+    /// current; only the `O(classes²·ports²)` count aggregation is worth caching).
+    counts_cache: Option<(u64, BaseCounts)>,
+}
+
+/// Exact pair counts of a frozen configuration, as reported by
+/// [`World::pair_counts`]: the base classes are maintained incrementally; multi×multi
+/// cross-component pairs (if any) must be added by the caller via
+/// [`World::enumerate_cross_multi`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct PairSummary {
+    /// Permissible pairs excluding multi×multi cross pairs.
+    pub(crate) permissible_base: u64,
+    /// Effective pairs excluding multi×multi cross pairs.
+    pub(crate) effective_base: u64,
+    /// Number of components with at least two nodes.
+    pub(crate) multi_components: usize,
+}
 
 /// Why a pair of node-ports is allowed to interact at the current configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +143,18 @@ pub struct World<P: Protocol> {
     halted: Vec<bool>,
     /// The incremental interaction index (dirty frontier + configuration version).
     index: InteractionIndex,
+    /// The incremental permissible-pair index (exact per-version pair counts for the
+    /// batched sampler), plus the queue of nodes to re-derive. Lazily activated.
+    pairs: RefCell<PairCell<P::State>>,
+    pair_pending: RefCell<Vec<NodeId>>,
+    /// Mirror of `pairs.mode == Active`, readable without a `RefCell` borrow on the
+    /// mutation hot path.
+    pairs_active: Cell<bool>,
+    /// `Σ |component|²` over live components, maintained O(1) per merge/split; gives
+    /// the cross-component node-pair universe `(n² − Σsz²)/2` without enumeration.
+    sum_sq_sizes: u64,
+    /// Number of live components, maintained O(1) per merge/split.
+    live_components: usize,
     /// Epoch-stamped scratch buffer for the split-detection BFS (avoids an O(n)
     /// allocation per bond deactivation).
     scratch_stamp: Vec<u64>,
@@ -113,6 +190,15 @@ impl<P: Protocol> World<P> {
             bond_count: 0,
             halted,
             index: InteractionIndex::new(n),
+            pairs: RefCell::new(PairCell {
+                mode: PairMode::Disabled,
+                index: PairIndex::new(),
+                counts_cache: None,
+            }),
+            pair_pending: RefCell::new(Vec::new()),
+            pairs_active: Cell::new(false),
+            sum_sq_sizes: n as u64,
+            live_components: n,
             scratch_stamp: vec![0; n],
             scratch_epoch: 0,
         }
@@ -175,6 +261,8 @@ impl<P: Protocol> World<P> {
         self.halted[node.index()] = self.protocol.is_halted(&self.states[node.index()]);
         self.index.bump_version();
         self.index.mark_dirty(node);
+        self.pair_touch(node);
+        self.flush_pairs();
     }
 
     /// Iterates over all node states in node order.
@@ -227,9 +315,19 @@ impl<P: Protocol> World<P> {
     }
 
     /// Number of connected components (free nodes count as singleton components).
+    /// O(1): the count is maintained across merges and splits.
     #[must_use]
     pub fn component_count(&self) -> usize {
-        self.components.iter().filter(|c| c.is_some()).count()
+        self.live_components
+    }
+
+    /// The number of unordered node pairs spanning two different components — the
+    /// candidate universe of cross-component interactions. O(1): derived from the
+    /// maintained `Σ |component|²`.
+    #[must_use]
+    pub fn cross_component_universe(&self) -> u64 {
+        let n = self.len() as u64;
+        (n * n - self.sum_sq_sizes) / 2
     }
 
     /// Decides whether the unordered pair of node-ports may interact in the current
@@ -377,6 +475,9 @@ impl<P: Protocol> World<P> {
             self.index.bump_version();
             self.index.mark_dirty(a);
             self.index.mark_dirty(b);
+            self.pair_touch(a);
+            self.pair_touch(b);
+            self.flush_pairs();
         }
         outcome
     }
@@ -407,6 +508,9 @@ impl<P: Protocol> World<P> {
         let surviving = self.components[surviving_id]
             .as_mut()
             .expect("component slot of a live node must be occupied");
+        let absorbed_len = absorbed.len() as u64;
+        let surviving_len = surviving.len() as u64;
+        let mut moved: Vec<(NodeId, Coord)> = Vec::with_capacity(absorbed.len());
         for (node, pos) in absorbed.iter() {
             let new_pos = rotation.apply_coord(pos) + translation;
             let placement = &mut self.placements[node.index()];
@@ -417,6 +521,28 @@ impl<P: Protocol> World<P> {
             // Moved nodes sit in a grown component with fresh relative geometry: pairs
             // involving them may have become effective.
             self.index.mark_dirty(node);
+            moved.push((node, new_pos));
+        }
+        // Component-size bookkeeping: (a+b)² replaces a² + b².
+        self.sum_sq_sizes += 2 * absorbed_len * surviving_len;
+        self.live_components -= 1;
+        if self.pairs_active.get() {
+            // The moved nodes must be re-derived (new component, new adjacency, new
+            // free-port flags), and so must the *unmoved* neighbours of every inserted
+            // cell — their ports just got blocked, which is exactly the non-local
+            // removal a grown component can cause in the singleton cross classes.
+            let surviving = self.components[surviving_id]
+                .as_ref()
+                .expect("component slot of a live node must be occupied");
+            let mut pending = self.pair_pending.borrow_mut();
+            for &(node, new_pos) in &moved {
+                pending.push(node);
+                for &d in self.dim.dirs() {
+                    if let Some(neighbour) = surviving.node_at(new_pos + d.unit()) {
+                        pending.push(neighbour);
+                    }
+                }
+            }
         }
     }
 
@@ -466,12 +592,14 @@ impl<P: Protocol> World<P> {
             .expect("component slot of a live node must be occupied")
             .members()
             .to_vec();
+        let old_len = old_members.len() as u64;
         let new_comp_id = self.allocate_component_slot();
         let mut new_comp = Component::empty();
         for node in old_members {
             // Both halves shrank, which can unlock merge placements for every old
             // member: mark them all dirty.
             self.index.mark_dirty(node);
+            self.pair_touch(node);
             if self.comp_of[node.index()] == comp_id && !reached(&self.scratch_stamp, node) {
                 let pos = self.placements[node.index()].pos;
                 self.components[comp_id]
@@ -483,6 +611,10 @@ impl<P: Protocol> World<P> {
             }
         }
         debug_assert!(!new_comp.is_empty());
+        // Component-size bookkeeping: a² + b² replaces (a+b)².
+        let split_len = new_comp.len() as u64;
+        self.sum_sq_sizes -= 2 * split_len * (old_len - split_len);
+        self.live_components += 1;
         self.components[new_comp_id] = Some(new_comp);
     }
 
@@ -533,6 +665,9 @@ impl<P: Protocol> World<P> {
         self.index.bump_version();
         self.index.mark_dirty(a);
         self.index.mark_dirty(b);
+        self.pair_touch(a);
+        self.pair_touch(b);
+        self.flush_pairs();
         Ok(())
     }
 
@@ -554,19 +689,7 @@ impl<P: Protocol> World<P> {
         let bonded = matches!(permissibility, Permissibility::Bonded);
         let sa = &self.states[a.index()];
         let sb = &self.states[b.index()];
-        let attempt = self
-            .protocol
-            .transition(sa, pa, sb, pb, bonded)
-            .map(|t| (t, false))
-            .or_else(|| {
-                self.protocol
-                    .transition(sb, pb, sa, pa, bonded)
-                    .map(|t| (t, true))
-            });
-        let effective = attempt.is_some_and(|(t, swapped)| {
-            let (new_a, new_b) = if swapped { (&t.b, &t.a) } else { (&t.a, &t.b) };
-            t.bond != bonded || new_a != sa || new_b != sb
-        });
+        let effective = transition_effective(&self.protocol, sa, pa, sb, pb, bonded);
         effective.then_some(Interaction {
             a,
             pa,
@@ -706,21 +829,14 @@ impl<P: Protocol> World<P> {
                 }
             }
         }
-        // Cross-component pairs. Check the budget first from component sizes alone.
+        // Cross-component pairs. The budget check is O(1) from the maintained
+        // component-size bookkeeping instead of an O(components²) size sweep.
+        if self.cross_component_universe() > cross_budget as u64 {
+            return None;
+        }
         let live: Vec<usize> = (0..self.components.len())
             .filter(|&i| self.components[i].is_some())
             .collect();
-        let mut cross_pairs = 0usize;
-        for (i, &ca) in live.iter().enumerate() {
-            let size_a = self.components[ca].as_ref().map_or(0, Component::len);
-            for &cb in live.iter().skip(i + 1) {
-                let size_b = self.components[cb].as_ref().map_or(0, Component::len);
-                cross_pairs = cross_pairs.saturating_add(size_a * size_b);
-            }
-        }
-        if cross_pairs > cross_budget {
-            return None;
-        }
         for (i, &ca) in live.iter().enumerate() {
             for &cb in live.iter().skip(i + 1) {
                 let comp_a = self.components[ca].as_ref().expect("live slot");
@@ -747,12 +863,285 @@ impl<P: Protocol> World<P> {
         Some(out)
     }
 
+    /// Queues `node` for re-derivation in the permissible-pair index (no-op while the
+    /// index is inactive).
+    fn pair_touch(&self, node: NodeId) {
+        if self.pairs_active.get() {
+            self.pair_pending.borrow_mut().push(node);
+        }
+    }
+
+    /// The read-only geometry view the pair index derives entries from.
+    fn geom_view(&self) -> GeomView<'_, P::State> {
+        GeomView {
+            dim: self.dim,
+            states: &self.states,
+            halted: &self.halted,
+            comp_of: &self.comp_of,
+            components: &self.components,
+            placements: &self.placements,
+            links: &self.links,
+        }
+    }
+
+    /// Re-derives the queued nodes in the permissible-pair index. Called at the end of
+    /// every mutation; each queued node costs `O(ports · classes)`.
+    fn flush_pairs(&self) {
+        if !self.pairs_active.get() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut *self.pair_pending.borrow_mut());
+        if pending.is_empty() {
+            return;
+        }
+        pending.sort_unstable();
+        pending.dedup();
+        let mut cell = self.pairs.borrow_mut();
+        let view = self.geom_view();
+        for node in pending {
+            if cell.index.reindex(&view, &self.protocol, node).is_err() {
+                cell.mode = PairMode::Overflowed;
+                cell.index.clear();
+                self.pairs_active.set(false);
+                break;
+            }
+        }
+    }
+
+    /// Exact permissible/effective pair counts of the current configuration, excluding
+    /// multi×multi cross-component pairs (see [`World::enumerate_cross_multi`]).
+    /// Activates (builds) the incremental pair index on first use; returns `None` when
+    /// the protocol's live state diversity has overflowed the index's class table, in
+    /// which case callers must fall back to rejection or enumerated sampling.
+    pub(crate) fn pair_counts(&self) -> Option<PairSummary> {
+        let mut cell = self.pairs.borrow_mut();
+        match cell.mode {
+            PairMode::Overflowed => return None,
+            PairMode::Active => {}
+            PairMode::Disabled => {
+                let view = self.geom_view();
+                if cell.index.build(&view, &self.protocol).is_err() {
+                    cell.mode = PairMode::Overflowed;
+                    cell.index.clear();
+                    return None;
+                }
+                cell.mode = PairMode::Active;
+                self.pairs_active.set(true);
+            }
+        }
+        let version = self.version();
+        let counts = match cell.counts_cache {
+            Some((v, counts)) if v == version => counts,
+            _ => {
+                let counts = cell.index.counts(&self.protocol, self.dim);
+                cell.counts_cache = Some((version, counts));
+                counts
+            }
+        };
+        let singleton_components = cell.index.singleton_count();
+        Some(PairSummary {
+            permissible_base: counts.permissible,
+            effective_base: counts.effective,
+            multi_components: self.live_components - singleton_components,
+        })
+    }
+
+    /// The `idx`-th effective base pair as a ready-to-apply [`Interaction`]; uniform
+    /// over the effective base set when `idx` is uniform over `0..effective_base`.
+    /// Must only be called right after [`World::pair_counts`] on the same (frozen)
+    /// configuration version.
+    pub(crate) fn sample_effective_base<R: RngCore>(&self, rng: &mut R, idx: u64) -> Interaction {
+        let mut cell = self.pairs.borrow_mut();
+        let (a, pa, b, pb) = cell
+            .index
+            .sample_effective(&self.protocol, self.dim, rng, idx);
+        drop(cell);
+        self.interaction(a, pa, b, pb)
+            .expect("pair-index effective entry must be permissible")
+    }
+
+    /// The `idx`-th permissible base pair (uniform when `idx` is uniform over
+    /// `0..permissible_base`). Same calling contract as
+    /// [`World::sample_effective_base`].
+    pub(crate) fn sample_permissible_base<R: RngCore>(&self, rng: &mut R, idx: u64) -> Interaction {
+        let cell = self.pairs.borrow();
+        let (a, pa, b, pb) = cell.index.sample_permissible(self.dim, rng, idx);
+        drop(cell);
+        self.interaction(a, pa, b, pb)
+            .expect("pair-index permissible entry must be permissible")
+    }
+
+    /// The multi-node components of the configuration, or `None` when the candidate
+    /// universe of their pairwise node products exceeds `budget`. Shared ground truth
+    /// for [`World::enumerate_cross_multi`] and the stability fast path, so both agree
+    /// on what counts as a multi component and when enumeration is affordable.
+    fn cross_multi_components(&self, budget: u64) -> Option<Vec<usize>> {
+        let multi: Vec<usize> = (0..self.components.len())
+            .filter(|&i| self.components[i].as_ref().is_some_and(|c| c.len() >= 2))
+            .collect();
+        let mut universe = 0u64;
+        for (i, &ca) in multi.iter().enumerate() {
+            let size_a = self.components[ca].as_ref().map_or(0, Component::len) as u64;
+            for &cb in multi.iter().skip(i + 1) {
+                let size_b = self.components[cb].as_ref().map_or(0, Component::len) as u64;
+                universe = universe.saturating_add(size_a * size_b);
+            }
+        }
+        (universe <= budget).then_some(multi)
+    }
+
+    /// The default budget for per-version multi×multi cross-pair work, in node pairs.
+    pub(crate) fn cross_multi_budget(&self) -> u64 {
+        (CROSS_BUDGET_PER_NODE * self.len()) as u64
+    }
+
+    /// Visits every *permissible* pair spanning two multi-node components with its
+    /// effectiveness, stopping early when `visit` returns `true`; `None` when the
+    /// candidate universe exceeds `budget`. The single definition of the multi×multi
+    /// sweep, shared by enumeration and the stability fast path.
+    fn visit_cross_multi(
+        &self,
+        budget: u64,
+        mut visit: impl FnMut(Interaction, bool) -> bool,
+    ) -> Option<()> {
+        let multi = self.cross_multi_components(budget)?;
+        let ports = self.dim.dirs();
+        for (i, &ca) in multi.iter().enumerate() {
+            for &cb in multi.iter().skip(i + 1) {
+                let comp_a = self.components[ca].as_ref().expect("live slot");
+                let comp_b = self.components[cb].as_ref().expect("live slot");
+                for &a in comp_a.members() {
+                    for &b in comp_b.members() {
+                        for &pa in ports {
+                            for &pb in ports {
+                                if let Some(interaction) = self.interaction(a, pa, b, pb) {
+                                    let effective =
+                                        self.effective_interaction_at(a, pa, b, pb).is_some();
+                                    if visit(interaction, effective) {
+                                        return Some(());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Enumerates the permissible pairs spanning two *multi-node* components together
+    /// with their effectiveness, or `None` when the candidate universe (node pairs
+    /// across multi-component pairs) exceeds `budget`. This is the one class of the
+    /// pair decomposition whose permissibility depends on non-local geometry (shape
+    /// collision), so it is enumerated per frozen configuration instead of being
+    /// maintained incrementally; in single-growth workloads it is empty and costs
+    /// `O(components)`.
+    pub(crate) fn enumerate_cross_multi(&self, budget: u64) -> Option<Vec<(Interaction, bool)>> {
+        let mut out = Vec::new();
+        self.visit_cross_multi(budget, |interaction, effective| {
+            out.push((interaction, effective));
+            false
+        })?;
+        Some(out)
+    }
+
+    /// Validates the incremental permissible-pair index against the enumeration oracle:
+    /// the maintained permissible/effective counts must equal the brute-force
+    /// [`World::enumerate_permissible`] classification, and the maintained effective
+    /// *set* must match pair for pair. Activates the index if necessary.
+    ///
+    /// # Errors
+    /// Returns a description of the first discrepancy. Intended for the equivalence
+    /// suite; `O(n²·ports²)` — do not call on hot paths.
+    pub fn validate_pair_index(&self) -> Result<(), String> {
+        let Some(summary) = self.pair_counts() else {
+            return Err("pair index overflowed its class table".to_string());
+        };
+        let mm = self
+            .enumerate_cross_multi(u64::MAX)
+            .expect("unbounded enumeration cannot be refused");
+        let oracle = self
+            .enumerate_permissible(usize::MAX)
+            .expect("unbounded enumeration cannot be refused");
+        let index_permissible = summary.permissible_base + mm.len() as u64;
+        if index_permissible != oracle.len() as u64 {
+            return Err(format!(
+                "permissible count mismatch: index {index_permissible}, oracle {}",
+                oracle.len()
+            ));
+        }
+        let mut oracle_eff: Vec<u64> = oracle
+            .iter()
+            .filter(|i| {
+                self.effective_interaction_at(i.a, i.pa, i.b, i.pb)
+                    .is_some()
+            })
+            .map(|i| crate::index::pair_key(i.a, i.pa, i.b, i.pb))
+            .collect();
+        let mut index_eff: Vec<u64> = {
+            let mut cell = self.pairs.borrow_mut();
+            cell.index.collect_effective(&self.protocol, self.dim)
+        };
+        index_eff.extend(
+            mm.iter()
+                .filter(|(_, eff)| *eff)
+                .map(|(i, _)| crate::index::pair_key(i.a, i.pa, i.b, i.pb)),
+        );
+        let index_eff_count = index_eff.len() as u64;
+        let mm_eff = mm.iter().filter(|(_, eff)| *eff).count() as u64;
+        if summary.effective_base + mm_eff != index_eff_count {
+            return Err(format!(
+                "effective count/set mismatch inside the index: counted {}, expanded {index_eff_count}",
+                summary.effective_base + mm_eff
+            ));
+        }
+        oracle_eff.sort_unstable();
+        index_eff.sort_unstable();
+        if oracle_eff != index_eff {
+            return Err(format!(
+                "effective set mismatch: index has {} pairs, oracle {}",
+                index_eff.len(),
+                oracle_eff.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether any permissible pair spanning two multi-node components is effective,
+    /// or `None` when the multi×multi candidate universe exceeds `budget` (early exit
+    /// on the first effective pair; no allocation).
+    fn any_effective_cross_multi(&self, budget: u64) -> Option<bool> {
+        let mut any = false;
+        self.visit_cross_multi(budget, |_, effective| {
+            any |= effective;
+            any
+        })?;
+        Some(any)
+    }
+
     /// Whether the configuration is stable: no permissible interaction is effective, so
     /// the configuration (and in particular its output shape) can never change again.
-    /// Answered through the incremental index (see
+    ///
+    /// While the permissible-pair index is active (batched executions), the answer
+    /// comes from its exact effective counts in `O(classes²·ports²)` — memoised per
+    /// configuration version — instead of draining the dirty frontier, whose per-node
+    /// scans are `O(n·ports²)`. Otherwise, and whenever the multi×multi cross budget is
+    /// exceeded, the dirty-frontier index answers (see
     /// [`World::find_effective_interaction`] for the amortised cost).
     #[must_use]
     pub fn is_stable(&self) -> bool {
+        if self.pairs_active.get() {
+            if let Some(summary) = self.pair_counts() {
+                if summary.effective_base > 0 {
+                    return false;
+                }
+                // Base classes are quiescent; only multi×multi pairs could still act.
+                if let Some(any) = self.any_effective_cross_multi(self.cross_multi_budget()) {
+                    return !any;
+                }
+            }
+        }
         self.find_effective_interaction().is_none()
     }
 
@@ -879,6 +1268,20 @@ impl<P: Protocol> World<P> {
                     return false;
                 }
             }
+        }
+        // The O(1)-maintained component bookkeeping must agree with a recount.
+        let live = self.components.iter().filter(|c| c.is_some()).count();
+        if live != self.live_components {
+            return false;
+        }
+        let sum_sq: u64 = self
+            .components
+            .iter()
+            .flatten()
+            .map(|c| (c.len() * c.len()) as u64)
+            .sum();
+        if sum_sq != self.sum_sq_sizes {
+            return false;
         }
         true
     }
