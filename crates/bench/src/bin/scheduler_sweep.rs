@@ -1,13 +1,16 @@
 //! The scheduler n-sweep: `GlobalLine`, `Square` and `CountingOnALine` run to
-//! completion under the legacy rejection sampler, the adaptive indexed sampler, and the
-//! batched geometric-jump sampler, on the same seed, for n = 64 … 1024. Emits
-//! `BENCH_scheduler.json` (steps/sec and speedup per size), the perf baseline that
-//! later PRs compare against.
+//! completion under the legacy rejection sampler, the adaptive indexed sampler, the
+//! batched geometric-jump sampler, and the sharded composed-jump sampler at 1, 2 and 4
+//! shards, on the same seed, for n = 64 … 1024. Emits `BENCH_scheduler.json`
+//! (steps/sec and speedup per size), the perf baseline that later PRs compare against.
 //!
 //! "Steps" follow the paper's convention — every scheduler selection counts, and the
-//! batched sampler's bulk-credited ineffective selections are included (they have the
-//! same distribution as one-at-a-time draws; see the geometric-jump invariant in
-//! `nc_core::scheduler`), so steps/sec across modes compares like for like.
+//! batched/sharded samplers' bulk-credited ineffective selections are included (they
+//! have the same distribution as one-at-a-time draws; see the geometric-jump invariant
+//! in `nc_core::scheduler`), so steps/sec across modes compares like for like. The
+//! three sharded rows of one (protocol, n) cell run the same seed at 1, 2 and 4 shards
+//! and must report **identical step counts** — the parallel-equivalence property the
+//! sharded runtime guarantees (shard count is layout, not semantics).
 //!
 //! ```text
 //! cargo run -p nc-bench --release --bin scheduler_sweep            # writes BENCH_scheduler.json
@@ -15,9 +18,12 @@
 //! cargo run -p nc-bench --release --bin scheduler_sweep -- --smoke # CI gate, see below
 //! ```
 //!
-//! `--smoke` runs n = 256 only and asserts (a) every mode completes with the protocol's
-//! guaranteed outcome and (b) batched achieves at least the indexed steps/sec, so a
-//! perf regression on the batched hot path fails the build.
+//! `--smoke` asserts (a) every mode completes with the protocol's guaranteed outcome at
+//! n = 256, (b) batched achieves at least the indexed steps/sec at n = 256, (c) the
+//! sharded rows at 1/2/4 shards report identical step counts, and (d) on Square
+//! n = 512 the sharded sampler at 4 shards achieves at least the batched steps/sec
+//! (best of three runs each, since both finish in milliseconds there) — the sharded
+//! aggregate-count hot path regressing below the batched recount path fails the build.
 //!
 //! Per-protocol caps keep the sweep finite: the legacy sampler's full-scan stability
 //! checks cost `O(n²·ports²)` per probe, which at GlobalLine n = 1024 is ~13 minutes
@@ -66,10 +72,52 @@ impl Proto {
     }
 }
 
+/// One benchmarked execution: a sampling mode plus (for sharded rows) the shard count.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ModeSpec {
+    mode: SamplingMode,
+    shards: usize,
+    label: &'static str,
+}
+
+const MODES: [ModeSpec; 6] = [
+    ModeSpec {
+        mode: SamplingMode::Legacy,
+        shards: 1,
+        label: "legacy",
+    },
+    ModeSpec {
+        mode: SamplingMode::Adaptive,
+        shards: 1,
+        label: "indexed",
+    },
+    ModeSpec {
+        mode: SamplingMode::Batched,
+        shards: 1,
+        label: "batched",
+    },
+    ModeSpec {
+        mode: SamplingMode::Sharded,
+        shards: 1,
+        label: "sharded1",
+    },
+    ModeSpec {
+        mode: SamplingMode::Sharded,
+        shards: 2,
+        label: "sharded2",
+    },
+    ModeSpec {
+        mode: SamplingMode::Sharded,
+        shards: 4,
+        label: "sharded4",
+    },
+];
+
 struct Row {
     protocol: &'static str,
     n: usize,
     mode: &'static str,
+    shards: usize,
     seed: u64,
     seconds: f64,
     steps: u64,
@@ -82,10 +130,11 @@ struct Row {
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}}}",
             self.protocol,
             self.n,
             self.mode,
+            self.shards,
             self.seed,
             self.seconds,
             self.steps,
@@ -97,21 +146,14 @@ impl Row {
     }
 }
 
-fn mode_name(mode: SamplingMode) -> &'static str {
-    match mode {
-        SamplingMode::Legacy => "legacy",
-        SamplingMode::Adaptive => "indexed",
-        SamplingMode::Batched => "batched",
-    }
-}
-
 /// Runs one protocol to its completion condition and checks the guaranteed outcome:
 /// the spanning line, the ⌊√n⌋ square for perfect squares, or a halted counting leader.
-fn run_one(proto: Proto, n: usize, seed: u64, mode: SamplingMode) -> Row {
+fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
     let config = SimulationConfig::new(n)
         .with_seed(seed)
         .with_max_steps(2_000_000_000)
-        .with_sampling(mode);
+        .with_sampling(spec.mode)
+        .with_shards(spec.shards);
     let started = Instant::now();
     let (report, stats, completed) = match proto {
         Proto::Line => {
@@ -150,7 +192,8 @@ fn run_one(proto: Proto, n: usize, seed: u64, mode: SamplingMode) -> Row {
     Row {
         protocol: proto.name(),
         n,
-        mode: mode_name(mode),
+        mode: spec.label,
+        shards: spec.shards,
         seed,
         seconds,
         steps: report.steps,
@@ -161,21 +204,42 @@ fn run_one(proto: Proto, n: usize, seed: u64, mode: SamplingMode) -> Row {
     }
 }
 
+fn spec(label: &str) -> ModeSpec {
+    *MODES
+        .iter()
+        .find(|m| m.label == label)
+        .expect("known mode label")
+}
+
+/// Best steps/sec over `reps` runs of the same (protocol, n, seed, mode) — the smoke
+/// gate compares millisecond-scale runs, so a best-of dampens scheduler noise.
+fn best_of(proto: Proto, n: usize, seed: u64, spec: ModeSpec, reps: u32) -> Row {
+    let mut best: Option<Row> = None;
+    for _ in 0..reps {
+        let row = run_one(proto, n, seed, spec);
+        if best
+            .as_ref()
+            .is_none_or(|b| row.steps_per_sec > b.steps_per_sec)
+        {
+            best = Some(row);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
 /// Asserts the cross-mode equivalences the smoke gate guards: the stable output shape
 /// of GlobalLine/Square is unique, so every mode must reach it (checked inside
 /// `run_one`); counting's final tape length is schedule-dependent, so only the halting
-/// guarantee is compared. On top of that, batched must not be slower than indexed.
+/// guarantee is compared. On top of that, batched must not be slower than indexed at
+/// n = 256, the sharded rows must agree on step counts across 1/2/4 shards, and on
+/// Square n = 512 sharded@4 must not be slower than batched.
 fn smoke(protos: &[Proto], seed: u64) {
     let n = 256;
     let mut failures = Vec::new();
     for &proto in protos {
         let mut per_mode = Vec::new();
-        for mode in [
-            SamplingMode::Legacy,
-            SamplingMode::Adaptive,
-            SamplingMode::Batched,
-        ] {
-            if mode == SamplingMode::Legacy && n > proto.legacy_cap() {
+        for mode in MODES {
+            if mode.mode == SamplingMode::Legacy && n > proto.legacy_cap() {
                 continue;
             }
             let row = run_one(proto, n, seed, mode);
@@ -198,9 +262,45 @@ fn smoke(protos: &[Proto], seed: u64) {
                 indexed.steps_per_sec
             ));
         }
+        let sharded: Vec<&Row> = per_mode
+            .iter()
+            .filter(|r| r.mode.starts_with("sharded"))
+            .collect();
+        if sharded
+            .iter()
+            .any(|r| (r.steps, r.effective_steps) != (sharded[0].steps, sharded[0].effective_steps))
+        {
+            failures.push(format!(
+                "{}: sharded step counts differ across shard counts (parallel-equivalence broken)",
+                proto.name()
+            ));
+        }
+    }
+    // The headline gate: Square n = 512, sharded@4 vs batched, best of three.
+    if protos.contains(&Proto::Square) {
+        let batched = best_of(Proto::Square, 512, seed, spec("batched"), 3);
+        let sharded4 = best_of(Proto::Square, 512, seed, spec("sharded4"), 3);
+        for row in [&batched, &sharded4] {
+            eprintln!(
+                "smoke {:>18} {:>8}: {:>12.3}s {:>12} steps {:>14.0} steps/s completed={} (n=512 best-of-3)",
+                row.protocol, row.mode, row.seconds, row.steps, row.steps_per_sec, row.completed
+            );
+            if !row.completed {
+                failures.push(format!("square n=512 {} did not complete", row.mode));
+            }
+        }
+        if sharded4.steps_per_sec < batched.steps_per_sec {
+            failures.push(format!(
+                "square n=512: sharded@4 {:.0} steps/s slower than batched {:.0} steps/s",
+                sharded4.steps_per_sec, batched.steps_per_sec
+            ));
+        }
     }
     assert!(failures.is_empty(), "smoke failures: {failures:?}");
-    eprintln!("smoke ok: batched ≥ indexed steps/sec and all modes completed at n = {n}");
+    eprintln!(
+        "smoke ok: batched ≥ indexed at n = {n}, sharded step counts shard-count-invariant, \
+         sharded@4 ≥ batched on square n = 512, all modes completed"
+    );
 }
 
 fn main() {
@@ -252,12 +352,8 @@ fn main() {
                 continue;
             }
             let mut indexed_secs = f64::NAN;
-            for mode in [
-                SamplingMode::Legacy,
-                SamplingMode::Adaptive,
-                SamplingMode::Batched,
-            ] {
-                if mode == SamplingMode::Legacy && n > legacy_max.min(proto.legacy_cap()) {
+            for mode in MODES {
+                if mode.mode == SamplingMode::Legacy && n > legacy_max.min(proto.legacy_cap()) {
                     continue;
                 }
                 let row = run_one(proto, n, seed, mode);
@@ -271,10 +367,10 @@ fn main() {
                     row.steps_per_sec,
                     row.completed
                 );
-                if mode == SamplingMode::Adaptive {
+                if mode.mode == SamplingMode::Adaptive {
                     indexed_secs = row.seconds;
                 }
-                if mode == SamplingMode::Batched {
+                if mode.mode == SamplingMode::Batched {
                     eprintln!(
                         "{:>18}  {n:>6}  speedup (indexed/batched): {:.2}x",
                         proto.name(),
@@ -283,12 +379,23 @@ fn main() {
                 }
                 rows.push(row);
             }
+            // Parallel-equivalence check rides along with every sweep: the sharded rows
+            // of this cell must agree on step counts.
+            let cell: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.protocol == proto.name() && r.n == n && r.mode.starts_with("sharded"))
+                .collect();
+            assert!(
+                cell.iter().all(|r| r.steps == cell[0].steps),
+                "{} n={n}: sharded step counts differ across shard counts",
+                proto.name()
+            );
         }
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched bulk credits; legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched/sharded bulk credits; sharded rows at 1/2/4 shards report identical steps (parallel equivalence); legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write bench artifact");

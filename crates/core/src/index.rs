@@ -1,8 +1,8 @@
 //! The incremental indexes of the runtime: the *interaction index* (dirty frontier)
 //! that makes stability detection and effective-pair lookup amortised `O(active)`
-//! instead of `O(n² · ports²)`, and — further down in this module — the
-//! *permissible-pair index* that maintains exact per-version permissible/effective
-//! pair counts for the batched geometric-jump sampler.
+//! instead of `O(n² · ports²)`, and — further down in this module — the sharded
+//! *permissible-pair index* that maintains exact permissible/effective pair counts for
+//! the batched and sharded geometric-jump samplers.
 //!
 //! # Design (interaction index)
 //!
@@ -18,32 +18,35 @@
 //! * a split marks every member of the pre-split component (both halves shrink, which
 //!   can unlock merge placements for all of them).
 //!
-//! A stability query drains the dirty queue: each dirty node is scanned against the whole
-//! population; a node is cleaned only when its scan finds nothing. Because every
+//! A stability query drains the dirty queues: each dirty node is scanned against the
+//! whole population; a node is cleaned only when its scan finds nothing. Because every
 //! effective pair must keep at least one dirty endpoint (or be the cached candidate from
-//! a previous scan), an empty queue with no valid candidate proves stability. Each dirty
+//! a previous scan), empty queues with no valid candidate prove stability. Each dirty
 //! mark is therefore paid for **once**, regardless of how often stability is queried —
 //! which is what lets [`crate::Simulation::run_until_stable`] check for stability after
 //! every step and stop exactly at stabilisation.
 //!
-//! The index lives behind a [`RefCell`] so that read-only queries
-//! ([`crate::World::is_stable`] takes `&self`) can update the memoisation. As a
-//! consequence `World` is not `Sync`; see the ROADMAP's sharding item for the plan to
-//! replace this with per-shard indices.
+//! Since the sharding refactor each shard owns its slice of the dirty frontier (one
+//! queue per contiguous node-id range, drained in shard order, which at one shard is
+//! byte-identical to the previous single queue), and the interior mutability that lets
+//! read-only queries (`is_stable` takes `&self`) update the memoisation is a [`Mutex`]
+//! plus an atomic version counter instead of the former `RefCell`/`Cell` pair — so
+//! [`crate::World`] is `Sync` and concurrent read-side queries are safe.
 
 use crate::component::{Component, DeterministicState};
+use crate::shard::{ShardMap, PARALLEL_FLUSH_MIN};
 use crate::{Interaction, NodeId, Placement, Protocol};
 use nc_geometry::{Dim, Dir};
-use rand::{Rng, RngCore};
-use std::cell::{Cell, RefCell, RefMut};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Counters describing how much work the index has done (and saved).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexStats {
     /// Nodes marked dirty since creation (includes re-marks of already-dirty nodes).
     pub dirty_marks: u64,
-    /// Full per-node scans performed while draining the dirty queue.
+    /// Full per-node scans performed while draining the dirty queues.
     pub node_scans: u64,
     /// Queries answered by revalidating the cached candidate interaction.
     pub candidate_hits: u64,
@@ -53,10 +56,12 @@ pub struct IndexStats {
 
 /// The mutable part of the index (see the module docs for the invariant).
 pub(crate) struct IndexState {
-    /// Per-node dirty flag; `true` iff the node is in `queue`.
+    /// Per-node dirty flag; `true` iff the node is in its shard's queue.
     pub(crate) dirty: Vec<bool>,
-    /// Nodes whose pairs must be rescanned before stability can be concluded.
-    pub(crate) queue: Vec<NodeId>,
+    /// Per-shard queues of nodes whose pairs must be rescanned before stability can be
+    /// concluded. Drained in shard order; with one shard this is the historical single
+    /// queue.
+    pub(crate) queues: Vec<Vec<NodeId>>,
     /// The most recently found effective interaction; revalidated in `O(1)` before any
     /// scan work happens.
     pub(crate) candidate: Option<Interaction>,
@@ -66,81 +71,87 @@ pub(crate) struct IndexState {
     pub(crate) stats: IndexStats,
 }
 
-/// Interior-mutable wrapper so `&World` queries can memoise their progress.
+/// Interior-mutable wrapper so `&World` queries can memoise their progress. `Sync`:
+/// the drain state sits behind a [`Mutex`], the version counter is atomic.
 pub(crate) struct InteractionIndex {
-    inner: RefCell<IndexState>,
+    inner: Mutex<IndexState>,
     /// Monotonically increasing configuration version: bumped on every observable world
     /// change so that samplers can cache derived structures (e.g. the enumerated
     /// permissible set) and invalidate them precisely. The version starts at a
     /// process-unique value (see `new`), so versions from two different worlds never
     /// collide — a scheduler driven against several worlds cannot replay a cached
     /// structure into the wrong one.
-    version: Cell<u64>,
+    version: AtomicU64,
 }
 
 impl InteractionIndex {
-    /// Creates the index for `n` nodes with every node dirty (nothing proven yet).
-    pub(crate) fn new(n: usize) -> InteractionIndex {
-        use std::sync::atomic::{AtomicU64, Ordering};
+    /// Creates the index for the given shard layout with every node dirty (nothing
+    /// proven yet).
+    pub(crate) fn new(map: ShardMap) -> InteractionIndex {
         // Disjoint per-world version ranges: each world claims a 2⁴⁰-wide window, far
         // beyond any realistic number of configuration changes.
         static NEXT_WORLD: AtomicU64 = AtomicU64::new(0);
         let base = NEXT_WORLD.fetch_add(1, Ordering::Relaxed) << 40;
+        let n: usize = (0..map.count()).map(|s| map.range(s).len()).sum();
+        let queues = (0..map.count())
+            .map(|s| map.range(s).map(|i| NodeId::new(i as u32)).collect())
+            .collect();
         InteractionIndex {
-            inner: RefCell::new(IndexState {
+            inner: Mutex::new(IndexState {
                 dirty: vec![true; n],
-                queue: (0..n as u32).map(NodeId::new).collect(),
+                queues,
                 candidate: None,
                 quiescent: false,
                 stats: IndexStats::default(),
             }),
-            version: Cell::new(base),
+            version: AtomicU64::new(base),
         }
     }
 
     /// The current configuration version.
     pub(crate) fn version(&self) -> u64 {
-        self.version.get()
+        self.version.load(Ordering::Relaxed)
     }
 
     /// Records an observable world change (invalidates samplers' caches).
     pub(crate) fn bump_version(&self) {
-        self.version.set(self.version.get() + 1);
+        self.version.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Marks a node dirty: some pair involving it may have become effective.
-    pub(crate) fn mark_dirty(&self, node: NodeId) {
-        let mut state = self.inner.borrow_mut();
+    /// Marks a node dirty in its shard's queue: some pair involving it may have become
+    /// effective.
+    pub(crate) fn mark_dirty(&self, map: ShardMap, node: NodeId) {
+        let mut state = self.lock();
         state.stats.dirty_marks += 1;
         state.quiescent = false;
         if !state.dirty[node.index()] {
             state.dirty[node.index()] = true;
-            state.queue.push(node);
+            state.queues[map.shard_of(node)].push(node);
         }
     }
 
     /// Exclusive access to the drain state for the scan loop in `World`.
-    pub(crate) fn lock(&self) -> RefMut<'_, IndexState> {
-        self.inner.borrow_mut()
+    pub(crate) fn lock(&self) -> MutexGuard<'_, IndexState> {
+        self.inner.lock().expect("interaction index lock poisoned")
     }
 
     /// A snapshot of the work counters.
     pub(crate) fn stats(&self) -> IndexStats {
-        self.inner.borrow().stats
+        self.lock().stats
     }
 }
 
-// ===========================================================================
-// The incremental permissible-pair index (PR 2)
-// ===========================================================================
+// =======================================================================================
+// The sharded incremental permissible-pair index
+// =======================================================================================
 //
 // While the dirty-frontier index above answers "does *some* effective pair exist?",
-// the batched sampler ([`crate::SamplingMode::Batched`]) needs the exact *counts* of
-// permissible and effective pairs of a frozen configuration — and the ability to draw
-// uniformly from either set — without re-enumerating `O(n²·ports²)` candidates per
-// configuration version. The [`PairIndex`] below maintains those counts in `O(changed)`
-// per world delta, fed from the same delta stream that feeds the dirty frontier (state
-// writes, bond flips, merges, splits).
+// the batched and sharded samplers need the exact *counts* of permissible and effective
+// pairs of a frozen configuration — and the ability to draw uniformly from either set —
+// without re-enumerating `O(n²·ports²)` candidates per configuration version. The
+// [`PairIndex`] below maintains those counts in `O(changed)` per world delta, fed from
+// the same delta stream that feeds the dirty frontier (state writes, bond flips,
+// merges, splits).
 //
 // # Decomposition
 //
@@ -148,24 +159,24 @@ impl InteractionIndex {
 //
 // 1. **Intra-component pairs** (bonded, or facing-adjacent in the same component):
 //    purely local — whether `(x, pa)` participates depends only on `x`'s links and the
-//    occupancy of the single cell its port faces. Stored per node-port with canonical
-//    de-duplication; a delta re-derives the entries of the touched nodes in `O(ports)`.
+//    occupancy of the single cell its port faces. Stored as canonical pair keys, sorted,
+//    in the sub-index of the shard owning the pair's smaller endpoint.
 // 2. **Multi-component node × free singleton**: a port of a node in a ≥2-node component
 //    whose facing cell is unoccupied accepts *any* free singleton through *any* of its
 //    ports (singletons are arbitrarily rotatable and have no other cells to collide),
 //    so these pairs are counted as `free_ports · ports · singletons` without being
 //    materialised. Effectiveness only depends on the two states and the two ports, so
 //    grouping singletons (and free ports) by *state class* turns the effective count
-//    into a small sum over class pairs, memoised per `(class, port, class, port)`.
+//    into a small sum over class pairs.
 // 3. **Singleton × singleton**: always permissible (any ports, a rotation always
 //    exists, nothing can collide), counted as `ports² · C(s, 2)`; effectiveness again
-//    via the class memo.
+//    per class pair.
 // 4. **Multi × multi cross-component pairs**: the only class whose permissibility
 //    depends on non-local geometry (collision between two rigid shapes). These are
 //    *not* maintained incrementally — [`crate::World::enumerate_cross_multi`]
 //    enumerates them per frozen version under a budget, and the caller falls back to
-//    rejection sampling when the budget is exceeded. In the growth workloads this PR
-//    optimises (one growing component absorbing free nodes) this class is empty.
+//    rejection sampling when the budget is exceeded. In the growth workloads this
+//    index optimises (one growing component absorbing free nodes) this class is empty.
 //
 // Exactness of the merge case is worth spelling out: when a component grows, pairs
 // anchored at its *unmoved* members can silently lose permissibility (the new cells
@@ -175,19 +186,58 @@ impl InteractionIndex {
 // neighbours of every newly inserted cell as touched, which is exactly the set whose
 // free-port flags can flip.
 //
+// # Sharded layout and the shared class-count aggregate
+//
+// Registrations are split by node across **shards** (contiguous id ranges,
+// [`ShardMap`]): each shard owns the sorted singleton/free-port buckets of its nodes
+// (per state class) and the sorted canonical keys of the intra pairs whose smaller
+// endpoint it owns. On top of the per-shard sub-indices one **shared aggregate** keeps,
+// per state class, the population-wide bucket sizes (`g[class][port]`, `s[class]`) and
+// a running total of the effective pair count, updated with an exact `O(classes·ports)`
+// delta on every single registration change — the "sum of per-shard rates" the sharded
+// sampler composes its geometric jumps from. Class-pair effectiveness lives in dense
+// tables filled when a class is allocated, so both the delta maintenance and the
+// uniform sampling walk touch plain arrays, never a hash map.
+//
+// # Shard-count invariance (the parallel-equivalence property)
+//
+// Every ordering the samplers can observe is canonical in the *configuration*, not in
+// the shard layout:
+//
+// * per-shard bucket and key lists are sorted, and shards are contiguous id ranges, so
+//   concatenating them in shard order yields the global sorted order for any shard
+//   count;
+// * state-class ids are allocated in the order classes are first seen, and nodes are
+//   re-derived in ascending id order (`World::flush_pairs` sorts its batch), so the
+//   class table is identical for any shard count;
+// * the uniform draws map an index `idx ∈ 0..E` through a deterministic cell walk
+//   (intra keys, then class-2 cells, then class-3 cells, in class/port order) with
+//   arithmetic decomposition inside each cell — no storage-order-dependent choice
+//   remains.
+//
+// Hence an execution driven by a seeded scheduler is byte-identical across 1, 2 or 4
+// shards — the property `tests/sharded.rs` pins.
+//
 // The pre-existing full enumeration ([`crate::World::enumerate_permissible`]) is kept
-// as the validation oracle; [`crate::World::validate_pair_index`] compares counts and
-// effective sets after arbitrary delta sequences.
+// as the validation oracle; [`crate::World::validate_pair_index`] compares the
+// recounted totals, the incrementally maintained aggregate and the exact effective
+// sets after arbitrary delta sequences.
 
 /// Hard cap on simultaneously *live* state classes. Protocols whose live state
 /// diversity exceeds this (e.g. universal TM constructors) overflow the index, which
 /// permanently falls back to the adaptive sampler — a soundness valve, not an error.
-const CLASS_CAP: usize = 64;
+pub const CLASS_CAP: usize = 64;
+
+/// Ports per node in the widest (3D) model; dense per-class tables are sized by it.
+const PORT_CAP: usize = 6;
 
 /// Sentinel for "not a member" positions.
 const NONE: u32 = u32::MAX;
 
-/// Packs an unordered node-port pair into a canonical `u64` key.
+/// Packs an unordered node-port pair into a canonical `u64` key. The smaller
+/// `(node, port)` endpoint occupies the high bits, so sorting keys sorts by owner node
+/// — which is what makes per-shard sorted key lists concatenate into the global sorted
+/// order (shards are contiguous id ranges).
 pub(crate) fn pair_key(a: NodeId, pa: Dir, b: NodeId, pb: Dir) -> u64 {
     // Node ids get 24 bits each; beyond that the keys would alias silently.
     debug_assert!(
@@ -214,58 +264,15 @@ fn unpack_key(key: u64) -> (NodeId, Dir, NodeId, Dir) {
     )
 }
 
-/// A set of canonical pair keys supporting O(1) insert, remove and uniform indexing.
-#[derive(Default)]
-pub(crate) struct PairList {
-    items: Vec<u64>,
-    pos: HashMap<u64, u32, DeterministicState>,
-}
-
-impl PairList {
-    pub(crate) fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    pub(crate) fn get(&self, i: usize) -> u64 {
-        self.items[i]
-    }
-
-    pub(crate) fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.items.iter().copied()
-    }
-
-    /// Inserts a key; returns whether it was new.
-    pub(crate) fn insert(&mut self, key: u64) -> bool {
-        if self.pos.contains_key(&key) {
-            return false;
-        }
-        self.pos.insert(key, self.items.len() as u32);
-        self.items.push(key);
-        true
-    }
-
-    /// Removes a key (swap-remove); returns whether it was present.
-    pub(crate) fn remove(&mut self, key: u64) -> bool {
-        let Some(at) = self.pos.remove(&key) else {
-            return false;
-        };
-        let last = self.items.pop().expect("pos implies non-empty");
-        if last != key {
-            self.items[at as usize] = last;
-            self.pos.insert(last, at);
-        }
-        true
-    }
-
-    fn clear(&mut self) {
-        self.items.clear();
-        self.pos.clear();
-    }
+/// The smaller endpoint of a canonical pair key (decides the owning shard).
+fn key_owner(key: u64) -> NodeId {
+    NodeId::new(((key >> 40) & 0xFF_FFFF) as u32)
 }
 
 /// A read-only view of the world geometry the pair index derives its entries from.
 /// Bundled so the index can live beside the `World` fields it reads without borrow
-/// conflicts.
+/// conflicts; `Sync` (all fields are shared slices), so the flush can fan the
+/// geometry derivation out across shards.
 pub(crate) struct GeomView<'a, S> {
     pub(crate) dim: Dim,
     pub(crate) states: &'a [S],
@@ -328,16 +335,39 @@ struct IntraEntry {
     bonded: bool,
 }
 
-/// A live state class: all bookkeeping grouped by protocol state.
+/// The geometry-derived facts a re-derivation of one node needs: computed read-only
+/// (and therefore in parallel across shards when a flush batch is large), applied to
+/// the index sequentially in ascending node order.
+struct NodeFacts {
+    singleton: bool,
+    /// Bit `p` set ⇔ the node is multi-component and its port `p` faces a free cell.
+    free_mask: u8,
+    intra: [Option<IntraEntry>; 6],
+}
+
+fn derive_facts<S>(view: &GeomView<'_, S>, x: NodeId) -> NodeFacts {
+    let singleton = view.is_singleton(x);
+    let mut free_mask = 0u8;
+    let mut intra = [None; 6];
+    for &pa in view.dim.dirs() {
+        if !singleton && view.port_free(x, pa) {
+            free_mask |= 1 << pa.index();
+        }
+        intra[pa.index()] = view.intra_entry_at(x, pa);
+    }
+    NodeFacts {
+        singleton,
+        free_mask,
+        intra,
+    }
+}
+
+/// A live state class of the shared class table.
 struct ClassSlot<S> {
     state: S,
     halted: bool,
     /// Number of nodes registered with this class (frees the slot at zero).
     refs: u32,
-    /// The free singleton nodes currently in this state.
-    singletons: Vec<NodeId>,
-    /// Per port: the multi-component nodes in this state whose port faces a free cell.
-    free_ports: [Vec<NodeId>; 6],
 }
 
 /// Exact base counts of the frozen configuration, excluding multi×multi cross pairs.
@@ -349,35 +379,112 @@ pub(crate) struct BaseCounts {
     pub(crate) effective: u64,
 }
 
-/// The incremental permissible-pair index. See the section comment above for the
-/// decomposition and the exactness argument.
+/// One shard's sub-index: the registrations of its contiguous node-id range, every
+/// list sorted so shard-order concatenation is the global canonical order.
+#[derive(Default)]
+struct Shard {
+    /// Canonical keys of the intra pairs whose smaller endpoint this shard owns.
+    intra: Vec<u64>,
+    /// The effective subset of `intra`.
+    intra_eff: Vec<u64>,
+    /// Per state class: this shard's free singletons, ascending by node id.
+    singletons: Vec<Vec<NodeId>>,
+    /// Per state class and port: this shard's multi-component nodes in that state whose
+    /// port faces a free cell, ascending by node id.
+    free_ports: Vec<[Vec<NodeId>; 6]>,
+}
+
+impl Shard {
+    fn singleton_bucket(&self, class: u32) -> &[NodeId] {
+        self.singletons
+            .get(class as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn free_bucket(&self, class: u32, pa: Dir) -> &[NodeId] {
+        self.free_ports
+            .get(class as usize)
+            .map_or(&[], |ports| ports[pa.index()].as_slice())
+    }
+
+    fn singleton_bucket_mut(&mut self, class: u32) -> &mut Vec<NodeId> {
+        if self.singletons.len() <= class as usize {
+            self.singletons.resize_with(class as usize + 1, Vec::new);
+        }
+        &mut self.singletons[class as usize]
+    }
+
+    fn free_bucket_mut(&mut self, class: u32, pa: Dir) -> &mut Vec<NodeId> {
+        if self.free_ports.len() <= class as usize {
+            self.free_ports
+                .resize_with(class as usize + 1, || std::array::from_fn(|_| Vec::new()));
+        }
+        &mut self.free_ports[class as usize][pa.index()]
+    }
+}
+
+/// Inserts into a sorted vector (no-op when present); returns whether it was new.
+fn sorted_insert<T: Ord + Copy>(list: &mut Vec<T>, value: T) -> bool {
+    match list.binary_search(&value) {
+        Ok(_) => false,
+        Err(at) => {
+            list.insert(at, value);
+            true
+        }
+    }
+}
+
+/// Removes from a sorted vector; returns whether it was present.
+fn sorted_remove<T: Ord + Copy>(list: &mut Vec<T>, value: T) -> bool {
+    match list.binary_search(&value) {
+        Ok(at) => {
+            list.remove(at);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The sharded incremental permissible-pair index. See the section comment above for
+/// the decomposition, the shared aggregate and the shard-count-invariance argument.
 pub(crate) struct PairIndex<S> {
+    map: ShardMap,
+    shards: Vec<Shard>,
     /// Class id each node is registered under (`NONE` before `build`).
     node_class: Vec<u32>,
     /// Whether the node is registered as a free singleton.
     reg_singleton: Vec<bool>,
-    /// Position of the node in its class singleton list (`NONE` when not a singleton).
-    singleton_pos: Vec<u32>,
-    /// Position of the node in the flat singleton list.
-    singleton_flat_pos: Vec<u32>,
-    /// Per node-port: position in the class free-port bucket (`NONE` when not free).
-    free_bucket_pos: Vec<[u32; 6]>,
-    /// Per node-port: position in the flat free-port list.
-    free_flat_pos: Vec<[u32; 6]>,
+    /// Bit `p` set ⇔ the node is registered as a free port on `p`.
+    reg_free: Vec<u8>,
     /// Per node-port: the intra-component pair the port participates in.
     intra: Vec<[Option<IntraEntry>; 6]>,
+    /// The shared class table.
     classes: Vec<Option<ClassSlot<S>>>,
     free_class_slots: Vec<u32>,
-    live_classes: usize,
-    /// All free singletons (flat, for uniform draws).
-    singletons_flat: Vec<NodeId>,
-    /// All free ports of multi-component nodes (flat, for uniform draws).
-    free_flat: Vec<(NodeId, Dir)>,
-    /// All intra pairs, canonical keys.
-    intra_list: PairList,
-    /// The effective subset of `intra_list`.
-    intra_eff: PairList,
-    /// Effectiveness memo per `(class, port, class, port)` for unbonded cross pairs.
+    /// Live class ids, ascending — the canonical cell-walk order.
+    live_ids: Vec<u32>,
+    // --- the shared class-count aggregate -------------------------------------------
+    /// Per class and port: population-wide free-port bucket size (Σ over shards).
+    g: Vec<[u64; PORT_CAP]>,
+    /// Per class: population-wide singleton count (Σ over shards).
+    s: Vec<u64>,
+    free_total: u64,
+    singleton_total: u64,
+    intra_total: u64,
+    intra_eff_total: u64,
+    /// Running effective count of class 2 (free port × singleton) pairs.
+    class2_eff: u64,
+    /// Running effective count of class 3 (singleton × singleton) pairs.
+    class3_eff: u64,
+    /// Dense per-(class, port, class) bitmask over the peer port: bit `pb` set ⇔ an
+    /// unbonded cross pair of those states/ports is effective. Filled when a class is
+    /// allocated; lets the aggregate deltas and the sampling walk avoid hashing.
+    effmask: Vec<u8>,
+    /// Dense per-class-pair count of effective ordered port pairs (`Σ popcount`).
+    epc: Vec<u16>,
+    /// Effectiveness memo for the *recount* path ([`PairIndex::counts`]), kept
+    /// hash-based and independent of the dense tables so the two computations
+    /// cross-validate each other.
     memo: HashMap<u64, bool, DeterministicState>,
 }
 
@@ -385,23 +492,28 @@ pub(crate) struct PairIndex<S> {
 /// index for the rest of the execution.
 pub(crate) struct ClassOverflow;
 
-impl<S: Clone + PartialEq> PairIndex<S> {
-    pub(crate) fn new() -> PairIndex<S> {
+impl<S: Clone + PartialEq + Sync> PairIndex<S> {
+    pub(crate) fn new(map: ShardMap) -> PairIndex<S> {
         PairIndex {
+            map,
+            shards: Vec::new(),
             node_class: Vec::new(),
             reg_singleton: Vec::new(),
-            singleton_pos: Vec::new(),
-            singleton_flat_pos: Vec::new(),
-            free_bucket_pos: Vec::new(),
-            free_flat_pos: Vec::new(),
+            reg_free: Vec::new(),
             intra: Vec::new(),
             classes: Vec::new(),
             free_class_slots: Vec::new(),
-            live_classes: 0,
-            singletons_flat: Vec::new(),
-            free_flat: Vec::new(),
-            intra_list: PairList::default(),
-            intra_eff: PairList::default(),
+            live_ids: Vec::new(),
+            g: Vec::new(),
+            s: Vec::new(),
+            free_total: 0,
+            singleton_total: 0,
+            intra_total: 0,
+            intra_eff_total: 0,
+            class2_eff: 0,
+            class3_eff: 0,
+            effmask: Vec::new(),
+            epc: Vec::new(),
             memo: HashMap::default(),
         }
     }
@@ -413,166 +525,119 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         protocol: &P,
     ) -> Result<(), ClassOverflow> {
         let n = view.states.len();
+        let map = self.map;
+        *self = PairIndex::new(map);
+        self.shards = (0..map.count()).map(|_| Shard::default()).collect();
         self.node_class = vec![NONE; n];
         self.reg_singleton = vec![false; n];
-        self.singleton_pos = vec![NONE; n];
-        self.singleton_flat_pos = vec![NONE; n];
-        self.free_bucket_pos = vec![[NONE; 6]; n];
-        self.free_flat_pos = vec![[NONE; 6]; n];
+        self.reg_free = vec![0; n];
         self.intra = vec![[None; 6]; n];
-        self.classes.clear();
-        self.free_class_slots.clear();
-        self.live_classes = 0;
-        self.singletons_flat.clear();
-        self.free_flat.clear();
-        self.intra_list.clear();
-        self.intra_eff.clear();
-        self.memo.clear();
-        for i in 0..n {
-            self.reindex(view, protocol, NodeId::new(i as u32))?;
-        }
-        Ok(())
+        self.g = vec![[0; PORT_CAP]; CLASS_CAP];
+        self.s = vec![0; CLASS_CAP];
+        self.effmask = vec![0; CLASS_CAP * PORT_CAP * CLASS_CAP];
+        self.epc = vec![0; CLASS_CAP * CLASS_CAP];
+        let all: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+        self.flush_batch(view, protocol, &all)
     }
 
     /// Drops every registration (after an overflow: the index stays unusable).
     pub(crate) fn clear(&mut self) {
-        *self = PairIndex::new();
+        *self = PairIndex::new(self.map);
     }
 
     /// Number of free singleton nodes (= singleton components).
     pub(crate) fn singleton_count(&self) -> usize {
-        self.singletons_flat.len()
+        self.singleton_total as usize
     }
 
-    fn class_for(&mut self, state: &S, halted: bool) -> Result<u32, ClassOverflow> {
-        for (id, slot) in self.classes.iter().enumerate() {
-            if let Some(slot) = slot {
-                if slot.state == *state {
-                    return Ok(id as u32);
+    /// The incrementally maintained aggregate counts (exact at every configuration).
+    pub(crate) fn aggregate_counts(&self, dim: Dim) -> BaseCounts {
+        let p = dim.port_count() as u64;
+        let s = self.singleton_total;
+        BaseCounts {
+            permissible: self.intra_total
+                + self.free_total * p * s
+                + p * p * s.saturating_sub(1) * s / 2,
+            effective: self.intra_eff_total + self.class2_eff + self.class3_eff,
+        }
+    }
+
+    /// Re-derives a batch of nodes (ascending, deduplicated). When the batch is large
+    /// the geometry derivation fans out to one task per shard on the vendored pool —
+    /// the application to the index stays sequential in ascending node order, so the
+    /// resulting structures are identical to a sequential flush.
+    pub(crate) fn flush_batch<P: Protocol<State = S>>(
+        &mut self,
+        view: &GeomView<'_, S>,
+        protocol: &P,
+        nodes: &[NodeId],
+    ) -> Result<(), ClassOverflow> {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "batch must be sorted"
+        );
+        if nodes.len() >= PARALLEL_FLUSH_MIN && self.map.count() > 1 {
+            // Contiguous shard ranges + sorted batch ⇒ the batch splits into per-shard
+            // runs whose concatenation is the original order.
+            let map = self.map;
+            let mut parts: Vec<&[NodeId]> = Vec::with_capacity(map.count());
+            let mut rest = nodes;
+            for shard in 0..map.count() {
+                let end = rest.partition_point(|&x| map.shard_of(x) <= shard);
+                let (part, tail) = rest.split_at(end);
+                parts.push(part);
+                rest = tail;
+            }
+            let mut facts: Vec<Vec<NodeFacts>> = parts
+                .iter()
+                .map(|part| Vec::with_capacity(part.len()))
+                .collect();
+            rayon::scope(|scope| {
+                for (part, out) in parts.iter().zip(facts.iter_mut()) {
+                    scope.spawn(move |_| {
+                        out.extend(part.iter().map(|&x| derive_facts(view, x)));
+                    });
+                }
+            });
+            for (part, shard_facts) in parts.iter().zip(facts) {
+                for (&x, f) in part.iter().zip(shard_facts) {
+                    self.apply_facts(view, protocol, x, &f)?;
                 }
             }
-        }
-        if self.live_classes == CLASS_CAP {
-            return Err(ClassOverflow);
-        }
-        self.live_classes += 1;
-        let slot = ClassSlot {
-            state: state.clone(),
-            halted,
-            refs: 0,
-            singletons: Vec::new(),
-            free_ports: std::array::from_fn(|_| Vec::new()),
-        };
-        if let Some(id) = self.free_class_slots.pop() {
-            self.classes[id as usize] = Some(slot);
-            Ok(id)
+            Ok(())
         } else {
-            self.classes.push(Some(slot));
-            Ok(self.classes.len() as u32 - 1)
+            for &x in nodes {
+                self.reindex(view, protocol, x)?;
+            }
+            Ok(())
         }
     }
 
-    fn release_class(&mut self, id: u32) {
-        let slot = self.classes[id as usize]
-            .as_mut()
-            .expect("released class must be live");
-        slot.refs -= 1;
-        if slot.refs == 0 {
-            debug_assert!(slot.singletons.is_empty());
-            debug_assert!(slot.free_ports.iter().all(Vec::is_empty));
-            self.classes[id as usize] = None;
-            self.free_class_slots.push(id);
-            self.live_classes -= 1;
-            // Memo entries referencing a retired class id would alias its successor.
-            self.memo.retain(|&key, _| {
-                (key >> 40) as u32 != id && ((key >> 8) & 0xFF_FFFF) as u32 != id
-            });
-        }
-    }
-
-    fn class(&self, id: u32) -> &ClassSlot<S> {
-        self.classes[id as usize]
-            .as_ref()
-            .expect("class id must be live")
-    }
-
-    fn class_mut(&mut self, id: u32) -> &mut ClassSlot<S> {
-        self.classes[id as usize]
-            .as_mut()
-            .expect("class id must be live")
-    }
-
-    fn drop_singleton_reg(&mut self, x: NodeId) {
-        if !self.reg_singleton[x.index()] {
-            return;
-        }
-        self.reg_singleton[x.index()] = false;
-        let class = self.node_class[x.index()];
-        let at = self.singleton_pos[x.index()] as usize;
-        self.singleton_pos[x.index()] = NONE;
-        let slot = self.class_mut(class);
-        let last = slot.singletons.pop().expect("registered singleton");
-        if last != x {
-            slot.singletons[at] = last;
-            self.singleton_pos[last.index()] = at as u32;
-        }
-        let at = self.singleton_flat_pos[x.index()] as usize;
-        self.singleton_flat_pos[x.index()] = NONE;
-        let last = self.singletons_flat.pop().expect("registered singleton");
-        if last != x {
-            self.singletons_flat[at] = last;
-            self.singleton_flat_pos[last.index()] = at as u32;
-        }
-    }
-
-    fn drop_free_port_reg(&mut self, x: NodeId, pa: Dir) {
-        let at = self.free_bucket_pos[x.index()][pa.index()];
-        if at == NONE {
-            return;
-        }
-        self.free_bucket_pos[x.index()][pa.index()] = NONE;
-        let class = self.node_class[x.index()];
-        let bucket = &mut self.class_mut(class).free_ports[pa.index()];
-        let last = bucket.pop().expect("registered free port");
-        if last != x {
-            bucket[at as usize] = last;
-            self.free_bucket_pos[last.index()][pa.index()] = at;
-        }
-        let at = self.free_flat_pos[x.index()][pa.index()] as usize;
-        self.free_flat_pos[x.index()][pa.index()] = NONE;
-        let last = self.free_flat.pop().expect("registered free port");
-        if last != (x, pa) {
-            self.free_flat[at] = last;
-            self.free_flat_pos[last.0.index()][last.1.index()] = at as u32;
-        }
-    }
-
-    /// Removes the stored intra pair anchored at `(x, pa)` from the lists and clears
-    /// the mirror entry if it still points back.
-    fn unlink_intra(&mut self, x: NodeId, pa: Dir, entry: IntraEntry) {
-        let key = pair_key(x, pa, entry.peer, entry.pport);
-        self.intra_list.remove(key);
-        self.intra_eff.remove(key);
-        self.intra[x.index()][pa.index()] = None;
-        let mirror = &mut self.intra[entry.peer.index()][entry.pport.index()];
-        if mirror.is_some_and(|m| m.peer == x && m.pport == pa) {
-            *mirror = None;
-        }
-    }
-
-    /// Re-derives every registration of `x` from the current geometry. Idempotent, and
-    /// the only mutation entry point after `build`: the world calls it for exactly the
-    /// nodes a delta may have re-classified (participants, moved nodes, split members,
-    /// and the neighbours of newly inserted cells).
+    /// Re-derives every registration of `x` from the current geometry. Idempotent; the
+    /// world calls it (via [`PairIndex::flush_batch`]) for exactly the nodes a delta
+    /// may have re-classified: participants, moved nodes, split members, and the
+    /// neighbours of newly inserted cells.
     pub(crate) fn reindex<P: Protocol<State = S>>(
         &mut self,
         view: &GeomView<'_, S>,
         protocol: &P,
         x: NodeId,
     ) -> Result<(), ClassOverflow> {
+        let facts = derive_facts(view, x);
+        self.apply_facts(view, protocol, x, &facts)
+    }
+
+    fn apply_facts<P: Protocol<State = S>>(
+        &mut self,
+        view: &GeomView<'_, S>,
+        protocol: &P,
+        x: NodeId,
+        facts: &NodeFacts,
+    ) -> Result<(), ClassOverflow> {
         let xi = x.index();
+        let dim = view.dim;
         let halted = view.halted[xi];
-        let class = match self.class_for(&view.states[xi], halted) {
+        let class = match self.class_for(protocol, dim, &view.states[xi], halted) {
             Ok(class) => class,
             Err(ClassOverflow) => {
                 // If `x` is the sole member of its current class, that class is about
@@ -583,20 +648,20 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                 if old == NONE || self.class(old).refs > 1 {
                     return Err(ClassOverflow);
                 }
-                self.drop_singleton_reg(x);
-                for &pa in view.dim.dirs() {
+                self.drop_singleton_reg(dim, x);
+                for &pa in dim.dirs() {
                     self.drop_free_port_reg(x, pa);
                 }
                 self.node_class[xi] = NONE;
                 self.release_class(old);
-                self.class_for(&view.states[xi], halted)?
+                self.class_for(protocol, dim, &view.states[xi], halted)?
             }
         };
         let old_class = self.node_class[xi];
         if old_class != class {
             // Memberships are keyed by class: detach them before re-registering.
-            self.drop_singleton_reg(x);
-            for &pa in view.dim.dirs() {
+            self.drop_singleton_reg(dim, x);
+            for &pa in dim.dirs() {
                 self.drop_free_port_reg(x, pa);
             }
             self.class_mut(class).refs += 1;
@@ -605,35 +670,23 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                 self.release_class(old_class);
             }
         }
-        let singleton = view.is_singleton(x);
-        if singleton != self.reg_singleton[xi] {
-            if singleton {
-                let slot = self.class_mut(class);
-                let at = slot.singletons.len() as u32;
-                slot.singletons.push(x);
-                self.singleton_pos[xi] = at;
-                self.singleton_flat_pos[xi] = self.singletons_flat.len() as u32;
-                self.singletons_flat.push(x);
-                self.reg_singleton[xi] = true;
+        if facts.singleton != self.reg_singleton[xi] {
+            if facts.singleton {
+                self.register_singleton(dim, class, x);
             } else {
-                self.drop_singleton_reg(x);
+                self.drop_singleton_reg(dim, x);
             }
         }
-        for &pa in view.dim.dirs() {
-            let free = !singleton && view.port_free(x, pa);
-            let registered = self.free_bucket_pos[xi][pa.index()] != NONE;
+        for &pa in dim.dirs() {
+            let free = !facts.singleton && facts.free_mask & (1 << pa.index()) != 0;
+            let registered = self.reg_free[xi] & (1 << pa.index()) != 0;
             if free && !registered {
-                let slot = self.class_mut(class);
-                let at = slot.free_ports[pa.index()].len() as u32;
-                slot.free_ports[pa.index()].push(x);
-                self.free_bucket_pos[xi][pa.index()] = at;
-                self.free_flat_pos[xi][pa.index()] = self.free_flat.len() as u32;
-                self.free_flat.push((x, pa));
+                self.register_free_port(class, x, pa);
             } else if !free && registered {
                 self.drop_free_port_reg(x, pa);
             }
             // Intra pair at this port.
-            let desired = view.intra_entry_at(x, pa);
+            let desired = facts.intra[pa.index()];
             let stored = self.intra[xi][pa.index()];
             if stored != desired {
                 if let Some(old) = stored {
@@ -651,7 +704,7 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                         pport: pa,
                         bonded: new.bonded,
                     });
-                    self.intra_list.insert(pair_key(x, pa, new.peer, new.pport));
+                    self.intra_insert(pair_key(x, pa, new.peer, new.pport));
                 }
             }
             if let Some(entry) = self.intra[xi][pa.index()] {
@@ -667,17 +720,273 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                         entry.bonded,
                     );
                 if eff {
-                    self.intra_eff.insert(key);
+                    self.intra_eff_insert(key);
                 } else {
-                    self.intra_eff.remove(key);
+                    self.intra_eff_remove(key);
                 }
             }
         }
         Ok(())
     }
 
+    // --- class table -------------------------------------------------------------------
+
+    fn class(&self, id: u32) -> &ClassSlot<S> {
+        self.classes[id as usize]
+            .as_ref()
+            .expect("class id must be live")
+    }
+
+    fn class_mut(&mut self, id: u32) -> &mut ClassSlot<S> {
+        self.classes[id as usize]
+            .as_mut()
+            .expect("class id must be live")
+    }
+
+    fn class_for<P: Protocol<State = S>>(
+        &mut self,
+        protocol: &P,
+        dim: Dim,
+        state: &S,
+        halted: bool,
+    ) -> Result<u32, ClassOverflow> {
+        for &id in &self.live_ids {
+            if self.class(id).state == *state {
+                return Ok(id);
+            }
+        }
+        if self.live_ids.len() == CLASS_CAP {
+            return Err(ClassOverflow);
+        }
+        let slot = ClassSlot {
+            state: state.clone(),
+            halted,
+            refs: 0,
+        };
+        let id = if let Some(id) = self.free_class_slots.pop() {
+            self.classes[id as usize] = Some(slot);
+            id
+        } else {
+            self.classes.push(Some(slot));
+            self.classes.len() as u32 - 1
+        };
+        sorted_insert(&mut self.live_ids, id);
+        // Fill the dense effectiveness tables against every live class (including the
+        // new class itself). Totals of a freshly allocated class are zero, so filling
+        // before any registration cannot disturb the running aggregate.
+        debug_assert!(self.s[id as usize] == 0 && self.g[id as usize] == [0; PORT_CAP]);
+        for &other in &self.live_ids.clone() {
+            // `transition_effective` resolves the unordered pair by trying the
+            // first-argument order first, so effectiveness is not automatically
+            // symmetric in the two (state, port) roles: the tables are stored
+            // *directionally* (`epc[x][y] = Σ eff(x, pa, y, pb)`), and every consumer
+            // picks the same canonical orientation as the recount and the sampling
+            // walks (lower live class id first).
+            let mut pairs_fwd = 0u16;
+            let mut pairs_rev = 0u16;
+            for &pa in dim.dirs() {
+                let mut mask_new_other = 0u8;
+                let mut mask_other_new = 0u8;
+                for &pb in dim.dirs() {
+                    if self.raw_cross_effective(protocol, id, pa, other, pb) {
+                        mask_new_other |= 1 << pb.index();
+                    }
+                    if self.raw_cross_effective(protocol, other, pa, id, pb) {
+                        mask_other_new |= 1 << pb.index();
+                    }
+                }
+                self.effmask[Self::mask_at(id, pa, other)] = mask_new_other;
+                self.effmask[Self::mask_at(other, pa, id)] = mask_other_new;
+                pairs_fwd += u16::from(mask_new_other.count_ones() as u8);
+                pairs_rev += u16::from(mask_other_new.count_ones() as u8);
+            }
+            self.epc[id as usize * CLASS_CAP + other as usize] = pairs_fwd;
+            self.epc[other as usize * CLASS_CAP + id as usize] = pairs_rev;
+        }
+        Ok(id)
+    }
+
+    fn mask_at(ca: u32, pa: Dir, cb: u32) -> usize {
+        (ca as usize * PORT_CAP + pa.index()) * CLASS_CAP + cb as usize
+    }
+
+    /// Uncached effectiveness of an unbonded cross pair between the two classes.
+    fn raw_cross_effective<P: Protocol<State = S>>(
+        &self,
+        protocol: &P,
+        ca: u32,
+        pa: Dir,
+        cb: u32,
+        pb: Dir,
+    ) -> bool {
+        let a = self.class(ca);
+        let b = self.class(cb);
+        !a.halted
+            && !b.halted
+            && crate::world::transition_effective(protocol, &a.state, pa, &b.state, pb, false)
+    }
+
+    fn release_class(&mut self, id: u32) {
+        let slot = self.class_mut(id);
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            debug_assert_eq!(self.s[id as usize], 0);
+            debug_assert_eq!(self.g[id as usize], [0; PORT_CAP]);
+            self.classes[id as usize] = None;
+            self.free_class_slots.push(id);
+            sorted_remove(&mut self.live_ids, id);
+            // Memo entries referencing a retired class id would alias its successor.
+            self.memo.retain(|&key, _| {
+                (key >> 40) as u32 != id && ((key >> 8) & 0xFF_FFFF) as u32 != id
+            });
+        }
+    }
+
+    // --- registrations and the running aggregate ---------------------------------------
+
+    /// `Σ_{cb live} s[cb] · |{pb : eff(ca, pa, cb, pb)}|` — the class-2 effective pairs
+    /// one free port on `(ca, pa)` participates in.
+    fn free_port_rate(&self, ca: u32, pa: Dir) -> u64 {
+        let mut sum = 0;
+        for &cb in &self.live_ids {
+            let sc = self.s[cb as usize];
+            if sc > 0 {
+                sum += sc * u64::from(self.effmask[Self::mask_at(ca, pa, cb)].count_ones());
+            }
+        }
+        sum
+    }
+
+    /// `Σ_{ca live, pa} g[ca][pa] · |{pb : eff(ca, pa, c, pb)}|` — the class-2
+    /// effective pairs one singleton of class `c` participates in.
+    fn singleton_class2_rate(&self, dim: Dim, c: u32) -> u64 {
+        let mut sum = 0;
+        for &ca in &self.live_ids {
+            for &pa in dim.dirs() {
+                let ga = self.g[ca as usize][pa.index()];
+                if ga > 0 {
+                    sum += ga * u64::from(self.effmask[Self::mask_at(ca, pa, c)].count_ones());
+                }
+            }
+        }
+        sum
+    }
+
+    /// `Σ_{cb live} s[cb] · epc[lo][hi]` (with `(lo, hi) = (min(c, cb), max(c, cb))`) —
+    /// the class-3 effective pairs one singleton of class `c` forms with the currently
+    /// registered singletons, evaluated in the same canonical orientation (lower live
+    /// class id takes the `pa` role) as the recount and the sampling walk, so the
+    /// running aggregate stays consistent with both even for protocols whose
+    /// transition table is not symmetric in the two roles.
+    fn singleton_class3_rate(&self, c: u32) -> u64 {
+        let mut sum = 0;
+        for &cb in &self.live_ids {
+            let sc = self.s[cb as usize];
+            if sc > 0 {
+                let (lo, hi) = (c.min(cb) as usize, c.max(cb) as usize);
+                sum += sc * u64::from(self.epc[lo * CLASS_CAP + hi]);
+            }
+        }
+        sum
+    }
+
+    fn register_singleton(&mut self, dim: Dim, class: u32, x: NodeId) {
+        debug_assert!(!self.reg_singleton[x.index()]);
+        // Deltas are computed against the *pre-registration* totals: the new singleton
+        // pairs with every existing free port and singleton.
+        self.class2_eff += self.singleton_class2_rate(dim, class);
+        self.class3_eff += self.singleton_class3_rate(class);
+        self.s[class as usize] += 1;
+        self.singleton_total += 1;
+        let shard = self.map.shard_of(x);
+        let inserted = sorted_insert(self.shards[shard].singleton_bucket_mut(class), x);
+        debug_assert!(inserted);
+        self.reg_singleton[x.index()] = true;
+    }
+
+    fn drop_singleton_reg(&mut self, dim: Dim, x: NodeId) {
+        if !self.reg_singleton[x.index()] {
+            return;
+        }
+        let class = self.node_class[x.index()];
+        let shard = self.map.shard_of(x);
+        let removed = sorted_remove(self.shards[shard].singleton_bucket_mut(class), x);
+        debug_assert!(removed);
+        self.reg_singleton[x.index()] = false;
+        self.s[class as usize] -= 1;
+        self.singleton_total -= 1;
+        // Post-removal totals: exactly the pairs the departed singleton was part of.
+        self.class2_eff -= self.singleton_class2_rate(dim, class);
+        self.class3_eff -= self.singleton_class3_rate(class);
+    }
+
+    fn register_free_port(&mut self, class: u32, x: NodeId, pa: Dir) {
+        self.class2_eff += self.free_port_rate(class, pa);
+        self.g[class as usize][pa.index()] += 1;
+        self.free_total += 1;
+        let shard = self.map.shard_of(x);
+        let inserted = sorted_insert(self.shards[shard].free_bucket_mut(class, pa), x);
+        debug_assert!(inserted);
+        self.reg_free[x.index()] |= 1 << pa.index();
+    }
+
+    fn drop_free_port_reg(&mut self, x: NodeId, pa: Dir) {
+        if self.reg_free[x.index()] & (1 << pa.index()) == 0 {
+            return;
+        }
+        let class = self.node_class[x.index()];
+        let shard = self.map.shard_of(x);
+        let removed = sorted_remove(self.shards[shard].free_bucket_mut(class, pa), x);
+        debug_assert!(removed);
+        self.reg_free[x.index()] &= !(1 << pa.index());
+        self.g[class as usize][pa.index()] -= 1;
+        self.free_total -= 1;
+        self.class2_eff -= self.free_port_rate(class, pa);
+    }
+
+    fn intra_insert(&mut self, key: u64) {
+        let shard = self.map.shard_of(key_owner(key));
+        if sorted_insert(&mut self.shards[shard].intra, key) {
+            self.intra_total += 1;
+        }
+    }
+
+    fn intra_eff_insert(&mut self, key: u64) {
+        let shard = self.map.shard_of(key_owner(key));
+        if sorted_insert(&mut self.shards[shard].intra_eff, key) {
+            self.intra_eff_total += 1;
+        }
+    }
+
+    fn intra_eff_remove(&mut self, key: u64) {
+        let shard = self.map.shard_of(key_owner(key));
+        if sorted_remove(&mut self.shards[shard].intra_eff, key) {
+            self.intra_eff_total -= 1;
+        }
+    }
+
+    /// Removes the stored intra pair anchored at `(x, pa)` from the lists and clears
+    /// the mirror entry if it still points back.
+    fn unlink_intra(&mut self, x: NodeId, pa: Dir, entry: IntraEntry) {
+        let key = pair_key(x, pa, entry.peer, entry.pport);
+        let shard = self.map.shard_of(key_owner(key));
+        if sorted_remove(&mut self.shards[shard].intra, key) {
+            self.intra_total -= 1;
+        }
+        self.intra_eff_remove(key);
+        self.intra[x.index()][pa.index()] = None;
+        let mirror = &mut self.intra[entry.peer.index()][entry.pport.index()];
+        if mirror.is_some_and(|m| m.peer == x && m.pport == pa) {
+            *mirror = None;
+        }
+    }
+
+    // --- the recount (validation twin of the aggregate) --------------------------------
+
     /// Memoised effectiveness of an unbonded cross pair between a node of class `ca`
-    /// interacting through `pa` and a node of class `cb` through `pb`.
+    /// interacting through `pa` and a node of class `cb` through `pb`. Hash-memo based
+    /// and deliberately independent of the dense `effmask` tables, so
+    /// [`PairIndex::counts`] recounts cross-validate the running aggregate.
     fn cross_effective<P: Protocol<State = S>>(
         &mut self,
         protocol: &P,
@@ -693,40 +1002,49 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         if let Some(&v) = self.memo.get(&key) {
             return v;
         }
-        let a = self.class(ca);
-        let b = self.class(cb);
-        let v = !a.halted
-            && !b.halted
-            && crate::world::transition_effective(protocol, &a.state, pa, &b.state, pb, false);
+        let v = self.raw_cross_effective(protocol, ca, pa, cb, pb);
         self.memo.insert(key, v);
         v
     }
 
-    /// Live class ids in ascending order (the canonical cell-walk order).
-    fn live_class_ids(&self) -> Vec<u32> {
-        (0..self.classes.len() as u32)
-            .filter(|&id| self.classes[id as usize].is_some())
-            .collect()
+    /// Per-shard bucket sums, recomputed from the stored lists (not the aggregate).
+    fn recount_bucket(&self, class: u32, port: Option<Dir>) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| match port {
+                Some(pa) => shard.free_bucket(class, pa).len() as u64,
+                None => shard.singleton_bucket(class).len() as u64,
+            })
+            .sum()
     }
 
-    /// Exact counts of the base classes (1–3) of the decomposition. `O(classes²·ports²)`.
+    /// Exact counts of the base classes (1–3) of the decomposition, recomputed from the
+    /// per-shard lists and the hash memo in `O(classes²·ports²)`. This is the
+    /// independent twin of [`PairIndex::aggregate_counts`]: the batched sampler derives
+    /// its per-version counts here, and `validate` asserts both agree.
     pub(crate) fn counts<P: Protocol<State = S>>(&mut self, protocol: &P, dim: Dim) -> BaseCounts {
         let p = dim.port_count() as u64;
-        let s = self.singletons_flat.len() as u64;
-        let permissible = self.intra_list.len() as u64
-            + self.free_flat.len() as u64 * p * s
-            + p * p * s.saturating_sub(1) * s / 2;
-        let mut effective = self.intra_eff.len() as u64;
-        let ids = self.live_class_ids();
+        let intra: u64 = self.shards.iter().map(|sh| sh.intra.len() as u64).sum();
+        let intra_eff: u64 = self.shards.iter().map(|sh| sh.intra_eff.len() as u64).sum();
+        let ids = self.live_ids.clone();
+        let s_total: u64 = ids.iter().map(|&c| self.recount_bucket(c, None)).sum();
+        let free_total: u64 = ids
+            .iter()
+            .flat_map(|&c| dim.dirs().iter().map(move |&pa| (c, pa)))
+            .map(|(c, pa)| self.recount_bucket(c, Some(pa)))
+            .sum();
+        let permissible =
+            intra + free_total * p * s_total + p * p * s_total.saturating_sub(1) * s_total / 2;
+        let mut effective = intra_eff;
         // Class 2: multi-component free ports × singletons, by class pair.
         for &ca in &ids {
             for &pa in dim.dirs() {
-                let g = self.class(ca).free_ports[pa.index()].len() as u64;
+                let g = self.recount_bucket(ca, Some(pa));
                 if g == 0 {
                     continue;
                 }
                 for &cb in &ids {
-                    let sc = self.class(cb).singletons.len() as u64;
+                    let sc = self.recount_bucket(cb, None);
                     if sc == 0 {
                         continue;
                     }
@@ -742,12 +1060,12 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         // class the node with the smaller id takes `pa`, so each unordered interaction
         // is counted exactly once over the ordered `(pa, pb)` sweep.
         for (i, &ca) in ids.iter().enumerate() {
-            let sa = self.class(ca).singletons.len() as u64;
+            let sa = self.recount_bucket(ca, None);
             if sa == 0 {
                 continue;
             }
             for &cb in &ids[i..] {
-                let sb = self.class(cb).singletons.len() as u64;
+                let sb = self.recount_bucket(cb, None);
                 if sb == 0 {
                     continue;
                 }
@@ -770,43 +1088,92 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         }
     }
 
-    /// The `idx`-th effective base pair under the same walk order as [`Self::counts`]
-    /// (intra, then class 2 cells, then class 3 cells), with uniform within-cell member
-    /// choice from `rng`. The result is uniform over the effective base set when `idx`
-    /// is uniform over `0..counts().effective`.
-    pub(crate) fn sample_effective<P: Protocol<State = S>, R: RngCore>(
-        &mut self,
-        protocol: &P,
-        dim: Dim,
-        rng: &mut R,
-        mut idx: u64,
-    ) -> (NodeId, Dir, NodeId, Dir) {
-        if idx < self.intra_eff.len() as u64 {
-            let (a, pa, b, pb) = unpack_key(self.intra_eff.get(idx as usize));
-            return (a, pa, b, pb);
+    // --- canonical uniform sampling -----------------------------------------------------
+
+    /// The `k`-th singleton of class `c` in the global canonical order (shards in shard
+    /// order; contiguous ranges make that ascending node-id order).
+    fn kth_singleton(&self, c: u32, mut k: u64) -> NodeId {
+        for shard in &self.shards {
+            let bucket = shard.singleton_bucket(c);
+            if (k as usize) < bucket.len() {
+                return bucket[k as usize];
+            }
+            k -= bucket.len() as u64;
         }
-        idx -= self.intra_eff.len() as u64;
-        let ids = self.live_class_ids();
-        for &ca in &ids {
+        unreachable!("singleton rank exceeded the class bucket");
+    }
+
+    /// The `k`-th free port of `(c, pa)` in the global canonical order.
+    fn kth_free_port(&self, c: u32, pa: Dir, mut k: u64) -> NodeId {
+        for shard in &self.shards {
+            let bucket = shard.free_bucket(c, pa);
+            if (k as usize) < bucket.len() {
+                return bucket[k as usize];
+            }
+            k -= bucket.len() as u64;
+        }
+        unreachable!("free-port rank exceeded the class bucket");
+    }
+
+    /// Unranks `r ∈ 0..C(s, 2)` to the `r`-th pair `(i, j)`, `i < j`, in lexicographic
+    /// order over ranks `0..s`.
+    fn unrank_pair(r: u64, s: u64) -> (u64, u64) {
+        debug_assert!(s >= 2 && r < s * (s - 1) / 2);
+        // Rows before row i hold f(i) = i·s − i(i+1)/2 pairs; invert approximately in
+        // floats, then fix up exactly (the approximation is off by at most a few rows).
+        let sf = s as f64;
+        let mut i = (sf - 0.5 - ((sf - 0.5) * (sf - 0.5) - 2.0 * r as f64).max(0.0).sqrt())
+            .floor()
+            .max(0.0) as u64;
+        let row_start = |i: u64| i * s - i * (i + 1) / 2;
+        while i + 1 < s && row_start(i + 1) <= r {
+            i += 1;
+        }
+        while row_start(i) > r {
+            i -= 1;
+        }
+        let j = i + 1 + (r - row_start(i));
+        debug_assert!(j < s);
+        (i, j)
+    }
+
+    /// The `idx`-th effective base pair under the canonical walk order: per-shard intra
+    /// keys, then class-2 cells, then class-3 cells (classes and ports ascending), with
+    /// arithmetic decomposition inside each cell. The result is uniform over the
+    /// effective base set when `idx` is uniform over `0..aggregate effective`, and —
+    /// because every ordering involved is configuration-canonical — independent of the
+    /// shard count.
+    pub(crate) fn sample_effective(&self, dim: Dim, mut idx: u64) -> (NodeId, Dir, NodeId, Dir) {
+        for shard in &self.shards {
+            if (idx as usize) < shard.intra_eff.len() {
+                return unpack_key(shard.intra_eff[idx as usize]);
+            }
+            idx -= shard.intra_eff.len() as u64;
+        }
+        // Class 2 cells: free port (ca, pa) × singleton (cb, pb).
+        for &ca in &self.live_ids {
             for &pa in dim.dirs() {
-                let g = self.class(ca).free_ports[pa.index()].len() as u64;
+                let g = self.g[ca as usize][pa.index()];
                 if g == 0 {
                     continue;
                 }
-                for &cb in &ids {
-                    let sc = self.class(cb).singletons.len() as u64;
+                for &cb in &self.live_ids {
+                    let sc = self.s[cb as usize];
                     if sc == 0 {
                         continue;
                     }
+                    let mask = self.effmask[Self::mask_at(ca, pa, cb)];
+                    if mask == 0 {
+                        continue;
+                    }
                     for &pb in dim.dirs() {
-                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                        if mask & (1 << pb.index()) == 0 {
                             continue;
                         }
                         let cell = g * sc;
                         if idx < cell {
-                            let x =
-                                self.class(ca).free_ports[pa.index()][rng.gen_range(0..g as usize)];
-                            let y = self.class(cb).singletons[rng.gen_range(0..sc as usize)];
+                            let x = self.kth_free_port(ca, pa, idx / sc);
+                            let y = self.kth_singleton(cb, idx % sc);
                             return (x, pa, y, pb);
                         }
                         idx -= cell;
@@ -814,13 +1181,15 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                 }
             }
         }
-        for (i, &ca) in ids.iter().enumerate() {
-            let sa = self.class(ca).singletons.len() as u64;
+        // Class 3 cells: singleton × singleton by unordered class pair; within one
+        // class the smaller node takes `pa` (the counting convention).
+        for (i, &ca) in self.live_ids.iter().enumerate() {
+            let sa = self.s[ca as usize];
             if sa == 0 {
                 continue;
             }
-            for &cb in &ids[i..] {
-                let sb = self.class(cb).singletons.len() as u64;
+            for &cb in &self.live_ids[i..] {
+                let sb = self.s[cb as usize];
                 if sb == 0 {
                     continue;
                 }
@@ -829,12 +1198,26 @@ impl<S: Clone + PartialEq> PairIndex<S> {
                     continue;
                 }
                 for &pa in dim.dirs() {
+                    let mask = self.effmask[Self::mask_at(ca, pa, cb)];
+                    if mask == 0 {
+                        continue;
+                    }
                     for &pb in dim.dirs() {
-                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                        if mask & (1 << pb.index()) == 0 {
                             continue;
                         }
                         if idx < pairs {
-                            return self.pick_singleton_pair(rng, ca, cb, pa, pb);
+                            return if ca == cb {
+                                let (i, j) = Self::unrank_pair(idx, sa);
+                                (self.kth_singleton(ca, i), pa, self.kth_singleton(ca, j), pb)
+                            } else {
+                                (
+                                    self.kth_singleton(ca, idx / sb),
+                                    pa,
+                                    self.kth_singleton(cb, idx % sb),
+                                    pb,
+                                )
+                            };
                         }
                         idx -= pairs;
                     }
@@ -844,118 +1227,121 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         unreachable!("sample index exceeded the effective base count");
     }
 
-    /// Uniformly picks a singleton pair for cell `(ca, pa, cb, pb)`; within one class
-    /// the smaller node id takes `pa` (the counting convention of [`Self::counts`]).
-    fn pick_singleton_pair<R: RngCore>(
-        &self,
-        rng: &mut R,
-        ca: u32,
-        cb: u32,
-        pa: Dir,
-        pb: Dir,
-    ) -> (NodeId, Dir, NodeId, Dir) {
-        if ca == cb {
-            let list = &self.class(ca).singletons;
-            let i = rng.gen_range(0..list.len());
-            let mut j = rng.gen_range(0..list.len() - 1);
-            if j >= i {
-                j += 1;
+    /// The `idx`-th *permissible* base pair under the canonical walk order (intra keys,
+    /// then free-port × singleton, then singleton²) — uniform over the base permissible
+    /// set when `idx` is uniform, shard-count independent for the same reasons as
+    /// [`PairIndex::sample_effective`].
+    pub(crate) fn sample_permissible(&self, dim: Dim, mut idx: u64) -> (NodeId, Dir, NodeId, Dir) {
+        for shard in &self.shards {
+            if (idx as usize) < shard.intra.len() {
+                return unpack_key(shard.intra[idx as usize]);
             }
-            let (lo, hi) = (list[i].min(list[j]), list[i].max(list[j]));
-            (lo, pa, hi, pb)
-        } else {
-            let y = self.class(ca).singletons[rng.gen_range(0..self.class(ca).singletons.len())];
-            let z = self.class(cb).singletons[rng.gen_range(0..self.class(cb).singletons.len())];
-            (y, pa, z, pb)
+            idx -= shard.intra.len() as u64;
         }
-    }
-
-    /// The `idx`-th *permissible* base pair (uniform over the base permissible set when
-    /// `idx` is uniform): intra pairs, then free-port × singleton, then singleton².
-    pub(crate) fn sample_permissible<R: RngCore>(
-        &self,
-        dim: Dim,
-        rng: &mut R,
-        mut idx: u64,
-    ) -> (NodeId, Dir, NodeId, Dir) {
-        if idx < self.intra_list.len() as u64 {
-            return unpack_key(self.intra_list.get(idx as usize));
-        }
-        idx -= self.intra_list.len() as u64;
         let p = dim.port_count() as u64;
-        let s = self.singletons_flat.len() as u64;
-        let ms = self.free_flat.len() as u64 * p * s;
+        let s = self.singleton_total;
+        let ms = self.free_total * p * s;
         if idx < ms {
-            let (x, pa) = self.free_flat[(idx / (p * s)) as usize];
+            let free_rank = idx / (p * s);
             let rem = idx % (p * s);
             let pb = dim.dirs()[(rem / s) as usize];
-            let y = self.singletons_flat[(rem % s) as usize];
+            let y = self.global_singleton(rem % s);
+            let (x, pa) = self.global_free_port(free_rank);
             return (x, pa, y, pb);
         }
-        // Singleton × singleton: the block index only selects the block; the pair and
-        // ports are drawn fresh, which is the same uniform distribution.
-        let i = rng.gen_range(0..s as usize);
-        let mut j = rng.gen_range(0..s as usize - 1);
-        if j >= i {
-            j += 1;
+        idx -= ms;
+        let pair_rank = idx / (p * p);
+        let port_rank = idx % (p * p);
+        let pa = dim.dirs()[(port_rank / p) as usize];
+        let pb = dim.dirs()[(port_rank % p) as usize];
+        let (i, j) = Self::unrank_pair(pair_rank, s);
+        (self.global_singleton(i), pa, self.global_singleton(j), pb)
+    }
+
+    /// The `k`-th singleton in the canonical global order (class-major, then shard,
+    /// then node id).
+    fn global_singleton(&self, mut k: u64) -> NodeId {
+        for &c in &self.live_ids {
+            let sc = self.s[c as usize];
+            if k < sc {
+                return self.kth_singleton(c, k);
+            }
+            k -= sc;
         }
-        let (a, b) = (self.singletons_flat[i], self.singletons_flat[j]);
-        let (lo, hi) = (a.min(b), a.max(b));
-        let pa = dim.dirs()[rng.gen_range(0..p as usize)];
-        let pb = dim.dirs()[rng.gen_range(0..p as usize)];
-        (lo, pa, hi, pb)
+        unreachable!("singleton rank exceeded the population");
+    }
+
+    /// The `k`-th free port in the canonical global order (class-major, port, shard,
+    /// node id).
+    fn global_free_port(&self, mut k: u64) -> (NodeId, Dir) {
+        for &c in &self.live_ids {
+            for pa in 0..PORT_CAP {
+                let pa = Dir::from_index(pa);
+                let g = self.g[c as usize][pa.index()];
+                if k < g {
+                    return (self.kth_free_port(c, pa, k), pa);
+                }
+                k -= g;
+            }
+        }
+        unreachable!("free-port rank exceeded the registration count");
     }
 
     /// Expands the full effective base set (validation oracle support; `O(E)`).
-    pub(crate) fn collect_effective<P: Protocol<State = S>>(
-        &mut self,
-        protocol: &P,
-        dim: Dim,
-    ) -> Vec<u64> {
-        let mut out: Vec<u64> = self.intra_eff.iter().collect();
-        let ids = self.live_class_ids();
-        for &ca in &ids {
+    pub(crate) fn collect_effective(&self, dim: Dim) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.intra_eff.iter().copied())
+            .collect();
+        for &ca in &self.live_ids {
             for &pa in dim.dirs() {
-                if self.class(ca).free_ports[pa.index()].is_empty() {
+                if self.g[ca as usize][pa.index()] == 0 {
                     continue;
                 }
-                for &cb in &ids {
-                    if self.class(cb).singletons.is_empty() {
+                for &cb in &self.live_ids {
+                    if self.s[cb as usize] == 0 {
                         continue;
                     }
+                    let mask = self.effmask[Self::mask_at(ca, pa, cb)];
                     for &pb in dim.dirs() {
-                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                        if mask & (1 << pb.index()) == 0 {
                             continue;
                         }
-                        let xs = self.class(ca).free_ports[pa.index()].clone();
-                        let ys = self.class(cb).singletons.clone();
-                        for x in xs {
-                            for &y in &ys {
-                                out.push(pair_key(x, pa, y, pb));
+                        for shard_x in &self.shards {
+                            for &x in shard_x.free_bucket(ca, pa) {
+                                for shard_y in &self.shards {
+                                    for &y in shard_y.singleton_bucket(cb) {
+                                        out.push(pair_key(x, pa, y, pb));
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
         }
-        for (i, &ca) in ids.iter().enumerate() {
-            for &cb in &ids[i..] {
+        for (i, &ca) in self.live_ids.iter().enumerate() {
+            for &cb in &self.live_ids[i..] {
                 for &pa in dim.dirs() {
+                    let mask = self.effmask[Self::mask_at(ca, pa, cb)];
                     for &pb in dim.dirs() {
-                        if !self.cross_effective(protocol, ca, pa, cb, pb) {
+                        if mask & (1 << pb.index()) == 0 {
                             continue;
                         }
-                        let ys = self.class(ca).singletons.clone();
-                        let zs = self.class(cb).singletons.clone();
-                        for &y in &ys {
-                            for &z in &zs {
-                                // Within one class the smaller id takes `pa` (the
-                                // counting convention); across classes all ordered
-                                // role assignments are distinct cells already.
-                                if ca == cb && y >= z {
-                                    continue;
+                        for shard_y in &self.shards {
+                            for &y in shard_y.singleton_bucket(ca) {
+                                for shard_z in &self.shards {
+                                    for &z in shard_z.singleton_bucket(cb) {
+                                        // Within one class the smaller id takes `pa`
+                                        // (the counting convention); across classes all
+                                        // ordered role assignments are distinct cells.
+                                        if ca == cb && y >= z {
+                                            continue;
+                                        }
+                                        out.push(pair_key(y, pa, z, pb));
+                                    }
                                 }
-                                out.push(pair_key(y, pa, z, pb));
                             }
                         }
                     }
@@ -964,35 +1350,145 @@ impl<S: Clone + PartialEq> PairIndex<S> {
         }
         out
     }
+
+    /// Per-shard load summary: `(singletons, free ports, intra pairs)` per shard.
+    pub(crate) fn shard_loads(&self) -> Vec<(usize, usize, usize)> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                (
+                    shard.singletons.iter().map(Vec::len).sum(),
+                    shard
+                        .free_ports
+                        .iter()
+                        .flat_map(|ports| ports.iter().map(Vec::len))
+                        .sum(),
+                    shard.intra.len(),
+                )
+            })
+            .collect()
+    }
+
+    /// Structural invariants of the sharded layout: per-shard lists sorted, every entry
+    /// owned by its shard, aggregate totals equal to recounted bucket sums. Used by the
+    /// validation suite.
+    pub(crate) fn check_sharding(&self) -> Result<(), String> {
+        let sorted = |v: &[u64]| v.windows(2).all(|w| w[0] < w[1]);
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !sorted(&shard.intra) || !sorted(&shard.intra_eff) {
+                return Err(format!("shard {i}: intra key lists not strictly sorted"));
+            }
+            for &key in shard.intra.iter().chain(&shard.intra_eff) {
+                if self.map.shard_of(key_owner(key)) != i {
+                    return Err(format!("shard {i}: foreign intra key {key:#x}"));
+                }
+            }
+            for bucket in shard
+                .singletons
+                .iter()
+                .chain(shard.free_ports.iter().flat_map(|p| p.iter()))
+            {
+                if !bucket.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("shard {i}: bucket not strictly sorted"));
+                }
+                if bucket.iter().any(|&x| self.map.shard_of(x) != i) {
+                    return Err(format!("shard {i}: foreign bucket member"));
+                }
+            }
+        }
+        for &c in &self.live_ids {
+            if self.recount_bucket(c, None) != self.s[c as usize] {
+                return Err(format!("class {c}: singleton aggregate out of sync"));
+            }
+            for pa in 0..PORT_CAP {
+                let pa = Dir::from_index(pa);
+                if self.recount_bucket(c, Some(pa)) != self.g[c as usize][pa.index()] {
+                    return Err(format!("class {c}: free-port aggregate out of sync"));
+                }
+            }
+        }
+        let intra: u64 = self.shards.iter().map(|sh| sh.intra.len() as u64).sum();
+        let intra_eff: u64 = self.shards.iter().map(|sh| sh.intra_eff.len() as u64).sum();
+        if intra != self.intra_total || intra_eff != self.intra_eff_total {
+            return Err("intra totals out of sync".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_map(n: usize, shards: usize) -> ShardMap {
+        ShardMap::new(n, shards)
+    }
+
     #[test]
     fn marks_deduplicate_but_count() {
-        let index = InteractionIndex::new(3);
+        let index = InteractionIndex::new(test_map(3, 1));
         {
             let mut state = index.lock();
-            state.queue.clear();
+            state.queues.iter_mut().for_each(Vec::clear);
             state.dirty.fill(false);
             state.quiescent = true;
         }
-        index.mark_dirty(NodeId::new(1));
-        index.mark_dirty(NodeId::new(1));
+        index.mark_dirty(test_map(3, 1), NodeId::new(1));
+        index.mark_dirty(test_map(3, 1), NodeId::new(1));
         let state = index.lock();
-        assert_eq!(state.queue, vec![NodeId::new(1)]);
+        assert_eq!(state.queues[0], vec![NodeId::new(1)]);
         assert!(state.dirty[1] && !state.dirty[0]);
         assert!(!state.quiescent);
         assert_eq!(state.stats.dirty_marks, 2);
     }
 
     #[test]
+    fn dirty_marks_route_to_the_owning_shard() {
+        let map = test_map(8, 4);
+        let index = InteractionIndex::new(map);
+        {
+            let mut state = index.lock();
+            state.queues.iter_mut().for_each(Vec::clear);
+            state.dirty.fill(false);
+        }
+        index.mark_dirty(map, NodeId::new(0));
+        index.mark_dirty(map, NodeId::new(7));
+        let state = index.lock();
+        assert_eq!(state.queues[0], vec![NodeId::new(0)]);
+        assert_eq!(state.queues[3], vec![NodeId::new(7)]);
+        assert!(state.queues[1].is_empty() && state.queues[2].is_empty());
+    }
+
+    #[test]
     fn versions_increase() {
-        let index = InteractionIndex::new(1);
+        let index = InteractionIndex::new(test_map(1, 1));
         let v0 = index.version();
         index.bump_version();
         assert_eq!(index.version(), v0 + 1);
+    }
+
+    #[test]
+    fn pair_unranking_is_a_bijection() {
+        for s in 2u64..30 {
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..s * (s - 1) / 2 {
+                let (i, j) = PairIndex::<u8>::unrank_pair(r, s);
+                assert!(i < j && j < s, "s={s} r={r} gave ({i}, {j})");
+                assert!(seen.insert((i, j)), "s={s}: duplicate pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_insert_remove_roundtrip() {
+        let mut v = Vec::new();
+        assert!(sorted_insert(&mut v, 5u64));
+        assert!(sorted_insert(&mut v, 1));
+        assert!(sorted_insert(&mut v, 9));
+        assert!(!sorted_insert(&mut v, 5));
+        assert_eq!(v, vec![1, 5, 9]);
+        assert!(sorted_remove(&mut v, 5));
+        assert!(!sorted_remove(&mut v, 5));
+        assert_eq!(v, vec![1, 9]);
     }
 }

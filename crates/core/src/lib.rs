@@ -59,6 +59,7 @@ mod node;
 mod protocol;
 pub mod rng;
 pub mod scheduler;
+pub mod shard;
 mod simulation;
 mod stats;
 mod world;
@@ -70,8 +71,14 @@ pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
 pub use scheduler::SamplingMode;
 pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
-pub use stats::ExecutionStats;
+pub use stats::{ExecutionStats, ShardStats};
 pub use world::{Interaction, Permissibility, World};
+
+/// Hard cap on simultaneously live state classes of the permissible-pair index.
+/// Protocols that can bound their live state diversity below this may opt into batched
+/// sampling up front (the population-protocol engine does); protocols exceeding it at
+/// runtime overflow the index and fall back to adaptive sampling.
+pub use index::CLASS_CAP as MAX_LIVE_STATE_CLASSES;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -30,9 +30,14 @@ pub struct Transition<S> {
 /// finite-state enums, whereas the counting and universal constructors of Sections 5–6
 /// intentionally give the unique leader an unbounded local state (the paper stores that
 /// information distributedly on a line; see the `nc-protocols` crate for both styles).
-pub trait Protocol {
+///
+/// Protocols (and their states) are `Send + Sync`: the transition function is a pure
+/// table lookup shared by every node, and the sharded world fans index maintenance out
+/// across threads while holding the protocol by shared reference. All protocols in this
+/// workspace are plain data; protocols owning shared computers hold them through `Arc`.
+pub trait Protocol: Send + Sync {
     /// Per-node state type (`Q` plus any leader bookkeeping).
-    type State: Clone + PartialEq + Debug;
+    type State: Clone + PartialEq + Debug + Send + Sync;
 
     /// The dimensionality of the model this protocol runs in (ports per node).
     fn dim(&self) -> Dim {

@@ -62,6 +62,29 @@
 //! table (permanent fallback), and configurations with two or more multi-node
 //! components whose cross product exceeds the enumeration budget (per-version
 //! fallback).
+//!
+//! # Sharded sampling: composing per-shard rates
+//!
+//! [`SamplingMode::Sharded`] is the batched sampler restated over the sharded index
+//! layout. Partition the permissible set by owning shard: `P = Σ_s P_s` and
+//! `E = Σ_s E_s` (every pair is owned by exactly one shard — the shard of its smaller
+//! endpoint for materialised pairs, of the counted registration for the class-counted
+//! ones). In the frozen-configuration selection sequence, a selection lands in shard
+//! `s` with probability `P_s / P` and is effective given that with probability
+//! `E_s / P_s`, so the per-selection effectiveness is `Σ_s (P_s/P)·(E_s/P_s) = E/P` —
+//! the composition of the per-shard rates is *exactly* the sequential rate, and the
+//! jump to the first effective selection is `Geometric(ΣE_s / ΣP_s)`, identical to the
+//! sequential `Geometric(E/P)`. The shard of the first effective selection then has
+//! probability `E_s / E`, which is realised for free by drawing one uniform index over
+//! `0..E` and resolving it through the canonical per-shard prefix walk. Nothing about
+//! the split changes the per-step distribution; what changes operationally is that the
+//! counts come from the incrementally maintained shared aggregate
+//! ([`crate::World::pair_counts_sharded`] — the running sum of the per-shard
+//! registration streams, `O(1)` per version) instead of the batched mode's per-version
+//! recount, and that the draws come from per-selection substreams
+//! ([`crate::rng::substream`], keyed by the selection ordinal — see there for why that
+//! keying, and not a per-shard-id one, is what makes executions byte-identical across
+//! 1/2/4 shards).
 
 use crate::{Interaction, Protocol, World};
 use rand::rngs::StdRng;
@@ -85,6 +108,13 @@ pub enum SamplingMode {
     /// per effective step. Falls back to [`SamplingMode::Adaptive`] behaviour where
     /// the index cannot serve exact counts.
     Batched,
+    /// Geometric-jump batching over the *sharded* index: the jump is drawn from the
+    /// composition of the per-shard effective/permissible rates (`Geometric(ΣEₛ/ΣPₛ)`,
+    /// which equals the sequential `Geometric(E/P)`; see the module docs), the counts
+    /// come from the `O(1)` running aggregate instead of a per-version recount, and
+    /// per-selection RNG substreams keep the execution byte-identical across shard
+    /// counts. Same fallbacks as [`SamplingMode::Batched`].
+    Sharded,
 }
 
 /// A scheduler selects the next permissible interaction of a configuration.
@@ -124,6 +154,13 @@ pub trait Scheduler {
 pub struct UniformScheduler {
     rng: StdRng,
     mode: SamplingMode,
+    /// The base seed (kept for deriving the sharded mode's per-selection substreams).
+    seed: u64,
+    /// Selection-attempt ordinal of the sharded mode: each batched draw attempt uses
+    /// the substream keyed by this counter, which advances on every attempt (including
+    /// budget-exhausted ones, where the memorylessness of the geometric makes a fresh
+    /// draw on the next attempt distributionally exact, just as in batched mode).
+    sharded_draws: u64,
     /// Safety valve: give up after this many rejected samples (only reachable for n = 1,
     /// or in legacy mode for configurations with a vanishing permissible set).
     max_attempts: u32,
@@ -181,6 +218,8 @@ impl UniformScheduler {
         UniformScheduler {
             rng: crate::rng::seeded(seed),
             mode,
+            seed,
+            sharded_draws: 0,
             max_attempts: 10_000_000,
             collapsed: false,
             cache: Vec::new(),
@@ -299,15 +338,20 @@ impl UniformScheduler {
     }
 
     /// Recomputes the exact pair counts for the current frozen configuration: the base
-    /// classes come from the incremental permissible-pair index in `O(changed)`
-    /// amortised; multi×multi cross pairs (empty in single-growth workloads) are
-    /// enumerated under the cross budget.
+    /// classes come from the incremental permissible-pair index (per-version recount in
+    /// batched mode, the `O(1)` running aggregate in sharded mode); multi×multi cross
+    /// pairs (empty in single-growth workloads) are enumerated under the cross budget.
     fn refresh_batch<P: Protocol>(&mut self, world: &World<P>, version: u64) {
         self.batch_valid = false;
         self.batch_fallback = false;
         self.batch_mm.clear();
         self.batch_mm_eff.clear();
-        let Some(summary) = world.pair_counts() else {
+        let summary = if self.mode == SamplingMode::Sharded {
+            world.pair_counts_sharded()
+        } else {
+            world.pair_counts()
+        };
+        let Some(summary) = summary else {
             self.batch_overflow = true;
             return;
         };
@@ -376,10 +420,54 @@ impl UniformScheduler {
         Some(self.pick_effective(world, idx))
     }
 
+    /// One sharded selection: identical batched semantics (see the module docs for the
+    /// per-shard rate composition argument), served from the `O(1)` aggregate counts
+    /// and drawing jump + index from the per-selection substream.
+    fn next_sharded<P: Protocol>(
+        &mut self,
+        world: &World<P>,
+        max_steps: u64,
+    ) -> Option<Interaction> {
+        if self.batch_overflow {
+            return self.next_adaptive(world);
+        }
+        let version = world.version();
+        if !self.batch_valid || self.batch_version != version {
+            self.refresh_batch(world, version);
+            if self.batch_overflow {
+                return self.next_adaptive(world);
+            }
+        }
+        if self.batch_fallback {
+            return self.next_adaptive(world);
+        }
+        if self.batch_permissible == 0 {
+            return None;
+        }
+        let mut sub = crate::rng::substream(self.seed, self.sharded_draws);
+        self.sharded_draws += 1;
+        if self.batch_effective == 0 {
+            // The configuration is stable: every further selection is ineffective, so
+            // there is no effective selection to jump to. Draw single uniform
+            // permissible selections, one per call, exactly like the other modes.
+            let idx = sub.gen_range(0..self.batch_permissible);
+            return Some(self.pick_permissible(world, idx));
+        }
+        let p = self.batch_effective as f64 / self.batch_permissible as f64;
+        let jump = crate::rng::geometric(&mut sub, p);
+        if jump > max_steps {
+            self.pending_skips += max_steps;
+            return None;
+        }
+        self.pending_skips += jump - 1;
+        let idx = sub.gen_range(0..self.batch_effective);
+        Some(self.pick_effective(world, idx))
+    }
+
     fn pick_effective<P: Protocol>(&mut self, world: &World<P>, idx: u64) -> Interaction {
         let base = self.batch_effective - self.batch_mm_eff.len() as u64;
         if idx < base {
-            world.sample_effective_base(&mut self.rng, idx)
+            world.sample_effective_base(idx)
         } else {
             self.batch_mm_eff[(idx - base) as usize]
         }
@@ -388,7 +476,7 @@ impl UniformScheduler {
     fn pick_permissible<P: Protocol>(&mut self, world: &World<P>, idx: u64) -> Interaction {
         let base = self.batch_permissible - self.batch_mm.len() as u64;
         if idx < base {
-            world.sample_permissible_base(&mut self.rng, idx)
+            world.sample_permissible_base(idx)
         } else {
             self.batch_mm[(idx - base) as usize]
         }
@@ -412,6 +500,7 @@ impl Scheduler for UniformScheduler {
             SamplingMode::Legacy => self.next_legacy(world),
             SamplingMode::Adaptive => self.next_adaptive(world),
             SamplingMode::Batched => self.next_batched(world, max_steps),
+            SamplingMode::Sharded => self.next_sharded(world, max_steps),
         }
     }
 

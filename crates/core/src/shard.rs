@@ -1,0 +1,134 @@
+//! Node sharding: the partition of the population into contiguous id ranges that the
+//! sharded runtime structures (dirty frontier, permissible-pair sub-indices, pending
+//! queues) are sliced by.
+//!
+//! # Why contiguous ranges
+//!
+//! The parallel-equivalence guarantee of the sharded runtime — same seed ⇒ identical
+//! execution for 1, 2 or 4 shards — rests on every sampler-visible ordering being a
+//! function of the *configuration only*, never of the shard layout. Contiguous ranges
+//! make that composition trivial: every per-shard structure keeps its entries sorted by
+//! node id (or by canonical pair key, whose high bits are the smaller node id), so the
+//! concatenation of the per-shard structures **in shard order is the global sorted
+//! order**, independent of how many shards the ids were cut into. A hash-based
+//! assignment would interleave ids across shards and break exactly this property.
+//!
+//! The shard count is an execution-layout knob, not a semantic one: it controls how
+//! index maintenance is sliced (and, through the vendored `rayon` stand-in, how many
+//! tasks the maintenance fans out to), while the sampled trajectory stays byte-identical
+//! across shard counts.
+
+use crate::NodeId;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Name of the environment variable providing the default shard count. CI runs the
+/// whole test suite under `NC_SHARDS=1` and `NC_SHARDS=4` so every equivalence test
+/// also exercises the sharded layout.
+pub const SHARDS_ENV: &str = "NC_SHARDS";
+
+/// The default shard count: `NC_SHARDS` when set to a positive integer, 1 otherwise.
+/// Read once per process — the layout of existing worlds must not change mid-run.
+#[must_use]
+pub fn default_shard_count() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// The partition of `0..n` into `shards` contiguous ranges of (up to) `⌈n/shards⌉`
+/// node ids each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ShardMap {
+    n: u32,
+    shards: u32,
+    chunk: u32,
+}
+
+impl ShardMap {
+    /// Creates the partition; the shard count is clamped to `1..=n`.
+    pub(crate) fn new(n: usize, shards: usize) -> ShardMap {
+        let n = n.max(1) as u32;
+        let shards = shards.clamp(1, n as usize) as u32;
+        ShardMap {
+            n,
+            shards,
+            chunk: n.div_ceil(shards),
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn count(self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `node`.
+    pub(crate) fn shard_of(self, node: NodeId) -> usize {
+        (node.index() as u32 / self.chunk) as usize
+    }
+
+    /// The id range owned by shard `s` (possibly empty for trailing shards when
+    /// `n < shards · chunk`).
+    pub(crate) fn range(self, s: usize) -> Range<usize> {
+        let lo = (s as u32 * self.chunk).min(self.n) as usize;
+        let hi = ((s as u32 + 1) * self.chunk).min(self.n) as usize;
+        lo..hi
+    }
+}
+
+/// Minimum number of queued re-derivations before a flush fans the geometry derivation
+/// out to one task per shard. Below it the scoped-thread spawn overhead of the vendored
+/// pool dominates; per-interaction flushes (a handful of touched nodes) always stay
+/// sequential.
+pub(crate) const PARALLEL_FLUSH_MIN: usize = 512;
+
+/// Minimum multi×multi cross-component candidate universe (in node pairs) before the
+/// per-version enumeration fans out across component pairs.
+pub(crate) const PARALLEL_CROSS_MIN: u64 = 8_192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_population() {
+        for n in [1usize, 2, 5, 8, 10, 64, 65] {
+            for shards in [1usize, 2, 3, 4, 7, 100] {
+                let map = ShardMap::new(n, shards);
+                let mut covered = 0;
+                for s in 0..map.count() {
+                    let range = map.range(s);
+                    assert_eq!(range.start, covered, "n={n} shards={shards} s={s}");
+                    covered = range.end;
+                    for i in range {
+                        assert_eq!(map.shard_of(NodeId::new(i as u32)), s);
+                    }
+                }
+                assert_eq!(covered, n, "n={n} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_population() {
+        assert_eq!(ShardMap::new(3, 100).count(), 3);
+        assert_eq!(ShardMap::new(3, 0).count(), 1);
+    }
+
+    #[test]
+    fn contiguity_means_shard_order_is_id_order() {
+        let map = ShardMap::new(100, 4);
+        let mut last = None;
+        for s in 0..map.count() {
+            for i in map.range(s) {
+                assert!(Some(i) > last);
+                last = Some(i);
+            }
+        }
+    }
+}

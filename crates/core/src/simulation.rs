@@ -16,11 +16,16 @@ pub struct SimulationConfig {
     /// Sampling strategy of the uniform scheduler (adaptive by default; legacy
     /// reproduces the original rejection sampler byte for byte).
     pub sampling: SamplingMode,
+    /// Number of shards the world's runtime structures are partitioned into (clamped
+    /// to `1..=n` at world construction). Purely an execution-layout knob: the sampled
+    /// trajectory is byte-identical across shard counts. Defaults to the `NC_SHARDS`
+    /// environment default.
+    pub shards: usize,
 }
 
 impl SimulationConfig {
     /// Creates a configuration for `n` nodes with a default seed, a step budget of
-    /// `10⁹` steps and adaptive sampling.
+    /// `10⁹` steps, adaptive sampling and the `NC_SHARDS` shard-count default.
     #[must_use]
     pub fn new(n: usize) -> SimulationConfig {
         SimulationConfig {
@@ -28,6 +33,7 @@ impl SimulationConfig {
             seed: 0xC0FFEE,
             max_steps: 1_000_000_000,
             sampling: SamplingMode::default(),
+            shards: crate::shard::default_shard_count(),
         }
     }
 
@@ -62,6 +68,19 @@ impl SimulationConfig {
     #[must_use]
     pub fn with_batched_sampling(self) -> SimulationConfig {
         self.with_sampling(SamplingMode::Batched)
+    }
+
+    /// Shorthand for selecting the sharded composed-jump sampler.
+    #[must_use]
+    pub fn with_sharded_sampling(self) -> SimulationConfig {
+        self.with_sampling(SamplingMode::Sharded)
+    }
+
+    /// Sets the shard count of the world's runtime structures.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> SimulationConfig {
+        self.shards = shards;
+        self
     }
 }
 
@@ -145,7 +164,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     #[must_use]
     pub fn with_scheduler(protocol: P, config: SimulationConfig, scheduler: S) -> Simulation<P, S> {
         Simulation {
-            world: World::new(protocol, config.n),
+            world: World::with_shards(protocol, config.n, config.shards),
             scheduler,
             stats: ExecutionStats::default(),
             config,
@@ -288,7 +307,9 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// This is the baseline the scheduler n-sweep benchmarks against.
     pub fn run_until_stable(&mut self) -> RunReport {
         match self.config.sampling {
-            SamplingMode::Adaptive | SamplingMode::Batched => self.run_until_stable_indexed(),
+            SamplingMode::Adaptive | SamplingMode::Batched | SamplingMode::Sharded => {
+                self.run_until_stable_indexed()
+            }
             SamplingMode::Legacy => self.run_until_stable_legacy(),
         }
     }

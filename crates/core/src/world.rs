@@ -5,13 +5,30 @@
 //! frontier of [`crate::index`] that makes [`World::is_stable`] and
 //! [`World::find_effective_interaction`] amortised `O(active)` instead of a full
 //! `O(n² · ports²)` rescan.
+//!
+//! # Sharded interior state
+//!
+//! The population is partitioned into contiguous node-id **shards**
+//! ([`crate::shard::ShardMap`]; count from [`crate::SimulationConfig::shards`] /
+//! `NC_SHARDS`). Each shard owns its slice of the dirty frontier, its sub-index of the
+//! permissible-pair index, and its **pending queue** — the cross-shard routing queue
+//! through which merges and splits hand re-derivation work to the shards of the touched
+//! nodes (a merge moving nodes of shard A next to cells owned by shard B queues B's
+//! neighbours on B's queue, under B's lock only — components migrate between shards
+//! without a world-wide lock). All interior mutability is `Mutex`/atomic based, so
+//! `World: Sync` holds and read-side queries (`is_stable`, sampling) may run
+//! concurrently; large maintenance batches fan out per shard on the vendored `rayon`
+//! pool. The sampled *trajectory* is byte-identical across shard counts — see the
+//! invariance notes in [`crate::index`].
 
 use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
+use crate::shard::{ShardMap, PARALLEL_CROSS_MIN};
+use crate::stats::ShardStats;
 use crate::{Component, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
-use rand::RngCore;
-use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Budget for cross-component enumeration work, in node pairs, as a multiple of the
 /// population size. One constant shared by the adaptive sampler's enumeration refusal,
@@ -129,6 +146,10 @@ pub struct InteractionOutcome {
 
 /// A configuration `(C_V, C_E)` of the model together with the rigid embedding of every
 /// connected component, for a fixed protocol.
+///
+/// `World<P>` is `Sync`: all interior mutability (the dirty frontier, the sharded
+/// permissible-pair index and its pending queues) is `Mutex`/atomic based, so read-side
+/// queries may run from several threads concurrently.
 pub struct World<P: Protocol> {
     protocol: P,
     dim: Dim,
@@ -141,15 +162,24 @@ pub struct World<P: Protocol> {
     rotations: Vec<Rotation>,
     /// Cached `protocol.is_halted(state)` per node, kept in sync with every state write.
     halted: Vec<bool>,
-    /// The incremental interaction index (dirty frontier + configuration version).
+    /// The partition of node ids into contiguous shards (see [`crate::shard`]).
+    shard_map: ShardMap,
+    /// The incremental interaction index (per-shard dirty frontier + configuration
+    /// version).
     index: InteractionIndex,
-    /// The incremental permissible-pair index (exact per-version pair counts for the
-    /// batched sampler), plus the queue of nodes to re-derive. Lazily activated.
-    pairs: RefCell<PairCell<P::State>>,
-    pair_pending: RefCell<Vec<NodeId>>,
-    /// Mirror of `pairs.mode == Active`, readable without a `RefCell` borrow on the
-    /// mutation hot path.
-    pairs_active: Cell<bool>,
+    /// The sharded incremental permissible-pair index (exact pair counts for the
+    /// batched and sharded samplers). Lazily activated.
+    pairs: Mutex<PairCell<P::State>>,
+    /// Per-shard pending queues of nodes to re-derive: the cross-shard merge/split
+    /// routing queues. A mutation only takes the locks of the shards it actually
+    /// touches, never a world-wide one.
+    pair_pending: Vec<Mutex<Vec<NodeId>>>,
+    /// Mirror of `pairs.mode == Active`, readable without a lock on the mutation hot
+    /// path.
+    pairs_active: AtomicBool,
+    /// Merges/splits whose two participants lived in different shards — the events the
+    /// cross-shard queues exist for. Reported through [`World::shard_stats`].
+    cross_shard_events: AtomicU64,
     /// `Σ |component|²` over live components, maintained O(1) per merge/split; gives
     /// the cross-component node-pair universe `(n² − Σsz²)/2` without enumeration.
     sum_sq_sizes: u64,
@@ -164,11 +194,25 @@ pub struct World<P: Protocol> {
 impl<P: Protocol> World<P> {
     /// Creates the initial configuration on `n` nodes: every node free (a singleton
     /// component), in its protocol-defined initial state, with all bonds inactive.
+    /// The shard count comes from the `NC_SHARDS` environment default
+    /// ([`crate::shard::default_shard_count`]); use [`World::with_shards`] to pick it
+    /// explicitly.
     ///
     /// # Panics
     /// Panics if `n == 0`.
     #[must_use]
     pub fn new(protocol: P, n: usize) -> World<P> {
+        World::with_shards(protocol, n, crate::shard::default_shard_count())
+    }
+
+    /// Creates the initial configuration on `n` nodes partitioned into `shards`
+    /// contiguous id ranges (clamped to `1..=n`). The shard count only shapes the
+    /// runtime layout — executions are byte-identical across shard counts.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_shards(protocol: P, n: usize, shards: usize) -> World<P> {
         assert!(n > 0, "the population must contain at least one node");
         let dim = protocol.dim();
         let states: Vec<P::State> = (0..n)
@@ -178,6 +222,7 @@ impl<P: Protocol> World<P> {
         let components = (0..n)
             .map(|i| Some(Component::singleton(NodeId::new(i as u32))))
             .collect();
+        let shard_map = ShardMap::new(n, shards);
         World {
             rotations: Rotation::all(dim),
             protocol,
@@ -189,19 +234,38 @@ impl<P: Protocol> World<P> {
             links: vec![[None; 6]; n],
             bond_count: 0,
             halted,
-            index: InteractionIndex::new(n),
-            pairs: RefCell::new(PairCell {
+            shard_map,
+            index: InteractionIndex::new(shard_map),
+            pairs: Mutex::new(PairCell {
                 mode: PairMode::Disabled,
-                index: PairIndex::new(),
+                index: PairIndex::new(shard_map),
                 counts_cache: None,
             }),
-            pair_pending: RefCell::new(Vec::new()),
-            pairs_active: Cell::new(false),
+            pair_pending: (0..shard_map.count())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            pairs_active: AtomicBool::new(false),
+            cross_shard_events: AtomicU64::new(0),
             sum_sq_sizes: n as u64,
             live_components: n,
             scratch_stamp: vec![0; n],
             scratch_epoch: 0,
         }
+    }
+
+    /// The number of shards the runtime structures are partitioned into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_map.count()
+    }
+
+    /// Marks `node` dirty in its shard's frontier queue.
+    fn mark_dirty(&self, node: NodeId) {
+        self.index.mark_dirty(self.shard_map, node);
+    }
+
+    fn lock_pairs(&self) -> MutexGuard<'_, PairCell<P::State>> {
+        self.pairs.lock().expect("pair index lock poisoned")
     }
 
     /// A monotone configuration version: bumped on every observable change (state write,
@@ -260,7 +324,7 @@ impl<P: Protocol> World<P> {
         self.states[node.index()] = state;
         self.halted[node.index()] = self.protocol.is_halted(&self.states[node.index()]);
         self.index.bump_version();
-        self.index.mark_dirty(node);
+        self.mark_dirty(node);
         self.pair_touch(node);
         self.flush_pairs();
     }
@@ -473,8 +537,8 @@ impl<P: Protocol> World<P> {
             self.halted[a.index()] = self.protocol.is_halted(&self.states[a.index()]);
             self.halted[b.index()] = self.protocol.is_halted(&self.states[b.index()]);
             self.index.bump_version();
-            self.index.mark_dirty(a);
-            self.index.mark_dirty(b);
+            self.mark_dirty(a);
+            self.mark_dirty(b);
             self.pair_touch(a);
             self.pair_touch(b);
             self.flush_pairs();
@@ -491,6 +555,9 @@ impl<P: Protocol> World<P> {
         let comp_a_id = self.comp_of[a.index()];
         let comp_b_id = self.comp_of[b.index()];
         debug_assert_ne!(comp_a_id, comp_b_id);
+        if self.shard_map.shard_of(a) != self.shard_map.shard_of(b) {
+            self.cross_shard_events.fetch_add(1, Ordering::Relaxed);
+        }
         let len = |c: &Option<Component>| c.as_ref().map_or(0, Component::len);
         let (absorbed_id, surviving_id, rotation, translation) =
             if len(&self.components[comp_b_id]) <= len(&self.components[comp_a_id]) {
@@ -520,26 +587,28 @@ impl<P: Protocol> World<P> {
             surviving.insert(node, new_pos);
             // Moved nodes sit in a grown component with fresh relative geometry: pairs
             // involving them may have become effective.
-            self.index.mark_dirty(node);
+            self.index.mark_dirty(self.shard_map, node);
             moved.push((node, new_pos));
         }
         // Component-size bookkeeping: (a+b)² replaces a² + b².
         self.sum_sq_sizes += 2 * absorbed_len * surviving_len;
         self.live_components -= 1;
-        if self.pairs_active.get() {
+        if self.pairs_active.load(Ordering::Relaxed) {
             // The moved nodes must be re-derived (new component, new adjacency, new
             // free-port flags), and so must the *unmoved* neighbours of every inserted
             // cell — their ports just got blocked, which is exactly the non-local
             // removal a grown component can cause in the singleton cross classes.
+            // Each touch is routed to the pending queue of the touched node's shard:
+            // this is the cross-shard migration path — a merge in one shard hands work
+            // to neighbouring shards under their queue locks only.
             let surviving = self.components[surviving_id]
                 .as_ref()
                 .expect("component slot of a live node must be occupied");
-            let mut pending = self.pair_pending.borrow_mut();
             for &(node, new_pos) in &moved {
-                pending.push(node);
+                self.pair_touch(node);
                 for &d in self.dim.dirs() {
                     if let Some(neighbour) = surviving.node_at(new_pos + d.unit()) {
-                        pending.push(neighbour);
+                        self.pair_touch(neighbour);
                     }
                 }
             }
@@ -585,8 +654,13 @@ impl<P: Protocol> World<P> {
             return;
         }
         // Split: the stamped nodes are exactly `a`'s side; move everything else (i.e.
-        // `b`'s side) of the old component into a new component.
+        // `b`'s side) of the old component into a new component. Only an actual split
+        // counts as a cross-shard event (cycle-bond deactivations route no
+        // re-derivation work between shards), mirroring the merge path.
         outcome.split = true;
+        if self.shard_map.shard_of(a) != self.shard_map.shard_of(b) {
+            self.cross_shard_events.fetch_add(1, Ordering::Relaxed);
+        }
         let old_members: Vec<NodeId> = self.components[comp_id]
             .as_ref()
             .expect("component slot of a live node must be occupied")
@@ -597,8 +671,8 @@ impl<P: Protocol> World<P> {
         let mut new_comp = Component::empty();
         for node in old_members {
             // Both halves shrank, which can unlock merge placements for every old
-            // member: mark them all dirty.
-            self.index.mark_dirty(node);
+            // member: mark them all dirty (each touch routed to the member's shard).
+            self.mark_dirty(node);
             self.pair_touch(node);
             if self.comp_of[node.index()] == comp_id && !reached(&self.scratch_stamp, node) {
                 let pos = self.placements[node.index()].pos;
@@ -663,8 +737,8 @@ impl<P: Protocol> World<P> {
         self.links[b.index()][pb.index()] = Some((a, pa));
         self.bond_count += 1;
         self.index.bump_version();
-        self.index.mark_dirty(a);
-        self.index.mark_dirty(b);
+        self.mark_dirty(a);
+        self.mark_dirty(b);
         self.pair_touch(a);
         self.pair_touch(b);
         self.flush_pairs();
@@ -728,6 +802,10 @@ impl<P: Protocol> World<P> {
     /// interleaved with applies costs `O(Σ dirtied · n · ports²)` in total instead of
     /// `O(n² · ports²)` per query. Queries on an unchanged configuration are `O(1)`
     /// (cached candidate revalidation, or the quiescent flag once stability is proven).
+    ///
+    /// The per-shard queues are drained in shard order (deterministic for a given
+    /// configuration history); with one shard this is the historical single-queue
+    /// behaviour.
     #[must_use]
     pub fn find_effective_interaction(&self) -> Option<Interaction> {
         let mut index = self.index.lock();
@@ -745,16 +823,18 @@ impl<P: Protocol> World<P> {
             index.stats.quiescent_hits += 1;
             return None;
         }
-        while let Some(&x) = index.queue.last() {
-            index.stats.node_scans += 1;
-            if let Some(found) = self.scan_node_for_effective(x) {
-                // `x` stays dirty: the found interaction will usually be applied, and
-                // `x` may have further effective pairs to report afterwards.
-                index.candidate = Some(found);
-                return Some(found);
+        for shard in 0..index.queues.len() {
+            while let Some(&x) = index.queues[shard].last() {
+                index.stats.node_scans += 1;
+                if let Some(found) = self.scan_node_for_effective(x) {
+                    // `x` stays dirty: the found interaction will usually be applied,
+                    // and `x` may have further effective pairs to report afterwards.
+                    index.candidate = Some(found);
+                    return Some(found);
+                }
+                index.queues[shard].pop();
+                index.dirty[x.index()] = false;
             }
-            index.queue.pop();
-            index.dirty[x.index()] = false;
         }
         index.quiescent = true;
         None
@@ -863,11 +943,15 @@ impl<P: Protocol> World<P> {
         Some(out)
     }
 
-    /// Queues `node` for re-derivation in the permissible-pair index (no-op while the
-    /// index is inactive).
+    /// Queues `node` for re-derivation in the permissible-pair index, on the pending
+    /// queue of the shard owning `node` (no-op while the index is inactive). Only that
+    /// shard's queue lock is taken — this is the cross-shard merge/split routing.
     fn pair_touch(&self, node: NodeId) {
-        if self.pairs_active.get() {
-            self.pair_pending.borrow_mut().push(node);
+        if self.pairs_active.load(Ordering::Relaxed) {
+            self.pair_pending[self.shard_map.shard_of(node)]
+                .lock()
+                .expect("pending queue lock poisoned")
+                .push(node);
         }
     }
 
@@ -885,49 +969,76 @@ impl<P: Protocol> World<P> {
     }
 
     /// Re-derives the queued nodes in the permissible-pair index. Called at the end of
-    /// every mutation; each queued node costs `O(ports · classes)`.
+    /// every mutation; each queued node costs `O(ports · classes)`. The batch is
+    /// gathered from every shard's pending queue, sorted (ascending node id — the
+    /// canonical re-derivation order that keeps class allocation shard-count
+    /// independent) and handed to the index, which fans large batches out per shard.
     fn flush_pairs(&self) {
-        if !self.pairs_active.get() {
+        if !self.pairs_active.load(Ordering::Relaxed) {
             return;
         }
-        let mut pending = std::mem::take(&mut *self.pair_pending.borrow_mut());
+        let mut pending: Vec<NodeId> = Vec::new();
+        for queue in &self.pair_pending {
+            pending.append(&mut queue.lock().expect("pending queue lock poisoned"));
+        }
         if pending.is_empty() {
             return;
         }
         pending.sort_unstable();
         pending.dedup();
-        let mut cell = self.pairs.borrow_mut();
+        let mut cell = self.lock_pairs();
         let view = self.geom_view();
-        for node in pending {
-            if cell.index.reindex(&view, &self.protocol, node).is_err() {
-                cell.mode = PairMode::Overflowed;
-                cell.index.clear();
-                self.pairs_active.set(false);
-                break;
-            }
+        if cell
+            .index
+            .flush_batch(&view, &self.protocol, &pending)
+            .is_err()
+        {
+            cell.mode = PairMode::Overflowed;
+            cell.index.clear();
+            self.pairs_active.store(false, Ordering::Relaxed);
         }
     }
 
-    /// Exact permissible/effective pair counts of the current configuration, excluding
-    /// multi×multi cross-component pairs (see [`World::enumerate_cross_multi`]).
-    /// Activates (builds) the incremental pair index on first use; returns `None` when
-    /// the protocol's live state diversity has overflowed the index's class table, in
-    /// which case callers must fall back to rejection or enumerated sampling.
-    pub(crate) fn pair_counts(&self) -> Option<PairSummary> {
-        let mut cell = self.pairs.borrow_mut();
+    /// Ensures the pair index is built and active, or reports why it cannot be
+    /// (`false` ⇔ the protocol's live state diversity has overflowed the class table).
+    fn ensure_pairs_active(&self, cell: &mut PairCell<P::State>) -> bool {
         match cell.mode {
-            PairMode::Overflowed => return None,
-            PairMode::Active => {}
+            PairMode::Overflowed => false,
+            PairMode::Active => true,
             PairMode::Disabled => {
                 let view = self.geom_view();
                 if cell.index.build(&view, &self.protocol).is_err() {
                     cell.mode = PairMode::Overflowed;
                     cell.index.clear();
-                    return None;
+                    return false;
                 }
                 cell.mode = PairMode::Active;
-                self.pairs_active.set(true);
+                self.pairs_active.store(true, Ordering::Relaxed);
+                true
             }
+        }
+    }
+
+    fn summary_from(&self, cell: &PairCell<P::State>, counts: BaseCounts) -> PairSummary {
+        PairSummary {
+            permissible_base: counts.permissible,
+            effective_base: counts.effective,
+            multi_components: self.live_components - cell.index.singleton_count(),
+        }
+    }
+
+    /// Exact permissible/effective pair counts of the current configuration, excluding
+    /// multi×multi cross-component pairs (see [`World::enumerate_cross_multi`]),
+    /// *recounted* per frozen configuration version from the per-shard lists (memoised
+    /// per version). Activates (builds) the incremental pair index on first use;
+    /// returns `None` when the protocol's live state diversity has overflowed the
+    /// index's class table, in which case callers must fall back to rejection or
+    /// enumerated sampling. This is the batched sampler's path; the sharded sampler
+    /// reads the O(1) running aggregate instead ([`World::pair_counts_sharded`]).
+    pub(crate) fn pair_counts(&self) -> Option<PairSummary> {
+        let mut cell = self.lock_pairs();
+        if !self.ensure_pairs_active(&mut cell) {
+            return None;
         }
         let version = self.version();
         let counts = match cell.counts_cache {
@@ -938,23 +1049,31 @@ impl<P: Protocol> World<P> {
                 counts
             }
         };
-        let singleton_components = cell.index.singleton_count();
-        Some(PairSummary {
-            permissible_base: counts.permissible,
-            effective_base: counts.effective,
-            multi_components: self.live_components - singleton_components,
-        })
+        Some(self.summary_from(&cell, counts))
+    }
+
+    /// Exact pair counts served from the incrementally maintained shared aggregate —
+    /// the sum of the per-shard registration streams — in `O(1)` per call, no
+    /// per-version recount. Same activation/overflow contract as
+    /// [`World::pair_counts`]; the two are asserted equal by
+    /// [`World::validate_pair_index`].
+    pub(crate) fn pair_counts_sharded(&self) -> Option<PairSummary> {
+        let mut cell = self.lock_pairs();
+        if !self.ensure_pairs_active(&mut cell) {
+            return None;
+        }
+        let counts = cell.index.aggregate_counts(self.dim);
+        Some(self.summary_from(&cell, counts))
     }
 
     /// The `idx`-th effective base pair as a ready-to-apply [`Interaction`]; uniform
-    /// over the effective base set when `idx` is uniform over `0..effective_base`.
-    /// Must only be called right after [`World::pair_counts`] on the same (frozen)
-    /// configuration version.
-    pub(crate) fn sample_effective_base<R: RngCore>(&self, rng: &mut R, idx: u64) -> Interaction {
-        let mut cell = self.pairs.borrow_mut();
-        let (a, pa, b, pb) = cell
-            .index
-            .sample_effective(&self.protocol, self.dim, rng, idx);
+    /// over the effective base set when `idx` is uniform over `0..effective_base`, and
+    /// — the canonical cell walk being configuration-determined — independent of the
+    /// shard count. Must only be called right after [`World::pair_counts`] /
+    /// [`World::pair_counts_sharded`] on the same (frozen) configuration version.
+    pub(crate) fn sample_effective_base(&self, idx: u64) -> Interaction {
+        let cell = self.lock_pairs();
+        let (a, pa, b, pb) = cell.index.sample_effective(self.dim, idx);
         drop(cell);
         self.interaction(a, pa, b, pb)
             .expect("pair-index effective entry must be permissible")
@@ -963,19 +1082,44 @@ impl<P: Protocol> World<P> {
     /// The `idx`-th permissible base pair (uniform when `idx` is uniform over
     /// `0..permissible_base`). Same calling contract as
     /// [`World::sample_effective_base`].
-    pub(crate) fn sample_permissible_base<R: RngCore>(&self, rng: &mut R, idx: u64) -> Interaction {
-        let cell = self.pairs.borrow();
-        let (a, pa, b, pb) = cell.index.sample_permissible(self.dim, rng, idx);
+    pub(crate) fn sample_permissible_base(&self, idx: u64) -> Interaction {
+        let cell = self.lock_pairs();
+        let (a, pa, b, pb) = cell.index.sample_permissible(self.dim, idx);
         drop(cell);
         self.interaction(a, pa, b, pb)
             .expect("pair-index permissible entry must be permissible")
     }
 
-    /// The multi-node components of the configuration, or `None` when the candidate
-    /// universe of their pairwise node products exceeds `budget`. Shared ground truth
-    /// for [`World::enumerate_cross_multi`] and the stability fast path, so both agree
-    /// on what counts as a multi component and when enumeration is affordable.
-    fn cross_multi_components(&self, budget: u64) -> Option<Vec<usize>> {
+    /// Per-shard load and routing statistics (node counts from the shard map, bucket
+    /// and intra-pair loads from the pair index when it is active, and the number of
+    /// cross-shard merge/split events routed through the pending queues).
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        let cell = self.lock_pairs();
+        let loads = if matches!(cell.mode, PairMode::Active) {
+            cell.index.shard_loads()
+        } else {
+            vec![(0, 0, 0); self.shard_map.count()]
+        };
+        drop(cell);
+        ShardStats {
+            shards: self.shard_map.count(),
+            nodes: (0..self.shard_map.count())
+                .map(|s| self.shard_map.range(s).len())
+                .collect(),
+            singletons: loads.iter().map(|&(s, _, _)| s).collect(),
+            free_ports: loads.iter().map(|&(_, f, _)| f).collect(),
+            intra_pairs: loads.iter().map(|&(_, _, i)| i).collect(),
+            cross_shard_events: self.cross_shard_events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The multi-node components of the configuration (with the candidate universe of
+    /// their pairwise node products), or `None` when the universe exceeds `budget`.
+    /// Shared ground truth for [`World::enumerate_cross_multi`] and the stability fast
+    /// path, so both agree on what counts as a multi component and when enumeration is
+    /// affordable.
+    fn cross_multi_components(&self, budget: u64) -> Option<(Vec<usize>, u64)> {
         let multi: Vec<usize> = (0..self.components.len())
             .filter(|&i| self.components[i].as_ref().is_some_and(|c| c.len() >= 2))
             .collect();
@@ -987,7 +1131,7 @@ impl<P: Protocol> World<P> {
                 universe = universe.saturating_add(size_a * size_b);
             }
         }
-        (universe <= budget).then_some(multi)
+        (universe <= budget).then_some((multi, universe))
     }
 
     /// The default budget for per-version multi×multi cross-pair work, in node pairs.
@@ -995,39 +1139,67 @@ impl<P: Protocol> World<P> {
         (CROSS_BUDGET_PER_NODE * self.len()) as u64
     }
 
-    /// Visits every *permissible* pair spanning two multi-node components with its
-    /// effectiveness, stopping early when `visit` returns `true`; `None` when the
-    /// candidate universe exceeds `budget`. The single definition of the multi×multi
-    /// sweep, shared by enumeration and the stability fast path.
-    fn visit_cross_multi(
+    /// Visits every permissible pair between the two given components with its
+    /// effectiveness; stops early (returning `true`) when `visit` does.
+    fn visit_cross_pair(
         &self,
-        budget: u64,
-        mut visit: impl FnMut(Interaction, bool) -> bool,
-    ) -> Option<()> {
-        let multi = self.cross_multi_components(budget)?;
+        ca: usize,
+        cb: usize,
+        visit: &mut impl FnMut(Interaction, bool) -> bool,
+    ) -> bool {
         let ports = self.dim.dirs();
-        for (i, &ca) in multi.iter().enumerate() {
-            for &cb in multi.iter().skip(i + 1) {
-                let comp_a = self.components[ca].as_ref().expect("live slot");
-                let comp_b = self.components[cb].as_ref().expect("live slot");
-                for &a in comp_a.members() {
-                    for &b in comp_b.members() {
-                        for &pa in ports {
-                            for &pb in ports {
-                                if let Some(interaction) = self.interaction(a, pa, b, pb) {
-                                    let effective =
-                                        self.effective_interaction_at(a, pa, b, pb).is_some();
-                                    if visit(interaction, effective) {
-                                        return Some(());
-                                    }
-                                }
+        let comp_a = self.components[ca].as_ref().expect("live slot");
+        let comp_b = self.components[cb].as_ref().expect("live slot");
+        for &a in comp_a.members() {
+            for &b in comp_b.members() {
+                for &pa in ports {
+                    for &pb in ports {
+                        if let Some(interaction) = self.interaction(a, pa, b, pb) {
+                            let effective = self.effective_interaction_at(a, pa, b, pb).is_some();
+                            if visit(interaction, effective) {
+                                return true;
                             }
                         }
                     }
                 }
             }
         }
-        Some(())
+        false
+    }
+
+    /// Runs `body` over the component-pair list, fanned out in chunks on the vendored
+    /// pool when the candidate universe is large, sequentially (one chunk holding the
+    /// whole list) otherwise. The single definition of the multi×multi
+    /// parallelisation policy, shared by enumeration and the stability fast path so
+    /// they cannot drift apart; chunk results come back in pair order.
+    fn map_cross_pair_chunks<T: Send + Default>(
+        &self,
+        multi: &[usize],
+        universe: u64,
+        body: impl Fn(&[(usize, usize)], &mut T) + Send + Sync,
+    ) -> Vec<T> {
+        let pairs: Vec<(usize, usize)> = multi
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &ca)| multi.iter().skip(i + 1).map(move |&cb| (ca, cb)))
+            .collect();
+        let workers = self.shard_map.count();
+        if universe >= PARALLEL_CROSS_MIN && workers > 1 && pairs.len() > 1 {
+            let chunk = pairs.len().div_ceil(workers);
+            let chunks: Vec<&[(usize, usize)]> = pairs.chunks(chunk).collect();
+            let mut outs: Vec<T> = chunks.iter().map(|_| T::default()).collect();
+            let body = &body;
+            rayon::scope(|scope| {
+                for (chunk, out) in chunks.iter().zip(outs.iter_mut()) {
+                    scope.spawn(move |_| body(chunk, out));
+                }
+            });
+            outs
+        } else {
+            let mut out = T::default();
+            body(&pairs, &mut out);
+            vec![out]
+        }
     }
 
     /// Enumerates the permissible pairs spanning two *multi-node* components together
@@ -1037,19 +1209,35 @@ impl<P: Protocol> World<P> {
     /// collision), so it is enumerated per frozen configuration instead of being
     /// maintained incrementally; in single-growth workloads it is empty and costs
     /// `O(components)`.
+    ///
+    /// Large universes (many concurrent multi-node components, the merge-queue stress
+    /// regime) fan the sweep out over component pairs on the vendored pool; the chunks
+    /// are concatenated in pair order, so the result is identical to the sequential
+    /// sweep.
     pub(crate) fn enumerate_cross_multi(&self, budget: u64) -> Option<Vec<(Interaction, bool)>> {
-        let mut out = Vec::new();
-        self.visit_cross_multi(budget, |interaction, effective| {
-            out.push((interaction, effective));
-            false
-        })?;
-        Some(out)
+        let (multi, universe) = self.cross_multi_components(budget)?;
+        let outs = self.map_cross_pair_chunks(
+            &multi,
+            universe,
+            |chunk, out: &mut Vec<(Interaction, bool)>| {
+                for &(ca, cb) in chunk {
+                    self.visit_cross_pair(ca, cb, &mut |interaction, effective| {
+                        out.push((interaction, effective));
+                        false
+                    });
+                }
+            },
+        );
+        Some(outs.concat())
     }
 
     /// Validates the incremental permissible-pair index against the enumeration oracle:
-    /// the maintained permissible/effective counts must equal the brute-force
-    /// [`World::enumerate_permissible`] classification, and the maintained effective
-    /// *set* must match pair for pair. Activates the index if necessary.
+    /// the recounted permissible/effective totals must equal the brute-force
+    /// [`World::enumerate_permissible`] classification, the incrementally maintained
+    /// shared aggregate must equal the recount (the two are computed through
+    /// independent code paths — per-shard list sums with a hash memo vs running deltas
+    /// over dense tables), the sharded layout invariants must hold, and the maintained
+    /// effective *set* must match pair for pair. Activates the index if necessary.
     ///
     /// # Errors
     /// Returns a description of the first discrepancy. Intended for the equivalence
@@ -1058,6 +1246,18 @@ impl<P: Protocol> World<P> {
         let Some(summary) = self.pair_counts() else {
             return Err("pair index overflowed its class table".to_string());
         };
+        let aggregate = self
+            .pair_counts_sharded()
+            .expect("aggregate counts must be available while the index is active");
+        if aggregate != summary {
+            return Err(format!(
+                "aggregate counts {aggregate:?} disagree with the recount {summary:?}"
+            ));
+        }
+        {
+            let cell = self.lock_pairs();
+            cell.index.check_sharding()?;
+        }
         let mm = self
             .enumerate_cross_multi(u64::MAX)
             .expect("unbounded enumeration cannot be refused");
@@ -1080,8 +1280,8 @@ impl<P: Protocol> World<P> {
             .map(|i| crate::index::pair_key(i.a, i.pa, i.b, i.pb))
             .collect();
         let mut index_eff: Vec<u64> = {
-            let mut cell = self.pairs.borrow_mut();
-            cell.index.collect_effective(&self.protocol, self.dim)
+            let cell = self.lock_pairs();
+            cell.index.collect_effective(self.dim)
         };
         index_eff.extend(
             mm.iter()
@@ -1110,29 +1310,39 @@ impl<P: Protocol> World<P> {
 
     /// Whether any permissible pair spanning two multi-node components is effective,
     /// or `None` when the multi×multi candidate universe exceeds `budget` (early exit
-    /// on the first effective pair; no allocation).
+    /// on the first effective pair; no allocation). Large universes fan out across
+    /// component pairs with a shared found-flag (existence is order-independent, so the
+    /// parallel answer is identical to the sequential one).
     fn any_effective_cross_multi(&self, budget: u64) -> Option<bool> {
-        let mut any = false;
-        self.visit_cross_multi(budget, |_, effective| {
-            any |= effective;
-            any
-        })?;
-        Some(any)
+        let (multi, universe) = self.cross_multi_components(budget)?;
+        let found = AtomicBool::new(false);
+        self.map_cross_pair_chunks(&multi, universe, |chunk, (): &mut ()| {
+            for &(ca, cb) in chunk {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if self.visit_cross_pair(ca, cb, &mut |_, effective| effective) {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        Some(found.into_inner())
     }
 
     /// Whether the configuration is stable: no permissible interaction is effective, so
     /// the configuration (and in particular its output shape) can never change again.
     ///
-    /// While the permissible-pair index is active (batched executions), the answer
-    /// comes from its exact effective counts in `O(classes²·ports²)` — memoised per
-    /// configuration version — instead of draining the dirty frontier, whose per-node
-    /// scans are `O(n·ports²)`. Otherwise, and whenever the multi×multi cross budget is
-    /// exceeded, the dirty-frontier index answers (see
-    /// [`World::find_effective_interaction`] for the amortised cost).
+    /// While the permissible-pair index is active (batched and sharded executions), the
+    /// answer comes from the incrementally maintained aggregate effective count in
+    /// `O(1)` instead of draining the dirty frontier, whose per-node scans are
+    /// `O(n·ports²)`. Otherwise, and whenever the multi×multi cross budget is exceeded,
+    /// the dirty-frontier index answers (see [`World::find_effective_interaction`] for
+    /// the amortised cost).
     #[must_use]
     pub fn is_stable(&self) -> bool {
-        if self.pairs_active.get() {
-            if let Some(summary) = self.pair_counts() {
+        if self.pairs_active.load(Ordering::Relaxed) {
+            if let Some(summary) = self.pair_counts_sharded() {
                 if summary.effective_base > 0 {
                     return false;
                 }

@@ -114,6 +114,10 @@ impl PopulationProtocol for LeaderlessCounting {
         Some((self.observe(a, b.phase), self.observe(b, a.phase)))
     }
 
+    // `live_state_bound` keeps its default (`None`): the communicating phase is a small
+    // constant, but the *full* states (private observation windows) diverge per agent,
+    // and the pair index classifies by full state — adaptive sampling it is.
+
     fn name(&self) -> &str {
         "leaderless-counting-attempt"
     }

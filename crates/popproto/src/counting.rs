@@ -115,6 +115,16 @@ impl PopulationProtocol for CountingUpperBound {
         matches!(state, CountingState::Halted { .. })
     }
 
+    fn live_state_bound(&self) -> Option<usize> {
+        // The counter values are unbounded, but at any time the configuration holds at
+        // most one `Leader{..}` or `Halted{..}` state (there is a unique leader) plus
+        // `Q0`, `Q1`, `Q2`: five simultaneously live states, far under the class cap,
+        // so the engine runs this protocol with Gillespie-style batched jumps. The
+        // leader's class churns on every effective interaction; the index retires the
+        // sole-member class and allocates the successor without overflowing.
+        Some(5)
+    }
+
     fn name(&self) -> &str {
         "counting-upper-bound"
     }

@@ -22,9 +22,14 @@ use std::fmt::Debug;
 /// Interactions are unordered: when the scheduler selects the pair `{u, v}` the engine
 /// first asks `interact(state(u), state(v))` and, if that is ineffective (`None`), the
 /// symmetric `interact(state(v), state(u))`.
-pub trait PopulationProtocol {
+///
+/// Protocols and states are `Send + Sync` (inherited from the geometric
+/// [`Protocol`] trait through the [`Clique`] adapter): transition tables are pure
+/// shared data, and the sharded world runtime may fan index maintenance out across
+/// threads.
+pub trait PopulationProtocol: Send + Sync {
     /// Per-agent state.
-    type State: Clone + PartialEq + Debug;
+    type State: Clone + PartialEq + Debug + Send + Sync;
 
     /// Initial state of agent `node` in a population of `n` agents. Leader-based
     /// protocols conventionally make agent 0 the leader; UID-based protocols may derive
@@ -38,6 +43,24 @@ pub trait PopulationProtocol {
     /// ineffective by definition.
     fn is_halted(&self, _state: &Self::State) -> bool {
         false
+    }
+
+    /// An upper bound on the number of *distinct* states simultaneously live in any
+    /// reachable configuration, if the protocol can guarantee one; `None` means
+    /// unbounded or unknown.
+    ///
+    /// This is the state-diversity pre-check for batched sampling: population
+    /// protocols are the all-singletons special case of the permissible-pair index
+    /// (pure class counting, no geometry), so a protocol whose live diversity fits the
+    /// index's class cap ([`nc_core::MAX_LIVE_STATE_CLASSES`]) gets Gillespie-style
+    /// geometric jumps for free — [`PopSimulation::new`] switches it to
+    /// [`nc_core::SamplingMode::Batched`]. Note the bound is on *simultaneously live*
+    /// states, not the state space: the counting leader walks through unboundedly many
+    /// counter states, but only one leader state is live at a time, so its bound is a
+    /// small constant. UID-style protocols (every agent holds a distinct identifier)
+    /// are unbounded by design and must return `None`, keeping the adaptive sampler.
+    fn live_state_bound(&self) -> Option<usize> {
+        None
     }
 
     /// Short protocol name for reports.
@@ -59,6 +82,10 @@ impl<P: PopulationProtocol + ?Sized> PopulationProtocol for &P {
 
     fn is_halted(&self, state: &Self::State) -> bool {
         (**self).is_halted(state)
+    }
+
+    fn live_state_bound(&self) -> Option<usize> {
+        (**self).live_state_bound()
     }
 
     fn name(&self) -> &str {
@@ -125,15 +152,38 @@ pub struct PopSimulation<P: PopulationProtocol> {
 impl<P: PopulationProtocol> PopSimulation<P> {
     /// Creates the initial configuration on `n` agents with a seeded scheduler.
     ///
+    /// Protocols that bound their live state diversity below the pair index's class
+    /// cap ([`PopulationProtocol::live_state_bound`]) run under
+    /// [`nc_core::SamplingMode::Batched`] — on a clique the permissible count is the
+    /// constant `ports²·C(n, 2)`, so the batched sampler is exactly a Gillespie-style
+    /// jump process over state-class counts. Protocols without such a bound (UID-based
+    /// and leaderless-window protocols, whose agents all hold distinct states) keep
+    /// the adaptive sampler, which is the same fallback the index would degrade to
+    /// after overflowing — the pre-check just skips the doomed build.
+    ///
     /// # Panics
     /// Panics if `n < 2`.
     #[must_use]
     pub fn new(protocol: P, n: usize, seed: u64) -> PopSimulation<P> {
         assert!(n >= 2, "a population protocol needs at least two agents");
-        let config = SimulationConfig::new(n).with_seed(seed);
+        let sampling = match protocol.live_state_bound() {
+            Some(bound) if bound <= nc_core::MAX_LIVE_STATE_CLASSES => {
+                nc_core::SamplingMode::Batched
+            }
+            _ => nc_core::SamplingMode::Adaptive,
+        };
+        let config = SimulationConfig::new(n)
+            .with_seed(seed)
+            .with_sampling(sampling);
         PopSimulation {
             sim: Simulation::new(Clique::new(protocol), config),
         }
+    }
+
+    /// The sampling mode the diversity pre-check selected for this execution.
+    #[must_use]
+    pub fn sampling_mode(&self) -> nc_core::SamplingMode {
+        self.sim.config().sampling
     }
 
     /// Population size.
@@ -361,5 +411,74 @@ mod tests {
     #[should_panic(expected = "at least two agents")]
     fn tiny_population_rejected() {
         let _ = PopSimulation::new(Epidemic, 1, 0);
+    }
+
+    /// Epidemic with an explicit diversity bound (two live states: infected or not).
+    struct BoundedEpidemic;
+
+    impl PopulationProtocol for BoundedEpidemic {
+        type State = bool;
+
+        fn initial_state(&self, node: usize, _n: usize) -> bool {
+            node == 0
+        }
+
+        fn interact(&self, a: &bool, b: &bool) -> Option<(bool, bool)> {
+            Epidemic.interact(a, b)
+        }
+
+        fn live_state_bound(&self) -> Option<usize> {
+            Some(2)
+        }
+    }
+
+    /// Claims a bound far above the class cap: the pre-check must refuse it.
+    struct OverCapProtocol;
+
+    impl PopulationProtocol for OverCapProtocol {
+        type State = u32;
+
+        fn initial_state(&self, node: usize, _n: usize) -> u32 {
+            node as u32
+        }
+
+        fn interact(&self, _a: &u32, _b: &u32) -> Option<(u32, u32)> {
+            None
+        }
+
+        fn live_state_bound(&self) -> Option<usize> {
+            Some(nc_core::MAX_LIVE_STATE_CLASSES + 1)
+        }
+    }
+
+    #[test]
+    fn diversity_precheck_selects_the_sampling_mode() {
+        // Bounded diversity within the cap → batched; no bound (the default) or a
+        // bound above the cap → adaptive.
+        let bounded = PopSimulation::new(BoundedEpidemic, 8, 1);
+        assert_eq!(bounded.sampling_mode(), nc_core::SamplingMode::Batched);
+        let unbounded = PopSimulation::new(Epidemic, 8, 1);
+        assert_eq!(unbounded.sampling_mode(), nc_core::SamplingMode::Adaptive);
+        let over_cap = PopSimulation::new(OverCapProtocol, 8, 1);
+        assert_eq!(over_cap.sampling_mode(), nc_core::SamplingMode::Adaptive);
+    }
+
+    #[test]
+    fn batched_epidemic_matches_the_adaptive_outcome() {
+        // Same protocol under both samplers: the trajectory distributions are
+        // identical, so the guaranteed outcome (everyone infected, exactly n − 1
+        // effective interactions) must hold under batched jumps too.
+        let mut sim = PopSimulation::new(BoundedEpidemic, 50, 3);
+        let report = sim.run_until(1_000_000, |states| states.iter().all(|&s| s));
+        assert!(report.condition_met());
+        assert_eq!(report.effective_steps, 49);
+        assert!(
+            sim.stats().skipped_steps > 0,
+            "a 50-agent epidemic tail must skip ineffective selections in bulk"
+        );
+        assert!(sim.world().check_invariants());
+        sim.world()
+            .validate_pair_index()
+            .expect("the clique pair index stays exact");
     }
 }

@@ -125,6 +125,10 @@ impl PopulationProtocol for SimpleUidCounting {
     // never changes again, but its partners may still observe its identifier, so the
     // engine must not freeze interactions involving it.
 
+    // `live_state_bound` deliberately keeps its default (`None`): every agent carries
+    // a distinct identifier, so all `n` states are simultaneously live by design and
+    // the engine keeps the adaptive sampler instead of building a doomed class table.
+
     fn name(&self) -> &str {
         "simple-uid-counting"
     }
@@ -304,6 +308,9 @@ impl PopulationProtocol for ImprovedUidCounting {
     fn is_halted(&self, state: &ImprovedUidState) -> bool {
         state.halted
     }
+
+    // `live_state_bound` keeps its default (`None`): identifiers make all agent states
+    // distinct, so the diversity pre-check must leave this on the adaptive sampler.
 
     fn name(&self) -> &str {
         "improved-uid-counting"

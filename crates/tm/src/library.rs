@@ -11,7 +11,10 @@ use nc_geometry::zigzag_coord;
 /// A boxed shape computer (the element type of [`all_computers`]).
 pub type BoxedComputer = Box<dyn ShapeComputer>;
 
-fn xy_computer(name: &'static str, f: impl Fn(u32, u32, u32) -> bool + 'static) -> BoxedComputer {
+fn xy_computer(
+    name: &'static str,
+    f: impl Fn(u32, u32, u32) -> bool + Send + Sync + 'static,
+) -> BoxedComputer {
     Box::new(PredicateShapeComputer::new(name, move |i, d| {
         let d32 = u32::try_from(d).expect("square dimension fits in u32");
         let (x, y) = zigzag_coord(i, d32);

@@ -13,7 +13,7 @@ use crate::machine::{HaltReason, TuringMachine};
 use nc_geometry::{LabeledSquare, ShapeLanguage};
 
 /// A pixel oracle: decides whether pixel `i` (zig-zag index) of the `d × d` square is on.
-pub trait ShapeComputer {
+pub trait ShapeComputer: Send + Sync {
     /// Human-readable name (used in experiment reports).
     fn name(&self) -> &str;
 
@@ -80,7 +80,7 @@ impl<F: Fn(u64, u64) -> bool> PredicateShapeComputer<F> {
     }
 }
 
-impl<F: Fn(u64, u64) -> bool> ShapeComputer for PredicateShapeComputer<F> {
+impl<F: Fn(u64, u64) -> bool + Send + Sync> ShapeComputer for PredicateShapeComputer<F> {
     fn name(&self) -> &str {
         &self.name
     }

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this crate vendors
+//! the *minimal* subset of the `rayon 1.x` API that the workspace actually uses:
+//! [`join`], [`scope`] (with [`Scope::spawn`]) and [`current_num_threads`]. The
+//! signatures match the real crate, so swapping back to crates.io `rayon` is a one-line
+//! change in the workspace `[workspace.dependencies]` table.
+//!
+//! Unlike the real crate there is no persistent work-stealing pool: every `join`/`scope`
+//! call spawns OS threads through [`std::thread::scope`] and joins them before
+//! returning. That keeps the implementation tiny and `forbid(unsafe_code)`-clean, at the
+//! cost of a per-call spawn overhead of tens of microseconds — callers are expected to
+//! gate parallel sections on a work-size threshold (the sharded world runtime in
+//! `nc-core` does exactly that), which is good practice under the real crate too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of threads the pool would use — with scoped ad-hoc threads this is the
+/// machine's available parallelism (what the real crate defaults to).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs the two closures, potentially in parallel, and returns both results.
+///
+/// Same contract as `rayon::join`: `oper_a` runs on the calling thread while `oper_b`
+/// is offered to a second thread; both have completed when the call returns, and a
+/// panic in either is propagated.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope in which borrowing tasks can be spawned; all of them are guaranteed to have
+/// completed before [`scope`] returns (the same structured-concurrency contract as
+/// `rayon::scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope. The closure receives the scope again so tasks can
+    /// spawn sub-tasks, exactly like `rayon::Scope::spawn`.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks and blocks until every spawned task has
+/// completed. Panics from tasks are propagated on join (std scoped-thread semantics).
+pub fn scope<'env, F, R>(body: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| body(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = join(|| join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task_before_returning() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_tasks_can_borrow_and_write_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn tasks_spawn_subtasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn at_least_one_thread_is_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        join(|| 1, || panic!("boom"));
+    }
+}
