@@ -1,8 +1,10 @@
 //! The scheduler n-sweep: `GlobalLine`, `Square` and `CountingOnALine` run to
 //! completion under the legacy rejection sampler, the adaptive indexed sampler, the
-//! batched geometric-jump sampler, and the sharded composed-jump sampler at 1, 2 and 4
-//! shards, on the same seed, for n = 64 … 1024. Emits `BENCH_scheduler.json`
-//! (steps/sec and speedup per size), the perf baseline that later PRs compare against.
+//! batched geometric-jump sampler, the sharded composed-jump sampler at 1, 2 and 4
+//! shards, and the speculative engine (optimistic epochs with delta-log rollback) at
+//! 2 and 4 shards, on the same seed, for n = 64 … 1024. Emits `BENCH_scheduler.json`
+//! (steps/sec, speedup and per-row speculation rollback rates per size), the perf
+//! baseline that later PRs compare against.
 //!
 //! "Steps" follow the paper's convention — every scheduler selection counts, and the
 //! batched/sharded samplers' bulk-credited ineffective selections are included (they
@@ -20,10 +22,12 @@
 //!
 //! `--smoke` asserts (a) every mode completes with the protocol's guaranteed outcome at
 //! n = 256, (b) batched achieves at least the indexed steps/sec at n = 256, (c) the
-//! sharded rows at 1/2/4 shards report identical step counts, and (d) on Square
-//! n = 512 the sharded sampler at 4 shards achieves at least the batched steps/sec
-//! (best of three runs each, since both finish in milliseconds there) — the sharded
-//! aggregate-count hot path regressing below the batched recount path fails the build.
+//! sharded *and speculative* rows report step counts identical to each other across
+//! shard counts and window sizes (speculation must be invisible in the trajectory),
+//! and (d) on Square n = 512 the sharded sampler at 4 shards achieves at least the
+//! batched steps/sec (best of three runs each, since both finish in milliseconds
+//! there) — the sharded aggregate-count hot path regressing below the batched recount
+//! path fails the build.
 //!
 //! Per-protocol caps keep the sweep finite: the legacy sampler's full-scan stability
 //! checks cost `O(n²·ports²)` per probe, which at GlobalLine n = 1024 is ~13 minutes
@@ -72,44 +76,64 @@ impl Proto {
     }
 }
 
-/// One benchmarked execution: a sampling mode plus (for sharded rows) the shard count.
+/// One benchmarked execution: a sampling mode plus (for sharded/speculative rows) the
+/// shard count and speculation window.
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct ModeSpec {
     mode: SamplingMode,
     shards: usize,
+    speculation: usize,
     label: &'static str,
 }
 
-const MODES: [ModeSpec; 6] = [
+const MODES: [ModeSpec; 8] = [
     ModeSpec {
         mode: SamplingMode::Legacy,
         shards: 1,
+        speculation: 0,
         label: "legacy",
     },
     ModeSpec {
         mode: SamplingMode::Adaptive,
         shards: 1,
+        speculation: 0,
         label: "indexed",
     },
     ModeSpec {
         mode: SamplingMode::Batched,
         shards: 1,
+        speculation: 0,
         label: "batched",
     },
     ModeSpec {
         mode: SamplingMode::Sharded,
         shards: 1,
+        speculation: 0,
         label: "sharded1",
     },
     ModeSpec {
         mode: SamplingMode::Sharded,
         shards: 2,
+        speculation: 0,
         label: "sharded2",
     },
     ModeSpec {
         mode: SamplingMode::Sharded,
         shards: 4,
+        speculation: 0,
         label: "sharded4",
+    },
+    ModeSpec {
+        mode: SamplingMode::Speculative,
+        shards: 2,
+        speculation: 8,
+        label: "speculative2",
+    },
+    ModeSpec {
+        mode: SamplingMode::Speculative,
+        shards: 4,
+        speculation: 8,
+        label: "speculative4",
     },
 ];
 
@@ -125,12 +149,16 @@ struct Row {
     skipped_steps: u64,
     steps_per_sec: f64,
     completed: bool,
+    speculated: u64,
+    spec_committed: u64,
+    spec_rolled_back: u64,
+    spec_rollback_rate: f64,
 }
 
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}}}",
             self.protocol,
             self.n,
             self.mode,
@@ -141,7 +169,11 @@ impl Row {
             self.effective_steps,
             self.skipped_steps,
             self.steps_per_sec,
-            self.completed
+            self.completed,
+            self.speculated,
+            self.spec_committed,
+            self.spec_rolled_back,
+            self.spec_rollback_rate
         )
     }
 }
@@ -153,7 +185,8 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         .with_seed(seed)
         .with_max_steps(2_000_000_000)
         .with_sampling(spec.mode)
-        .with_shards(spec.shards);
+        .with_shards(spec.shards)
+        .with_speculation(spec.speculation);
     let started = Instant::now();
     let (report, stats, completed) = match proto {
         Proto::Line => {
@@ -189,6 +222,7 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         }
     };
     let seconds = started.elapsed().as_secs_f64();
+    let speculation = report.speculation;
     Row {
         protocol: proto.name(),
         n,
@@ -201,6 +235,10 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         skipped_steps: stats.skipped_steps,
         steps_per_sec: report.steps as f64 / seconds.max(1e-9),
         completed,
+        speculated: speculation.speculated,
+        spec_committed: speculation.committed,
+        spec_rolled_back: speculation.rolled_back,
+        spec_rollback_rate: speculation.rollback_rate(),
     }
 }
 
@@ -264,16 +302,29 @@ fn smoke(protos: &[Proto], seed: u64) {
         }
         let sharded: Vec<&Row> = per_mode
             .iter()
-            .filter(|r| r.mode.starts_with("sharded"))
+            .filter(|r| r.mode.starts_with("sharded") || r.mode.starts_with("speculative"))
             .collect();
         if sharded
             .iter()
             .any(|r| (r.steps, r.effective_steps) != (sharded[0].steps, sharded[0].effective_steps))
         {
             failures.push(format!(
-                "{}: sharded step counts differ across shard counts (parallel-equivalence broken)",
+                "{}: sharded/speculative step counts differ across shard counts and windows \
+                 (parallel-equivalence or speculation invariance broken)",
                 proto.name()
             ));
+        }
+        for row in per_mode
+            .iter()
+            .filter(|r| r.mode.starts_with("speculative"))
+        {
+            if row.speculated == 0 {
+                failures.push(format!(
+                    "{} {}: the speculative row never speculated",
+                    proto.name(),
+                    row.mode
+                ));
+            }
         }
     }
     // The headline gate: Square n = 512, sharded@4 vs batched, best of three.
@@ -298,8 +349,8 @@ fn smoke(protos: &[Proto], seed: u64) {
     }
     assert!(failures.is_empty(), "smoke failures: {failures:?}");
     eprintln!(
-        "smoke ok: batched ≥ indexed at n = {n}, sharded step counts shard-count-invariant, \
-         sharded@4 ≥ batched on square n = 512, all modes completed"
+        "smoke ok: batched ≥ indexed at n = {n}, sharded/speculative step counts invariant \
+         across layouts and windows, sharded@4 ≥ batched on square n = 512, all modes completed"
     );
 }
 
@@ -377,17 +428,33 @@ fn main() {
                         indexed_secs / row.seconds.max(1e-9)
                     );
                 }
+                if mode.mode == SamplingMode::Speculative {
+                    eprintln!(
+                        "{:>18}  {n:>6}  {} speculation: {} speculated, {} committed, {} rolled back ({:.1}% rollback)",
+                        proto.name(),
+                        row.mode,
+                        row.speculated,
+                        row.spec_committed,
+                        row.spec_rolled_back,
+                        row.spec_rollback_rate * 100.0
+                    );
+                }
                 rows.push(row);
             }
-            // Parallel-equivalence check rides along with every sweep: the sharded rows
-            // of this cell must agree on step counts.
+            // Parallel-equivalence check rides along with every sweep: the sharded and
+            // speculative rows of this cell must agree on step counts (shard count and
+            // speculation window are layout/overlap knobs, never semantic ones).
             let cell: Vec<&Row> = rows
                 .iter()
-                .filter(|r| r.protocol == proto.name() && r.n == n && r.mode.starts_with("sharded"))
+                .filter(|r| {
+                    r.protocol == proto.name()
+                        && r.n == n
+                        && (r.mode.starts_with("sharded") || r.mode.starts_with("speculative"))
+                })
                 .collect();
             assert!(
                 cell.iter().all(|r| r.steps == cell[0].steps),
-                "{} n={n}: sharded step counts differ across shard counts",
+                "{} n={n}: sharded/speculative step counts differ across layouts",
                 proto.name()
             );
         }
@@ -395,7 +462,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched/sharded bulk credits; sharded rows at 1/2/4 shards report identical steps (parallel equivalence); legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched/sharded bulk credits; sharded rows at 1/2/4 shards and speculative rows (k=8) at 2/4 shards report identical steps (parallel equivalence + speculation invariance); spec_* columns count optimistic interactions and the Time-Warp rollback rate; legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write bench artifact");

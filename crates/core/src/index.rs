@@ -329,7 +329,7 @@ impl<S> GeomView<'_, S> {
 
 /// One intra-component pair as seen from one of its endpoints.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct IntraEntry {
+pub(crate) struct IntraEntry {
     peer: NodeId,
     pport: Dir,
     bonded: bool,
@@ -445,6 +445,49 @@ fn sorted_remove<T: Ord + Copy>(list: &mut Vec<T>, value: T) -> bool {
     }
 }
 
+/// One undoable mutation of the pair index, appended to the operation log while a
+/// [`crate::World`] checkpoint is open. Every variant names the *registration-level*
+/// primitive that ran (not the slot it touched), so the undo in
+/// [`PairIndex::rollback_ops`] can call the symmetric primitive — which replays the
+/// exact aggregate-delta formulas (`free_port_rate`, `singleton_class*_rate`) at the
+/// exact totals they were originally evaluated against, keeping the running
+/// `class2_eff`/`class3_eff` aggregates bit-exact under rollback.
+pub(crate) enum IndexOp<S> {
+    /// `register_singleton(class, x)` ran.
+    RegSingleton { x: NodeId, class: u32 },
+    /// `drop_singleton_reg(x)` removed a registration of `class`.
+    DropSingleton { x: NodeId, class: u32 },
+    /// `register_free_port(class, x, pa)` ran.
+    RegFreePort { x: NodeId, pa: Dir, class: u32 },
+    /// `drop_free_port_reg(x, pa)` removed a registration of `class`.
+    DropFreePort { x: NodeId, pa: Dir, class: u32 },
+    /// `key` was inserted into its shard's intra list.
+    IntraInsert { key: u64 },
+    /// `key` was removed from its shard's intra list.
+    IntraRemove { key: u64 },
+    /// `key` was inserted into its shard's effective-intra list.
+    IntraEffInsert { key: u64 },
+    /// `key` was removed from its shard's effective-intra list.
+    IntraEffRemove { key: u64 },
+    /// `intra[x][pa]` was overwritten; `old` is the previous cell value.
+    IntraCell {
+        x: NodeId,
+        pa: Dir,
+        old: Option<IntraEntry>,
+    },
+    /// `node_class[x]` was overwritten.
+    NodeClass { x: NodeId, old: u32 },
+    /// `classes[class].refs` was incremented (class-switch re-registration).
+    RefsInc { class: u32 },
+    /// `class_for` allocated a fresh class slot (`reused_slot`: popped from the free
+    /// list rather than pushed).
+    AllocClass { class: u32, reused_slot: bool },
+    /// `release_class(class)` decremented the refcount without freeing the slot.
+    ReleaseDec { class: u32 },
+    /// `release_class(class)` freed the slot; `state`/`halted` restore it.
+    ReleaseFree { class: u32, state: S, halted: bool },
+}
+
 /// The sharded incremental permissible-pair index. See the section comment above for
 /// the decomposition, the shared aggregate and the shard-count-invariance argument.
 pub(crate) struct PairIndex<S> {
@@ -486,6 +529,11 @@ pub(crate) struct PairIndex<S> {
     /// hash-based and independent of the dense tables so the two computations
     /// cross-validate each other.
     memo: HashMap<u64, bool, DeterministicState>,
+    /// Undo log of registration-level mutations, appended while `logging` (i.e. while
+    /// a world checkpoint is open). Positions into it are recorded by the world's
+    /// epoch frames; `rollback_ops` unwinds a suffix.
+    oplog: Vec<IndexOp<S>>,
+    logging: bool,
 }
 
 /// Raised when the live class count exceeds [`CLASS_CAP`]; the world then abandons the
@@ -515,7 +563,55 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             effmask: Vec::new(),
             epc: Vec::new(),
             memo: HashMap::default(),
+            oplog: Vec::new(),
+            logging: false,
         }
+    }
+
+    /// Appends an operation if logging is enabled (the hot-path guard).
+    #[inline]
+    fn log(&mut self, op: impl FnOnce() -> IndexOp<S>) {
+        if self.logging {
+            self.oplog.push(op());
+        }
+    }
+
+    /// Enables/disables the operation log (driven by the world's checkpoint stack).
+    pub(crate) fn set_logging(&mut self, on: bool) {
+        self.logging = on;
+    }
+
+    /// Whether the operation log is currently being appended to.
+    pub(crate) fn is_logging(&self) -> bool {
+        self.logging
+    }
+
+    /// Current length of the operation log.
+    pub(crate) fn oplog_len(&self) -> usize {
+        self.oplog.len()
+    }
+
+    /// Discards the operation log.
+    pub(crate) fn clear_oplog(&mut self) {
+        self.oplog.clear();
+    }
+
+    /// Number of live state classes.
+    pub(crate) fn live_class_count(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// The shard whose effective-intra list holds global rank `idx` of the canonical
+    /// effective walk, or `None` when `idx` falls past the intra segment (a class-cell
+    /// pair, resolved from the shared aggregate instead of any one shard).
+    pub(crate) fn intra_eff_shard_of(&self, mut idx: u64) -> Option<usize> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            if (idx as usize) < shard.intra_eff.len() {
+                return Some(s);
+            }
+            idx -= shard.intra_eff.len() as u64;
+        }
+        None
     }
 
     /// Builds the index from scratch for the current configuration.
@@ -652,6 +748,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
                 for &pa in dim.dirs() {
                     self.drop_free_port_reg(x, pa);
                 }
+                self.log(|| IndexOp::NodeClass { x, old });
                 self.node_class[xi] = NONE;
                 self.release_class(old);
                 self.class_for(protocol, dim, &view.states[xi], halted)?
@@ -664,7 +761,9 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             for &pa in dim.dirs() {
                 self.drop_free_port_reg(x, pa);
             }
+            self.log(|| IndexOp::RefsInc { class });
             self.class_mut(class).refs += 1;
+            self.log(|| IndexOp::NodeClass { x, old: old_class });
             self.node_class[xi] = class;
             if old_class != NONE {
                 self.release_class(old_class);
@@ -698,12 +797,16 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
                             self.unlink_intra(new.peer, new.pport, stale);
                         }
                     }
-                    self.intra[xi][pa.index()] = Some(new);
-                    self.intra[new.peer.index()][new.pport.index()] = Some(IntraEntry {
-                        peer: x,
-                        pport: pa,
-                        bonded: new.bonded,
-                    });
+                    self.intra_cell_set(x, pa, Some(new));
+                    self.intra_cell_set(
+                        new.peer,
+                        new.pport,
+                        Some(IntraEntry {
+                            peer: x,
+                            pport: pa,
+                            bonded: new.bonded,
+                        }),
+                    );
                     self.intra_insert(pair_key(x, pa, new.peer, new.pport));
                 }
             }
@@ -763,17 +866,28 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             halted,
             refs: 0,
         };
-        let id = if let Some(id) = self.free_class_slots.pop() {
+        let (id, reused_slot) = if let Some(id) = self.free_class_slots.pop() {
             self.classes[id as usize] = Some(slot);
-            id
+            (id, true)
         } else {
             self.classes.push(Some(slot));
-            self.classes.len() as u32 - 1
+            (self.classes.len() as u32 - 1, false)
         };
         sorted_insert(&mut self.live_ids, id);
-        // Fill the dense effectiveness tables against every live class (including the
-        // new class itself). Totals of a freshly allocated class are zero, so filling
-        // before any registration cannot disturb the running aggregate.
+        self.log(|| IndexOp::AllocClass {
+            class: id,
+            reused_slot,
+        });
+        self.fill_class_tables(protocol, dim, id);
+        Ok(id)
+    }
+
+    /// Fills the dense effectiveness tables of class `id` against every live class
+    /// (including itself). Called on allocation, and again when a rollback resurrects
+    /// a freed class whose rows a slot-reusing allocation may have overwritten.
+    /// Totals of the class are zero at both call sites, so filling cannot disturb the
+    /// running aggregate.
+    fn fill_class_tables<P: Protocol<State = S>>(&mut self, protocol: &P, dim: Dim, id: u32) {
         debug_assert!(self.s[id as usize] == 0 && self.g[id as usize] == [0; PORT_CAP]);
         for &other in &self.live_ids.clone() {
             // `transition_effective` resolves the unordered pair by trying the
@@ -803,7 +917,6 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             self.epc[id as usize * CLASS_CAP + other as usize] = pairs_fwd;
             self.epc[other as usize * CLASS_CAP + id as usize] = pairs_rev;
         }
-        Ok(id)
     }
 
     fn mask_at(ca: u32, pa: Dir, cb: u32) -> usize {
@@ -832,13 +945,22 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         if slot.refs == 0 {
             debug_assert_eq!(self.s[id as usize], 0);
             debug_assert_eq!(self.g[id as usize], [0; PORT_CAP]);
-            self.classes[id as usize] = None;
+            let freed = self.classes[id as usize]
+                .take()
+                .expect("class id must be live");
+            self.log(|| IndexOp::ReleaseFree {
+                class: id,
+                state: freed.state,
+                halted: freed.halted,
+            });
             self.free_class_slots.push(id);
             sorted_remove(&mut self.live_ids, id);
             // Memo entries referencing a retired class id would alias its successor.
             self.memo.retain(|&key, _| {
                 (key >> 40) as u32 != id && ((key >> 8) & 0xFF_FFFF) as u32 != id
             });
+        } else {
+            self.log(|| IndexOp::ReleaseDec { class: id });
         }
     }
 
@@ -892,6 +1014,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
 
     fn register_singleton(&mut self, dim: Dim, class: u32, x: NodeId) {
         debug_assert!(!self.reg_singleton[x.index()]);
+        self.log(|| IndexOp::RegSingleton { x, class });
         // Deltas are computed against the *pre-registration* totals: the new singleton
         // pairs with every existing free port and singleton.
         self.class2_eff += self.singleton_class2_rate(dim, class);
@@ -909,6 +1032,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             return;
         }
         let class = self.node_class[x.index()];
+        self.log(|| IndexOp::DropSingleton { x, class });
         let shard = self.map.shard_of(x);
         let removed = sorted_remove(self.shards[shard].singleton_bucket_mut(class), x);
         debug_assert!(removed);
@@ -921,6 +1045,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
     }
 
     fn register_free_port(&mut self, class: u32, x: NodeId, pa: Dir) {
+        self.log(|| IndexOp::RegFreePort { x, pa, class });
         self.class2_eff += self.free_port_rate(class, pa);
         self.g[class as usize][pa.index()] += 1;
         self.free_total += 1;
@@ -935,6 +1060,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             return;
         }
         let class = self.node_class[x.index()];
+        self.log(|| IndexOp::DropFreePort { x, pa, class });
         let shard = self.map.shard_of(x);
         let removed = sorted_remove(self.shards[shard].free_bucket_mut(class, pa), x);
         debug_assert!(removed);
@@ -948,6 +1074,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         let shard = self.map.shard_of(key_owner(key));
         if sorted_insert(&mut self.shards[shard].intra, key) {
             self.intra_total += 1;
+            self.log(|| IndexOp::IntraInsert { key });
         }
     }
 
@@ -955,6 +1082,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         let shard = self.map.shard_of(key_owner(key));
         if sorted_insert(&mut self.shards[shard].intra_eff, key) {
             self.intra_eff_total += 1;
+            self.log(|| IndexOp::IntraEffInsert { key });
         }
     }
 
@@ -962,7 +1090,15 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         let shard = self.map.shard_of(key_owner(key));
         if sorted_remove(&mut self.shards[shard].intra_eff, key) {
             self.intra_eff_total -= 1;
+            self.log(|| IndexOp::IntraEffRemove { key });
         }
+    }
+
+    /// Overwrites `intra[x][pa]`, logging the previous cell value.
+    fn intra_cell_set(&mut self, x: NodeId, pa: Dir, value: Option<IntraEntry>) {
+        let old = self.intra[x.index()][pa.index()];
+        self.log(|| IndexOp::IntraCell { x, pa, old });
+        self.intra[x.index()][pa.index()] = value;
     }
 
     /// Removes the stored intra pair anchored at `(x, pa)` from the lists and clears
@@ -972,13 +1108,119 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         let shard = self.map.shard_of(key_owner(key));
         if sorted_remove(&mut self.shards[shard].intra, key) {
             self.intra_total -= 1;
+            self.log(|| IndexOp::IntraRemove { key });
         }
         self.intra_eff_remove(key);
-        self.intra[x.index()][pa.index()] = None;
-        let mirror = &mut self.intra[entry.peer.index()][entry.pport.index()];
+        self.intra_cell_set(x, pa, None);
+        let mirror = self.intra[entry.peer.index()][entry.pport.index()];
         if mirror.is_some_and(|m| m.peer == x && m.pport == pa) {
-            *mirror = None;
+            self.intra_cell_set(entry.peer, entry.pport, None);
         }
+    }
+
+    /// Unwinds the operation log back to length `to`, restoring the per-shard
+    /// sub-index layouts, the class table and the running aggregates to their exact
+    /// values at that position.
+    ///
+    /// Registration ops are undone by calling the *symmetric primitive* (with logging
+    /// suspended): a `register` computes its aggregate delta against pre-registration
+    /// totals and a `drop` against post-removal totals, which are the same totals —
+    /// so a strict-reverse replay re-evaluates every delta formula at exactly the
+    /// state it originally saw, and the running `class2_eff`/`class3_eff` come back
+    /// bit-exact without storing the deltas. Slot-level ops (`intra` cells,
+    /// `node_class`, class alloc/release) restore the recorded old values directly;
+    /// the free-slot stack inverts exactly because pushes and pops alternate with
+    /// their logged counterparts under strict reverse order.
+    pub(crate) fn rollback_ops<P: Protocol<State = S>>(
+        &mut self,
+        to: usize,
+        protocol: &P,
+        dim: Dim,
+    ) {
+        let ops = self.oplog.split_off(to);
+        let was_logging = self.logging;
+        self.logging = false;
+        for op in ops.into_iter().rev() {
+            match op {
+                IndexOp::RegSingleton { x, class } => {
+                    debug_assert_eq!(self.node_class[x.index()], class);
+                    self.drop_singleton_reg(dim, x);
+                }
+                IndexOp::DropSingleton { x, class } => {
+                    self.register_singleton(dim, class, x);
+                }
+                IndexOp::RegFreePort { x, pa, class } => {
+                    debug_assert_eq!(self.node_class[x.index()], class);
+                    self.drop_free_port_reg(x, pa);
+                }
+                IndexOp::DropFreePort { x, pa, class } => {
+                    self.register_free_port(class, x, pa);
+                }
+                IndexOp::IntraInsert { key } => {
+                    let shard = self.map.shard_of(key_owner(key));
+                    let removed = sorted_remove(&mut self.shards[shard].intra, key);
+                    debug_assert!(removed);
+                    self.intra_total -= 1;
+                }
+                IndexOp::IntraRemove { key } => {
+                    let shard = self.map.shard_of(key_owner(key));
+                    let inserted = sorted_insert(&mut self.shards[shard].intra, key);
+                    debug_assert!(inserted);
+                    self.intra_total += 1;
+                }
+                IndexOp::IntraEffInsert { key } => self.intra_eff_remove(key),
+                IndexOp::IntraEffRemove { key } => self.intra_eff_insert(key),
+                IndexOp::IntraCell { x, pa, old } => {
+                    self.intra[x.index()][pa.index()] = old;
+                }
+                IndexOp::NodeClass { x, old } => {
+                    self.node_class[x.index()] = old;
+                }
+                IndexOp::RefsInc { class } => {
+                    self.class_mut(class).refs -= 1;
+                }
+                IndexOp::AllocClass { class, reused_slot } => {
+                    debug_assert_eq!(self.class(class).refs, 0);
+                    let removed = sorted_remove(&mut self.live_ids, class);
+                    debug_assert!(removed);
+                    if reused_slot {
+                        self.classes[class as usize] = None;
+                        self.free_class_slots.push(class);
+                    } else {
+                        debug_assert_eq!(class as usize, self.classes.len() - 1);
+                        self.classes.pop();
+                    }
+                    // Recount memoisations inserted during the epoch may reference the
+                    // retired id; purge them or they would alias its next tenant (the
+                    // same guard `release_class` applies on the forward path).
+                    self.memo.retain(|&key, _| {
+                        (key >> 40) as u32 != class && ((key >> 8) & 0xFF_FFFF) as u32 != class
+                    });
+                }
+                IndexOp::ReleaseDec { class } => {
+                    self.class_mut(class).refs += 1;
+                }
+                IndexOp::ReleaseFree {
+                    class,
+                    state,
+                    halted,
+                } => {
+                    let top = self.free_class_slots.pop();
+                    debug_assert_eq!(top, Some(class));
+                    sorted_insert(&mut self.live_ids, class);
+                    self.classes[class as usize] = Some(ClassSlot {
+                        state,
+                        halted,
+                        refs: 1,
+                    });
+                    // A slot-reusing allocation after the release may have overwritten
+                    // this id's dense effectiveness rows; refill them against the
+                    // restored live set.
+                    self.fill_class_tables(protocol, dim, class);
+                }
+            }
+        }
+        self.logging = was_logging;
     }
 
     // --- the recount (validation twin of the aggregate) --------------------------------

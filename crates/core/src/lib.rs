@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod component;
+mod delta;
 mod error;
 mod index;
 mod node;
@@ -65,13 +66,14 @@ mod stats;
 mod world;
 
 pub use component::{Component, Placement};
+pub use delta::Epoch;
 pub use error::CoreError;
 pub use index::IndexStats;
 pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
 pub use scheduler::SamplingMode;
 pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
-pub use stats::{ExecutionStats, ShardStats};
+pub use stats::{ExecutionStats, ShardStats, SpeculationStats};
 pub use world::{Interaction, Permissibility, World};
 
 /// Hard cap on simultaneously live state classes of the permissible-pair index.

@@ -41,6 +41,39 @@ pub fn default_shard_count() -> usize {
     })
 }
 
+/// Name of the environment variable providing the default speculation window (the
+/// number `k` of interactions each speculative epoch executes optimistically ahead
+/// of the serialization point). CI adds an `NC_SHARDS=4 NC_SPECULATION=8` row to the
+/// test matrix so every suite also runs under speculative execution.
+pub const SPECULATION_ENV: &str = "NC_SPECULATION";
+
+/// Hard ceiling on the speculation window: predictions beyond it are almost always
+/// rolled back (the frozen-count predictions decay with depth), so larger windows
+/// only buy rollback work.
+pub const MAX_SPECULATION_WINDOW: usize = 64;
+
+/// Clamps a requested speculation window to `0..=MAX_SPECULATION_WINDOW` — the
+/// window analogue of the `1..=n` shard clamp. `0` is valid and disables
+/// speculation (the scheduler then behaves exactly like `SamplingMode::Sharded`).
+#[must_use]
+pub fn clamp_speculation_window(k: usize) -> usize {
+    k.min(MAX_SPECULATION_WINDOW)
+}
+
+/// The default speculation window: `NC_SPECULATION` when set to a non-negative
+/// integer (clamped to the window ceiling), 8 otherwise. Read once per process,
+/// like [`default_shard_count`].
+#[must_use]
+pub fn default_speculation_window() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(SPECULATION_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(8, clamp_speculation_window)
+    })
+}
+
 /// The partition of `0..n` into `shards` contiguous ranges of (up to) `⌈n/shards⌉`
 /// node ids each.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +151,17 @@ mod tests {
     fn shard_count_is_clamped_to_the_population() {
         assert_eq!(ShardMap::new(3, 100).count(), 3);
         assert_eq!(ShardMap::new(3, 0).count(), 1);
+    }
+
+    #[test]
+    fn speculation_window_is_clamped() {
+        assert_eq!(clamp_speculation_window(0), 0);
+        assert_eq!(clamp_speculation_window(8), 8);
+        assert_eq!(
+            clamp_speculation_window(MAX_SPECULATION_WINDOW),
+            MAX_SPECULATION_WINDOW
+        );
+        assert_eq!(clamp_speculation_window(usize::MAX), MAX_SPECULATION_WINDOW);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Driving executions: protocol + world + scheduler + statistics.
 
 use crate::scheduler::{SamplingMode, Scheduler, UniformScheduler};
-use crate::{ExecutionStats, IndexStats, Protocol, World};
+use crate::{ExecutionStats, IndexStats, Protocol, ShardStats, SpeculationStats, World};
 use nc_geometry::Shape;
 
 /// Configuration of a simulation run.
@@ -21,6 +21,11 @@ pub struct SimulationConfig {
     /// trajectory is byte-identical across shard counts. Defaults to the `NC_SHARDS`
     /// environment default.
     pub shards: usize,
+    /// Speculation window `k` of [`SamplingMode::Speculative`] (interactions executed
+    /// optimistically per epoch; clamped to the window ceiling at scheduler
+    /// construction; 0 disables speculation). Ignored by every other sampling mode.
+    /// Defaults to the `NC_SPECULATION` environment default.
+    pub speculation: usize,
 }
 
 impl SimulationConfig {
@@ -34,6 +39,7 @@ impl SimulationConfig {
             max_steps: 1_000_000_000,
             sampling: SamplingMode::default(),
             shards: crate::shard::default_shard_count(),
+            speculation: crate::shard::default_speculation_window(),
         }
     }
 
@@ -76,10 +82,25 @@ impl SimulationConfig {
         self.with_sampling(SamplingMode::Sharded)
     }
 
+    /// Shorthand for selecting the speculative sharded sampler (optimistic epochs
+    /// with delta-log rollback; byte-identical executions to sharded sampling).
+    #[must_use]
+    pub fn with_speculative_sampling(self) -> SimulationConfig {
+        self.with_sampling(SamplingMode::Speculative)
+    }
+
     /// Sets the shard count of the world's runtime structures.
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> SimulationConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the speculation window of [`SamplingMode::Speculative`] (clamped to
+    /// [`crate::shard::MAX_SPECULATION_WINDOW`] at scheduler construction).
+    #[must_use]
+    pub fn with_speculation(mut self, speculation: usize) -> SimulationConfig {
+        self.speculation = speculation;
         self
     }
 }
@@ -116,6 +137,10 @@ pub struct RunReport {
     /// frontier performed and how often the candidate / quiescent memoisation answered
     /// queries outright.
     pub index: IndexStats,
+    /// Speculative-execution counters of the scheduler at the end of the run
+    /// (cumulative over the scheduler's lifetime; all zero outside
+    /// [`SamplingMode::Speculative`]).
+    pub speculation: SpeculationStats,
 }
 
 impl RunReport {
@@ -154,7 +179,8 @@ impl<P: Protocol> Simulation<P, UniformScheduler> {
     /// sampling mode recorded in the configuration.
     #[must_use]
     pub fn new(protocol: P, config: SimulationConfig) -> Simulation<P, UniformScheduler> {
-        let scheduler = UniformScheduler::with_mode(config.seed, config.sampling);
+        let scheduler = UniformScheduler::with_mode(config.seed, config.sampling)
+            .with_speculation(config.speculation);
         Simulation::with_scheduler(protocol, config, scheduler)
     }
 }
@@ -214,6 +240,9 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// One scheduler call with a step allowance (batched jumps that would overshoot it
     /// spend it on skipped ineffective selections instead).
     fn step_within(&mut self, max_steps: u64) -> StepOutcome {
+        // Between selections the speculative scheduler runs its optimistic epoch
+        // (and restores the configuration exactly); every other scheduler no-ops.
+        self.scheduler.prepare(&mut self.world);
         let picked = self
             .scheduler
             .next_interaction_bounded(&self.world, max_steps);
@@ -307,9 +336,10 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// This is the baseline the scheduler n-sweep benchmarks against.
     pub fn run_until_stable(&mut self) -> RunReport {
         match self.config.sampling {
-            SamplingMode::Adaptive | SamplingMode::Batched | SamplingMode::Sharded => {
-                self.run_until_stable_indexed()
-            }
+            SamplingMode::Adaptive
+            | SamplingMode::Batched
+            | SamplingMode::Sharded
+            | SamplingMode::Speculative => self.run_until_stable_indexed(),
             SamplingMode::Legacy => self.run_until_stable_legacy(),
         }
     }
@@ -390,6 +420,16 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
         self.world.output_shape()
     }
 
+    /// Per-shard load snapshot of the world with the scheduler's speculation
+    /// counters merged in (the world alone cannot see them — speculation lives in
+    /// the scheduler).
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        let mut stats = self.world.shard_stats();
+        stats.speculation = self.scheduler.speculation_stats();
+        stats
+    }
+
     fn report_since(
         &self,
         start: ExecutionStats,
@@ -402,6 +442,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             reason,
             stabilized: stabilized || reason == StopReason::Stable,
             index: self.world.index_stats(),
+            speculation: self.scheduler.speculation_stats(),
         }
     }
 }

@@ -21,9 +21,10 @@
 //! pool. The sampled *trajectory* is byte-identical across shard counts — see the
 //! invariance notes in [`crate::index`].
 
+use crate::delta::{DeltaLog, Epoch, EpochFrame, WorldRecord};
 use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
 use crate::shard::{ShardMap, PARALLEL_CROSS_MIN};
-use crate::stats::ShardStats;
+use crate::stats::{ShardStats, SpeculationStats};
 use crate::{Component, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
 use std::collections::VecDeque;
@@ -64,8 +65,11 @@ pub(crate) fn transition_effective<P: Protocol>(
 
 /// Lifecycle of the permissible-pair index: built lazily on first use (so executions
 /// that never sample in batched mode pay nothing), abandoned permanently when the
-/// protocol's live state diversity overflows the class table.
-enum PairMode {
+/// protocol's live state diversity overflows the class table. The mode only ever
+/// advances (`Disabled → Active → Overflowed`), which is what lets a rollback infer
+/// what happened mid-epoch from the (checkpointed, current) mode pair alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PairMode {
     Disabled,
     Active,
     Overflowed,
@@ -189,6 +193,10 @@ pub struct World<P: Protocol> {
     /// allocation per bond deactivation).
     scratch_stamp: Vec<u64>,
     scratch_epoch: u64,
+    /// The per-epoch undo log behind [`World::checkpoint`] / [`World::rollback`]
+    /// (see [`crate::delta`]). Inert (a cheap branch per mutation) while no
+    /// checkpoint is open.
+    delta: DeltaLog<P::State>,
 }
 
 impl<P: Protocol> World<P> {
@@ -250,6 +258,7 @@ impl<P: Protocol> World<P> {
             live_components: n,
             scratch_stamp: vec![0; n],
             scratch_epoch: 0,
+            delta: DeltaLog::new(),
         }
     }
 
@@ -262,6 +271,28 @@ impl<P: Protocol> World<P> {
     /// Marks `node` dirty in its shard's frontier queue.
     fn mark_dirty(&self, node: NodeId) {
         self.index.mark_dirty(self.shard_map, node);
+    }
+
+    /// Records the pre-write state *and* halted flag of `node` (the two are always
+    /// overwritten together). No-op while no checkpoint is open.
+    #[inline]
+    fn record_state(&mut self, node: usize) {
+        if self.delta.recording() {
+            let old = self.states[node].clone();
+            self.delta.record(move || WorldRecord::State { node, old });
+            let old = self.halted[node];
+            self.delta.record(move || WorldRecord::Halted { node, old });
+        }
+    }
+
+    /// Records the pre-write value of `links[node][port]`.
+    #[inline]
+    fn record_link(&mut self, node: usize, port: usize) {
+        if self.delta.recording() {
+            let old = self.links[node][port];
+            self.delta
+                .record(move || WorldRecord::Link { node, port, old });
+        }
     }
 
     fn lock_pairs(&self) -> MutexGuard<'_, PairCell<P::State>> {
@@ -321,6 +352,7 @@ impl<P: Protocol> World<P> {
     /// # Panics
     /// Panics if `node` is outside the population.
     pub fn set_state(&mut self, node: NodeId, state: P::State) {
+        self.record_state(node.index());
         self.states[node.index()] = state;
         self.halted[node.index()] = self.protocol.is_halted(&self.states[node.index()]);
         self.index.bump_version();
@@ -511,6 +543,8 @@ impl<P: Protocol> World<P> {
         outcome.effective = new_a != self.states[a.index()]
             || new_b != self.states[b.index()]
             || transition.bond != bonded;
+        self.record_state(a.index());
+        self.record_state(b.index());
         self.states[a.index()] = new_a;
         self.states[b.index()] = new_b;
         match (bonded, transition.bond) {
@@ -527,6 +561,8 @@ impl<P: Protocol> World<P> {
                     self.merge_components(a, b, rotation, translation);
                     outcome.merged = true;
                 }
+                self.record_link(a.index(), pa.index());
+                self.record_link(b.index(), pb.index());
                 self.links[a.index()][pa.index()] = Some((b, pb));
                 self.links[b.index()][pb.index()] = Some((a, pa));
                 self.bond_count += 1;
@@ -569,6 +605,18 @@ impl<P: Protocol> World<P> {
                 let translation = Coord::ORIGIN - inverse.apply_coord(translation);
                 (comp_a_id, comp_b_id, inverse, translation)
             };
+        if self.delta.recording() {
+            let old = self.components[absorbed_id].clone();
+            self.delta.record(move || WorldRecord::CompSlot {
+                idx: absorbed_id,
+                old,
+            });
+            let old = self.components[surviving_id].clone();
+            self.delta.record(move || WorldRecord::CompSlot {
+                idx: surviving_id,
+                old,
+            });
+        }
         let absorbed = self.components[absorbed_id]
             .take()
             .expect("component slot of a live node must be occupied");
@@ -580,6 +628,15 @@ impl<P: Protocol> World<P> {
         let mut moved: Vec<(NodeId, Coord)> = Vec::with_capacity(absorbed.len());
         for (node, pos) in absorbed.iter() {
             let new_pos = rotation.apply_coord(pos) + translation;
+            {
+                let idx = node.index();
+                let old = self.placements[idx];
+                self.delta
+                    .record(move || WorldRecord::PlacementOf { node: idx, old });
+                let old = self.comp_of[idx];
+                self.delta
+                    .record(move || WorldRecord::CompOf { node: idx, old });
+            }
             let placement = &mut self.placements[node.index()];
             placement.pos = new_pos;
             placement.rot = rotation.compose(placement.rot);
@@ -624,6 +681,8 @@ impl<P: Protocol> World<P> {
         outcome: &mut InteractionOutcome,
     ) {
         debug_assert_eq!(self.links[a.index()][pa.index()], Some((b, pb)));
+        self.record_link(a.index(), pa.index());
+        self.record_link(b.index(), pb.index());
         self.links[a.index()][pa.index()] = None;
         self.links[b.index()][pb.index()] = None;
         self.bond_count -= 1;
@@ -667,6 +726,13 @@ impl<P: Protocol> World<P> {
             .members()
             .to_vec();
         let old_len = old_members.len() as u64;
+        if self.delta.recording() {
+            // One wholesale record of the pre-split slot covers every `remove` the
+            // loop below performs on it.
+            let old = self.components[comp_id].clone();
+            self.delta
+                .record(move || WorldRecord::CompSlot { idx: comp_id, old });
+        }
         let new_comp_id = self.allocate_component_slot();
         let mut new_comp = Component::empty();
         for node in old_members {
@@ -681,6 +747,11 @@ impl<P: Protocol> World<P> {
                     .expect("component slot of a live node must be occupied")
                     .remove(node, pos);
                 new_comp.insert(node, pos);
+                let idx = node.index();
+                self.delta.record(move || WorldRecord::CompOf {
+                    node: idx,
+                    old: comp_id,
+                });
                 self.comp_of[node.index()] = new_comp_id;
             }
         }
@@ -694,9 +765,13 @@ impl<P: Protocol> World<P> {
 
     fn allocate_component_slot(&mut self) -> usize {
         if let Some(idx) = self.components.iter().position(Option::is_none) {
+            // The record also covers the caller's later assignment into the slot.
+            self.delta
+                .record(move || WorldRecord::CompSlot { idx, old: None });
             idx
         } else {
             self.components.push(None);
+            self.delta.record(|| WorldRecord::CompPush);
             self.components.len() - 1
         }
     }
@@ -733,6 +808,8 @@ impl<P: Protocol> World<P> {
                 });
             }
         }
+        self.record_link(a.index(), pa.index());
+        self.record_link(b.index(), pb.index());
         self.links[a.index()][pa.index()] = Some((b, pb));
         self.links[b.index()][pb.index()] = Some((a, pa));
         self.bond_count += 1;
@@ -1111,7 +1188,213 @@ impl<P: Protocol> World<P> {
             free_ports: loads.iter().map(|&(_, f, _)| f).collect(),
             intra_pairs: loads.iter().map(|&(_, _, i)| i).collect(),
             cross_shard_events: self.cross_shard_events.load(Ordering::Relaxed),
+            speculation: SpeculationStats::default(),
         }
+    }
+
+    // --- checkpoint / rollback (the delta log) -----------------------------------------
+
+    /// Opens a checkpoint: until the matching [`World::rollback`] or
+    /// [`World::release`], every mutation appends an undoable record to the delta log
+    /// (see [`crate::delta`]). Checkpoints nest; rolling back to an outer epoch
+    /// discards inner ones. This is the rollback primitive of the speculative
+    /// scheduler and the undo half of the snapshot/replay machinery.
+    pub fn checkpoint(&mut self) -> Epoch {
+        if !self.delta.recording() {
+            self.delta.reset_records();
+        }
+        let (dirty, queues, candidate, quiescent) = {
+            let state = self.index.lock();
+            (
+                state.dirty.clone(),
+                state.queues.clone(),
+                state.candidate,
+                state.quiescent,
+            )
+        };
+        let pending: Vec<Vec<NodeId>> = self
+            .pair_pending
+            .iter()
+            .map(|q| q.lock().expect("pending queue lock poisoned").clone())
+            .collect();
+        let (index_pos, pairs_mode) = {
+            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            let mode = cell.mode;
+            let pos = if matches!(mode, PairMode::Active) {
+                if !cell.index.is_logging() {
+                    cell.index.clear_oplog();
+                    cell.index.set_logging(true);
+                }
+                cell.index.oplog_len()
+            } else {
+                0
+            };
+            (pos, mode)
+        };
+        let frame = EpochFrame {
+            id: 0, // assigned by `open`
+            world_pos: self.delta.world_pos(),
+            index_pos,
+            index_rebuilt: false,
+            bond_count: self.bond_count,
+            sum_sq_sizes: self.sum_sq_sizes,
+            live_components: self.live_components,
+            cross_shard_events: self.cross_shard_events.load(Ordering::Relaxed),
+            dirty,
+            queues,
+            candidate,
+            quiescent,
+            pending,
+            pairs_mode,
+        };
+        self.delta.open(frame)
+    }
+
+    /// Rolls the world back to the state it had when `epoch` was opened (discarding
+    /// any checkpoints opened after it): world records are undone in strict reverse,
+    /// the `O(1)` bookkeeping scalars, dirty-frontier memoisation and pending queues
+    /// are restored from the frame's snapshots, and the permissible-pair index is
+    /// unwound through its operation log — so the per-shard sub-index layouts and the
+    /// running aggregates come back exactly, not just equivalently (asserted by the
+    /// delta-log exactness suite via [`World::validate_pair_index`]).
+    ///
+    /// The configuration version is **bumped**, not rewound: version-keyed sampler
+    /// caches must re-derive from the restored state, and equality of versions — not
+    /// their numeric values — is all they rely on. Work counters
+    /// ([`World::index_stats`]) are likewise not rewound.
+    ///
+    /// One caveat: if the epoch saw the index overflow or an inner rollback rebuilt
+    /// it, the index is rebuilt from the restored configuration instead of unwound —
+    /// counts and sets are exact either way, but state-class *ids* may then differ
+    /// from a never-checkpointed run's (they are allocation-history dependent). The
+    /// speculative scheduler never hits this path: it only opens epochs with enough
+    /// class headroom that a mid-epoch overflow is impossible.
+    ///
+    /// # Panics
+    /// Panics if `epoch` is not open (already rolled back or released).
+    pub fn rollback(&mut self, epoch: Epoch) {
+        let frame = self.delta.take_frame(epoch);
+        for record in self.delta.split_records(frame.world_pos).into_iter().rev() {
+            match record {
+                WorldRecord::State { node, old } => self.states[node] = old,
+                WorldRecord::Halted { node, old } => self.halted[node] = old,
+                WorldRecord::Link { node, port, old } => self.links[node][port] = old,
+                WorldRecord::CompOf { node, old } => self.comp_of[node] = old,
+                WorldRecord::PlacementOf { node, old } => self.placements[node] = old,
+                WorldRecord::CompSlot { idx, old } => self.components[idx] = old,
+                WorldRecord::CompPush => {
+                    self.components.pop();
+                }
+            }
+        }
+        self.bond_count = frame.bond_count;
+        self.sum_sq_sizes = frame.sum_sq_sizes;
+        self.live_components = frame.live_components;
+        self.cross_shard_events
+            .store(frame.cross_shard_events, Ordering::Relaxed);
+        {
+            let mut state = self.index.lock();
+            state.dirty = frame.dirty;
+            state.queues = frame.queues;
+            state.candidate = frame.candidate;
+            state.quiescent = frame.quiescent;
+        }
+        for (queue, saved) in self.pair_pending.iter().zip(frame.pending) {
+            *queue.lock().expect("pending queue lock poisoned") = saved;
+        }
+        let mut rebuilt = false;
+        let still_active = {
+            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            cell.counts_cache = None;
+            match (frame.pairs_mode, cell.mode) {
+                (PairMode::Active, PairMode::Active) if !frame.index_rebuilt => {
+                    cell.index
+                        .rollback_ops(frame.index_pos, &self.protocol, self.dim);
+                }
+                (PairMode::Active, _) => {
+                    // The op log no longer reaches the checkpoint (mid-epoch overflow
+                    // wiped it, or an inner rollback already rebuilt): rebuild from
+                    // the restored configuration. The configuration was indexable at
+                    // checkpoint time, so the rebuild succeeds.
+                    cell.index.set_logging(false);
+                    let view = GeomView {
+                        dim: self.dim,
+                        states: &self.states,
+                        halted: &self.halted,
+                        comp_of: &self.comp_of,
+                        components: &self.components,
+                        placements: &self.placements,
+                        links: &self.links,
+                    };
+                    if cell.index.build(&view, &self.protocol).is_ok() {
+                        cell.mode = PairMode::Active;
+                        rebuilt = true;
+                    } else {
+                        cell.mode = PairMode::Overflowed;
+                        cell.index.clear();
+                    }
+                }
+                (PairMode::Disabled, PairMode::Active | PairMode::Overflowed) => {
+                    // The index was activated mid-epoch: return it to its
+                    // lazily-unbuilt state.
+                    cell.index.clear();
+                    cell.mode = PairMode::Disabled;
+                }
+                (PairMode::Disabled, PairMode::Disabled) | (PairMode::Overflowed, _) => {}
+            }
+            matches!(cell.mode, PairMode::Active)
+        };
+        self.pairs_active.store(still_active, Ordering::Relaxed);
+        if rebuilt {
+            // Outer frames' op positions point into the wiped log: their rollbacks
+            // must rebuild too. New checkpoints restart the log from scratch.
+            self.delta.poison_index_positions();
+        }
+        if !self.delta.recording() {
+            self.delta.reset_records();
+            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            cell.index.set_logging(false);
+            cell.index.clear_oplog();
+        }
+        self.index.bump_version();
+    }
+
+    /// Closes `epoch` (and any checkpoints opened after it) *keeping* the mutations
+    /// made since. While outer checkpoints remain open their records are retained —
+    /// an outer rollback still undoes the released epoch's mutations.
+    ///
+    /// # Panics
+    /// Panics if `epoch` is not open (already rolled back or released).
+    pub fn release(&mut self, epoch: Epoch) {
+        let _frame = self.delta.take_frame(epoch);
+        if !self.delta.recording() {
+            self.delta.reset_records();
+            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            cell.index.set_logging(false);
+            cell.index.clear_oplog();
+        }
+    }
+
+    /// The shard owning `node` (contiguous id ranges; see [`crate::shard`]).
+    pub(crate) fn node_shard(&self, node: NodeId) -> usize {
+        self.shard_map.shard_of(node)
+    }
+
+    /// Whether the pair index is active with at least `margin` free class slots —
+    /// the speculative scheduler's pre-epoch guard that makes a mid-epoch class-table
+    /// overflow (and hence the rebuild-on-rollback path) impossible.
+    pub(crate) fn class_headroom(&self, margin: usize) -> bool {
+        let cell = self.lock_pairs();
+        matches!(cell.mode, PairMode::Active)
+            && cell.index.live_class_count() + margin <= crate::index::CLASS_CAP
+    }
+
+    /// The shard owning rank `idx` of the canonical effective walk, or `None` when
+    /// the rank resolves through the shared class-cell aggregate rather than any one
+    /// shard's intra list. Used to bucket speculative resolutions by shard.
+    pub(crate) fn effective_owner_shard(&self, idx: u64) -> Option<usize> {
+        let cell = self.lock_pairs();
+        cell.index.intra_eff_shard_of(idx)
     }
 
     /// The multi-node components of the configuration (with the candidate universe of

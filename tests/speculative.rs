@@ -1,0 +1,638 @@
+//! Equivalence and rollback-exactness suite for `SamplingMode::Speculative` and the
+//! `World` delta log it is built on.
+//!
+//! The speculative engine's contract has three parts, each pinned here:
+//!
+//! 1. **Byte-identity to the serialization** — a speculative execution at any window
+//!    size `k` and any shard count produces *exactly* the sharded@1 execution: same
+//!    `ExecutionStats` (steps, effective steps, bulk credits, merges, splits), same
+//!    terminal state vector and shape, same stop reason, on `GlobalLine`, `Square`
+//!    and `CountingOnALine` across `k ∈ {1, 4, 16}` and `shards ∈ {2, 4}`. The
+//!    canonical sharded draw stays authoritative; speculation only runs ahead of it.
+//! 2. **Delta-log exactness** — after *every* apply in randomized merge/split and
+//!    class-churn runs, `rollback` reproduces the pre-checkpoint `World` byte for
+//!    byte (states, halted flags, links, placements, components, O(1) aggregates)
+//!    *and* the pair index passes its oracle validation; re-applying then reproduces
+//!    the post-apply fingerprint. Nested checkpoints unwind independently;
+//!    `release` commits an inner epoch without losing the outer frame's undo.
+//! 3. **Conflict handling** — cross-shard merge churn forces real divergences:
+//!    speculated suffixes are rolled back (counted and classified in
+//!    `SpeculationStats`) while the execution stays byte-identical; a frozen-count
+//!    workload commits its whole window; `k = 0` and single-shard worlds degrade to
+//!    plain sharded sampling with zero speculation counters.
+
+use shape_constructors::core::scheduler::{Scheduler, UniformScheduler};
+use shape_constructors::core::shard::MAX_SPECULATION_WINDOW;
+use shape_constructors::core::{
+    ExecutionStats, NodeId, Placement, Protocol, RunReport, SamplingMode, Simulation,
+    SimulationConfig, StopReason, Transition, World,
+};
+use shape_constructors::geometry::Dir;
+use shape_constructors::protocols::counting_line::{final_count, CountingOnALine};
+use shape_constructors::protocols::line::GlobalLine;
+use shape_constructors::protocols::square::Square;
+
+const WINDOWS: [usize; 3] = [1, 4, 16];
+const SHARDS: [usize; 2] = [2, 4];
+
+// ---------------------------------------------------------------------------------------
+// 1. Byte-identity: speculative@k,shards ≡ sharded@1 for every k and shard count
+// ---------------------------------------------------------------------------------------
+
+fn run_mode<P: Protocol, R>(
+    protocol: P,
+    n: usize,
+    seed: u64,
+    sampling: SamplingMode,
+    shards: usize,
+    speculation: usize,
+    drive: impl FnOnce(&mut Simulation<P>) -> R,
+) -> (R, ExecutionStats, Simulation<P>) {
+    let config = SimulationConfig::new(n)
+        .with_seed(seed)
+        .with_max_steps(50_000_000)
+        .with_sampling(sampling)
+        .with_shards(shards)
+        .with_speculation(speculation);
+    let mut sim = Simulation::new(protocol, config);
+    let report = drive(&mut sim);
+    let stats = sim.stats();
+    (report, stats, sim)
+}
+
+/// Asserts that the observable execution (`ExecutionStats`, the report's step counts
+/// and stop condition, the terminal states) of a speculative run equals the sharded@1
+/// reference. `IndexStats` are deliberately *not* compared: speculation legitimately
+/// performs extra index work (the scratch timeline) without affecting the trajectory.
+fn assert_execution_matches<S: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reference: &(RunReport, ExecutionStats, Vec<S>),
+    candidate: &(RunReport, ExecutionStats, Vec<S>),
+) {
+    let (ref_report, ref_stats, ref_states) = reference;
+    let (report, stats, states) = candidate;
+    assert_eq!(stats, ref_stats, "{label}: ExecutionStats diverged");
+    assert_eq!(report.steps, ref_report.steps, "{label}: steps diverged");
+    assert_eq!(
+        report.effective_steps, ref_report.effective_steps,
+        "{label}: effective steps diverged"
+    );
+    assert_eq!(report.reason, ref_report.reason, "{label}: stop reason");
+    assert_eq!(
+        report.stabilized, ref_report.stabilized,
+        "{label}: stabilized flag"
+    );
+    assert_eq!(states, ref_states, "{label}: terminal states diverged");
+}
+
+fn speculative_matrix_matches_sharded<P, F>(make: impl Fn() -> P, n: usize, seed: u64, drive: F)
+where
+    P: Protocol,
+    F: Fn(&mut Simulation<P>) -> RunReport + Copy,
+{
+    let (ref_report, ref_stats, ref_sim) =
+        run_mode(make(), n, seed, SamplingMode::Sharded, 1, 0, drive);
+    let reference = (
+        ref_report,
+        ref_stats,
+        ref_sim.world().state_slice().to_vec(),
+    );
+    assert_eq!(
+        ref_sim.shard_stats().speculation.speculated,
+        0,
+        "sharded mode never speculates"
+    );
+    let mut speculated_somewhere = false;
+    for shards in SHARDS {
+        for k in WINDOWS {
+            let (report, stats, sim) =
+                run_mode(make(), n, seed, SamplingMode::Speculative, shards, k, drive);
+            let label = format!("n={n} seed={seed} shards={shards} k={k}");
+            let candidate = (report, stats, sim.world().state_slice().to_vec());
+            assert_execution_matches(&label, &reference, &candidate);
+            assert!(sim.world().check_invariants(), "{label}");
+            let spec = report.speculation;
+            assert!(
+                spec.committed + spec.rolled_back <= spec.speculated,
+                "{label}: counter accounting (a window may still be live at the end)"
+            );
+            assert_eq!(
+                spec,
+                sim.shard_stats().speculation,
+                "{label}: shard_stats must surface the scheduler's counters"
+            );
+            speculated_somewhere |= spec.speculated > 0;
+        }
+    }
+    assert!(
+        speculated_somewhere,
+        "n={n} seed={seed}: the matrix must actually exercise speculation"
+    );
+}
+
+#[test]
+fn global_line_speculative_matches_sharded() {
+    for seed in [4u64, 19] {
+        speculative_matrix_matches_sharded(GlobalLine::new, 24, seed, |sim| {
+            let report = sim.run_until_stable();
+            assert_eq!(report.reason, StopReason::Stable);
+            assert!(sim.output_shape().is_line(24));
+            report
+        });
+    }
+}
+
+#[test]
+fn square_speculative_matches_sharded() {
+    speculative_matrix_matches_sharded(Square::new, 16, 6, |sim| {
+        let report = sim.run_until_stable();
+        assert_eq!(report.reason, StopReason::Stable);
+        assert!(sim.output_shape().is_full_square(4));
+        report
+    });
+}
+
+#[test]
+fn counting_on_a_line_speculative_matches_sharded() {
+    speculative_matrix_matches_sharded(
+        || CountingOnALine::new(2),
+        16,
+        8,
+        |sim| {
+            let report = sim.run_until_any_halted();
+            assert_eq!(report.reason, StopReason::AllHalted);
+            assert!(final_count(sim).is_some(), "the leader halted with a count");
+            report
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------------------
+// 2. Conflicts, rollbacks and commits
+// ---------------------------------------------------------------------------------------
+
+/// Endless churn: solo nodes pair up (merge), pairs dissolve (split) — every applied
+/// interaction changes the class counts *and* the component structure, so a window's
+/// later predictions routinely diverge from the canonical serialization. At 2+ shards
+/// most pairings cross a shard boundary.
+struct Churn;
+
+#[derive(Clone, PartialEq, Debug)]
+enum ChurnState {
+    Solo,
+    Paired,
+}
+
+impl Protocol for Churn {
+    type State = ChurnState;
+
+    fn initial_state(&self, _node: NodeId, _n: usize) -> ChurnState {
+        ChurnState::Solo
+    }
+
+    fn transition(
+        &self,
+        a: &ChurnState,
+        _pa: Dir,
+        b: &ChurnState,
+        _pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<ChurnState>> {
+        match (a, b, bonded) {
+            (ChurnState::Solo, ChurnState::Solo, false) => Some(Transition {
+                a: ChurnState::Paired,
+                b: ChurnState::Paired,
+                bond: true,
+            }),
+            (ChurnState::Paired, ChurnState::Paired, true) => Some(Transition {
+                a: ChurnState::Solo,
+                b: ChurnState::Solo,
+                bond: false,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[test]
+fn cross_shard_churn_forces_conflicts_and_rollbacks_without_divergence() {
+    // 3 000 applied merge/split interactions of cross-shard churn, speculative@4
+    // against a sharded@1 replay of the same seed in lockstep. The windows keep
+    // applying several merges ahead of the serialization point; the first merge
+    // changes the counts every later prediction was drawn from, so suffixes are
+    // genuinely rolled back — and the execution must not show a trace of it.
+    let n = 16usize;
+    let make = |sampling: SamplingMode, shards: usize, k: usize| {
+        Simulation::new(
+            Churn,
+            SimulationConfig::new(n)
+                .with_seed(77)
+                .with_sampling(sampling)
+                .with_shards(shards)
+                .with_speculation(k),
+        )
+    };
+    let mut speculative = make(SamplingMode::Speculative, 4, 8);
+    let mut sequential = make(SamplingMode::Sharded, 1, 0);
+    for step in 0..3_000u32 {
+        assert!(speculative.step(), "churn never runs dry");
+        assert!(sequential.step());
+        if step % 250 == 0 || step == 2_999 {
+            assert_eq!(
+                speculative.world().state_slice(),
+                sequential.world().state_slice(),
+                "states diverged at step {step}"
+            );
+            assert_eq!(
+                speculative.world().component_count(),
+                sequential.world().component_count(),
+                "step {step}"
+            );
+            assert_eq!(
+                speculative.world().bond_count(),
+                sequential.world().bond_count(),
+                "step {step}"
+            );
+            assert!(speculative.world().check_invariants(), "step {step}");
+        }
+    }
+    assert_eq!(speculative.stats(), sequential.stats());
+    speculative
+        .world()
+        .validate_pair_index()
+        .expect("index exact after 3k speculative epochs");
+    let spec = speculative.shard_stats().speculation;
+    assert!(spec.speculated > 0, "epochs ran: {spec:?}");
+    assert!(spec.committed > 0, "window heads must commit: {spec:?}");
+    assert!(
+        spec.rolled_back > 0,
+        "merge churn must roll speculated suffixes back: {spec:?}"
+    );
+    assert!(spec.conflicts > 0, "{spec:?}");
+    assert!(
+        spec.conflict_merges > 0,
+        "conflicts stem from merges here: {spec:?}"
+    );
+    assert!(
+        spec.conflict_cross_shard > 0,
+        "most pairings cross the 4-shard boundaries: {spec:?}"
+    );
+    assert!(spec.committed + spec.rolled_back <= spec.speculated);
+    assert_eq!(sequential.shard_stats().speculation.speculated, 0);
+}
+
+/// Two nodes, one bond, states cycling `A ↔ B`: every interaction is effective and
+/// leaves the permissible/effective *counts* unchanged, so every frozen-count
+/// prediction stays exact and whole windows commit. With 2 shards the two nodes live
+/// in different shards, so every committed interaction is also cross-shard.
+struct Cycler;
+
+#[derive(Clone, PartialEq, Debug)]
+enum Cycle {
+    A,
+    B,
+}
+
+impl Protocol for Cycler {
+    type State = Cycle;
+
+    fn initial_state(&self, _node: NodeId, _n: usize) -> Cycle {
+        Cycle::A
+    }
+
+    fn transition(
+        &self,
+        a: &Cycle,
+        _pa: Dir,
+        b: &Cycle,
+        _pb: Dir,
+        bonded: bool,
+    ) -> Option<Transition<Cycle>> {
+        match (a, b, bonded) {
+            (Cycle::A, Cycle::A, false) | (Cycle::A, Cycle::A, true) => Some(Transition {
+                a: Cycle::B,
+                b: Cycle::B,
+                bond: true,
+            }),
+            (Cycle::B, Cycle::B, true) => Some(Transition {
+                a: Cycle::A,
+                b: Cycle::A,
+                bond: true,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[test]
+fn frozen_count_workload_commits_whole_windows() {
+    let make = |sampling: SamplingMode, shards: usize, k: usize| {
+        Simulation::new(
+            Cycler,
+            SimulationConfig::new(2)
+                .with_seed(5)
+                .with_sampling(sampling)
+                .with_shards(shards)
+                .with_speculation(k),
+        )
+    };
+    let mut speculative = make(SamplingMode::Speculative, 2, 16);
+    let mut sequential = make(SamplingMode::Sharded, 1, 0);
+    for _ in 0..1_000 {
+        assert!(speculative.step());
+        assert!(sequential.step());
+    }
+    assert_eq!(speculative.stats(), sequential.stats());
+    assert_eq!(
+        speculative.world().state_slice(),
+        sequential.world().state_slice()
+    );
+    let spec = speculative.shard_stats().speculation;
+    assert!(
+        spec.speculated >= 900,
+        "nearly every step is served from a window: {spec:?}"
+    );
+    // The only possible divergence is the transient around the initial merge (the
+    // first window is predicted from the two-singleton counts); the steady-state
+    // cycle leaves the counts frozen, so every later window commits in full.
+    assert!(spec.conflicts <= 1, "{spec:?}");
+    assert!(spec.rolled_back <= 16, "{spec:?}");
+    assert!(spec.committed >= 900, "whole windows must commit: {spec:?}");
+}
+
+// ---------------------------------------------------------------------------------------
+// 3. Satellite fallbacks and clamping
+// ---------------------------------------------------------------------------------------
+
+#[test]
+fn speculation_window_zero_is_plain_sharded_mode() {
+    for shards in [1usize, 4] {
+        let (report, stats, sim) = run_mode(
+            GlobalLine::new(),
+            24,
+            4,
+            SamplingMode::Speculative,
+            shards,
+            0,
+            |sim| sim.run_until_stable(),
+        );
+        let (ref_report, ref_stats, ref_sim) = run_mode(
+            GlobalLine::new(),
+            24,
+            4,
+            SamplingMode::Sharded,
+            shards,
+            0,
+            |sim| sim.run_until_stable(),
+        );
+        let label = format!("k=0 shards={shards}");
+        assert_execution_matches(
+            &label,
+            &(
+                ref_report,
+                ref_stats,
+                ref_sim.world().state_slice().to_vec(),
+            ),
+            &(report, stats, sim.world().state_slice().to_vec()),
+        );
+        assert_eq!(
+            report.speculation.speculated, 0,
+            "{label}: k = 0 disables speculation entirely"
+        );
+        assert_eq!(report.speculation, Default::default(), "{label}");
+    }
+}
+
+#[test]
+fn single_shard_speculative_is_plain_sharded_mode() {
+    let (report, stats, sim) = run_mode(
+        GlobalLine::new(),
+        24,
+        19,
+        SamplingMode::Speculative,
+        1,
+        16,
+        |sim| sim.run_until_stable(),
+    );
+    let (ref_report, ref_stats, ref_sim) = run_mode(
+        GlobalLine::new(),
+        24,
+        19,
+        SamplingMode::Sharded,
+        1,
+        0,
+        |sim| sim.run_until_stable(),
+    );
+    assert_execution_matches(
+        "speculative@1shard",
+        &(
+            ref_report,
+            ref_stats,
+            ref_sim.world().state_slice().to_vec(),
+        ),
+        &(report, stats, sim.world().state_slice().to_vec()),
+    );
+    assert_eq!(
+        report.speculation,
+        Default::default(),
+        "one shard leaves nothing to overlap — no speculation state at all"
+    );
+}
+
+#[test]
+fn speculation_window_is_clamped_like_the_shard_count() {
+    let clamped =
+        UniformScheduler::with_mode(0, SamplingMode::Speculative).with_speculation(usize::MAX);
+    assert_eq!(clamped.speculation(), MAX_SPECULATION_WINDOW);
+    let explicit = UniformScheduler::with_mode(0, SamplingMode::Speculative).with_speculation(3);
+    assert_eq!(explicit.speculation(), 3);
+    // The config plumbs the (unclamped) request through to the scheduler, which
+    // clamps at construction — mirroring how `ShardMap::new` clamps `NC_SHARDS`.
+    let config = SimulationConfig::new(8).with_speculation(usize::MAX);
+    assert_eq!(config.speculation, usize::MAX);
+    let sim = Simulation::new(GlobalLine::new(), config.with_speculative_sampling());
+    drop(sim); // construction must not panic on the unclamped request
+}
+
+// ---------------------------------------------------------------------------------------
+// 4. Delta-log exactness: rollback is byte-identical after every apply
+// ---------------------------------------------------------------------------------------
+
+/// Everything observable about a `World`, for byte-for-byte comparison around a
+/// checkpoint/rollback cycle.
+#[derive(Clone, PartialEq, Debug)]
+struct Fingerprint<S> {
+    states: Vec<S>,
+    halted: Vec<NodeId>,
+    links: Vec<Vec<Option<(NodeId, Dir)>>>,
+    placements: Vec<Placement>,
+    comp_ids: Vec<usize>,
+    comp_members: Vec<Vec<NodeId>>,
+    bond_count: usize,
+    component_count: usize,
+    cross_component_universe: u64,
+}
+
+fn fingerprint<P: Protocol>(world: &World<P>) -> Fingerprint<P::State> {
+    let dirs = world.dim().dirs();
+    Fingerprint {
+        states: world.state_slice().to_vec(),
+        halted: world.halted_nodes(),
+        links: world
+            .nodes()
+            .map(|x| dirs.iter().map(|&d| world.bonded_peer(x, d)).collect())
+            .collect(),
+        placements: world.nodes().map(|x| world.placement(x)).collect(),
+        comp_ids: world.nodes().map(|x| world.component_id(x)).collect(),
+        comp_members: world
+            .nodes()
+            .map(|x| world.component(x).members().to_vec())
+            .collect(),
+        bond_count: world.bond_count(),
+        component_count: world.component_count(),
+        cross_component_universe: world.cross_component_universe(),
+    }
+}
+
+/// Drives `steps` scheduler selections; around every apply: checkpoint, apply,
+/// rollback, assert the pre-apply fingerprint *and* the pair-index oracle, re-apply,
+/// assert the post-apply fingerprint. The execution therefore advances exactly as it
+/// would have without the delta log — with a full undo/redo cycle wedged into every
+/// single step.
+fn assert_rollback_exact_per_apply<P: Protocol>(protocol: P, n: usize, seed: u64, steps: u32) {
+    let mut world = World::with_shards(protocol, n, 4);
+    let mut scheduler = UniformScheduler::with_mode(seed, SamplingMode::Sharded);
+    world.validate_pair_index().expect("initial index");
+    for step in 0..steps {
+        let Some(interaction) = scheduler.next_interaction(&world) else {
+            break;
+        };
+        let pre = fingerprint(&world);
+        let mark = world.checkpoint();
+        world.apply(&interaction);
+        let post = fingerprint(&world);
+        world.rollback(mark);
+        assert_eq!(
+            fingerprint(&world),
+            pre,
+            "step {step}: rollback must restore the world byte for byte"
+        );
+        world
+            .validate_pair_index()
+            .unwrap_or_else(|e| panic!("step {step}: index wrong after rollback: {e}"));
+        assert!(world.check_invariants(), "step {step}");
+        world.apply(&interaction);
+        assert_eq!(
+            fingerprint(&world),
+            post,
+            "step {step}: replay must reproduce the apply byte for byte"
+        );
+    }
+    world
+        .validate_pair_index()
+        .expect("index exact at the end of the churn");
+}
+
+#[test]
+fn rollback_is_exact_across_merge_split_churn() {
+    // Merge/split churn at 4 shards: every apply is a component merge or split, and
+    // most cross a shard boundary (the cross-shard pending-queue path of the log).
+    assert_rollback_exact_per_apply(Churn, 16, 17, 4_000);
+}
+
+#[test]
+fn rollback_is_exact_across_class_churn() {
+    // The counting leader allocates a fresh state class on almost every effective
+    // step: class allocation, retirement and slot reuse all pass through the log.
+    assert_rollback_exact_per_apply(CountingOnALine::new(2), 10, 9, 3_000);
+}
+
+#[test]
+fn rollback_is_exact_across_line_and_square_growth() {
+    assert_rollback_exact_per_apply(GlobalLine::new(), 16, 3, 2_000);
+    assert_rollback_exact_per_apply(Square::new(), 12, 7, 2_000);
+}
+
+#[test]
+fn nested_checkpoints_unwind_independently() {
+    let mut world = World::with_shards(Churn, 8, 4);
+    world.validate_pair_index().expect("initial index");
+    let mut scheduler = UniformScheduler::with_mode(21, SamplingMode::Sharded);
+    let base = fingerprint(&world);
+    let outer = world.checkpoint();
+    let first = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&first);
+    let after_first = fingerprint(&world);
+    let inner = world.checkpoint();
+    let second = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&second);
+    world.rollback(inner);
+    assert_eq!(
+        fingerprint(&world),
+        after_first,
+        "inner rollback must stop at the inner mark"
+    );
+    world
+        .validate_pair_index()
+        .expect("index after inner rollback");
+    world.rollback(outer);
+    assert_eq!(fingerprint(&world), base, "outer rollback reaches the base");
+    world
+        .validate_pair_index()
+        .expect("index after outer rollback");
+    assert!(world.check_invariants());
+}
+
+#[test]
+fn release_commits_an_inner_epoch_but_keeps_the_outer_undo() {
+    let mut world = World::with_shards(Churn, 8, 4);
+    world.validate_pair_index().expect("initial index");
+    let mut scheduler = UniformScheduler::with_mode(33, SamplingMode::Sharded);
+    let base = fingerprint(&world);
+    let outer = world.checkpoint();
+    let first = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&first);
+    let inner = world.checkpoint();
+    let second = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&second);
+    let after_second = fingerprint(&world);
+    world.release(inner);
+    assert_eq!(
+        fingerprint(&world),
+        after_second,
+        "release keeps the inner epoch's mutations"
+    );
+    world.rollback(outer);
+    assert_eq!(
+        fingerprint(&world),
+        base,
+        "the outer frame still undoes the released epoch's mutations"
+    );
+    world
+        .validate_pair_index()
+        .expect("index after outer rollback");
+}
+
+#[test]
+fn released_toplevel_checkpoint_commits_for_good() {
+    let mut world = World::with_shards(Churn, 8, 2);
+    world.validate_pair_index().expect("initial index");
+    let mut scheduler = UniformScheduler::with_mode(11, SamplingMode::Sharded);
+    let mark = world.checkpoint();
+    let interaction = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&interaction);
+    let after = fingerprint(&world);
+    world.release(mark);
+    assert_eq!(fingerprint(&world), after);
+    world.validate_pair_index().expect("index after release");
+    // The world keeps working normally — including a fresh checkpoint cycle.
+    let pre = fingerprint(&world);
+    let mark = world.checkpoint();
+    let next = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&next);
+    world.rollback(mark);
+    assert_eq!(fingerprint(&world), pre);
+    world
+        .validate_pair_index()
+        .expect("index after the second cycle");
+}
