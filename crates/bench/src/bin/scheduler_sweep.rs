@@ -36,7 +36,7 @@
 //! selections and n = 1024 exceeds 2·10⁹, so Square is swept to 512 and its legacy
 //! rows to 128. `--legacy-max` can lower (never raise) the legacy caps.
 
-use nc_core::{SamplingMode, Simulation, SimulationConfig, StopReason};
+use nc_core::{SamplingMode, Simulation, SimulationConfig, SnapshotProtocol, StopReason};
 use nc_protocols::counting_line::{final_count, CountingOnALine};
 use nc_protocols::line::GlobalLine;
 use nc_protocols::square::Square;
@@ -153,12 +153,14 @@ struct Row {
     spec_committed: u64,
     spec_rolled_back: u64,
     spec_rollback_rate: f64,
+    snapshot_ms: f64,
+    resume_ms: f64,
 }
 
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}, \"snapshot_ms\": {:.4}, \"resume_ms\": {:.4}}}",
             self.protocol,
             self.n,
             self.mode,
@@ -173,9 +175,29 @@ impl Row {
             self.speculated,
             self.spec_committed,
             self.spec_rolled_back,
-            self.spec_rollback_rate
+            self.spec_rollback_rate,
+            self.snapshot_ms,
+            self.resume_ms
         )
     }
+}
+
+/// Times one `checkpoint()` and one `resume()` of the finished run (milliseconds),
+/// sanity-checking that the round trip reproduces the statistics — so the bench
+/// artifact doubles as a coarse end-of-run snapshot-exactness probe on every cell.
+fn snapshot_timings<P: SnapshotProtocol>(protocol: P, sim: &Simulation<P>) -> (f64, f64) {
+    let started = Instant::now();
+    let snapshot = sim.checkpoint();
+    let snapshot_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let resumed = Simulation::resume(protocol, &snapshot).expect("end-of-run snapshot resumes");
+    let resume_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        resumed.stats(),
+        sim.stats(),
+        "a resumed end-of-run snapshot must carry the statistics verbatim"
+    );
+    (snapshot_ms, resume_ms)
 }
 
 /// Runs one protocol to its completion condition and checks the guaranteed outcome:
@@ -188,7 +210,7 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         .with_shards(spec.shards)
         .with_speculation(spec.speculation);
     let started = Instant::now();
-    let (report, stats, completed) = match proto {
+    let (report, stats, completed, timings) = match proto {
         Proto::Line => {
             let mut sim = Simulation::new(GlobalLine::new(), config);
             let report = sim.run_until_stable();
@@ -197,7 +219,8 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 !ok || sim.output_shape().is_line(n),
                 "a stable GlobalLine run must produce the spanning line"
             );
-            (report, sim.stats(), ok)
+            let timings = snapshot_timings(GlobalLine::new(), &sim);
+            (report, sim.stats(), ok, timings)
         }
         Proto::Square => {
             let mut sim = Simulation::new(Square::new(), config);
@@ -208,7 +231,8 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 !ok || (d as usize * d as usize != n) || sim.output_shape().is_full_square(d),
                 "a stable Square run on a perfect-square population must produce the square"
             );
-            (report, sim.stats(), ok)
+            let timings = snapshot_timings(Square::new(), &sim);
+            (report, sim.stats(), ok, timings)
         }
         Proto::Counting => {
             let mut sim = Simulation::new(CountingOnALine::new(2), config);
@@ -218,10 +242,13 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 !ok || final_count(&sim).is_some(),
                 "a halted counting run must leave a halted leader"
             );
-            (report, sim.stats(), ok)
+            let timings = snapshot_timings(CountingOnALine::new(2), &sim);
+            (report, sim.stats(), ok, timings)
         }
     };
-    let seconds = started.elapsed().as_secs_f64();
+    // The run's wall-clock is measured before the snapshot probe but the probe runs
+    // inside the `match`, so subtract it from the elapsed time.
+    let seconds = started.elapsed().as_secs_f64() - (timings.0 + timings.1) / 1e3;
     let speculation = report.speculation;
     Row {
         protocol: proto.name(),
@@ -239,6 +266,8 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         spec_committed: speculation.committed,
         spec_rolled_back: speculation.rolled_back,
         spec_rollback_rate: speculation.rollback_rate(),
+        snapshot_ms: timings.0,
+        resume_ms: timings.1,
     }
 }
 
@@ -462,7 +491,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
     let json = format!(
-        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched/sharded bulk credits; sharded rows at 1/2/4 shards and speculative rows (k=8) at 2/4 shards report identical steps (parallel equivalence + speculation invariance); spec_* columns count optimistic interactions and the Time-Warp rollback rate; legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"scheduler-n-sweep\",\n  \"metric\": \"run-to-completion wall-clock, same seed per size; steps include batched/sharded bulk credits; sharded rows at 1/2/4 shards and speculative rows (k=8) at 2/4 shards report identical steps (parallel equivalence + speculation invariance); spec_* columns count optimistic interactions and the Time-Warp rollback rate; snapshot_ms/resume_ms time one end-of-run checkpoint and its resume (round-trip verified against the run's statistics); legacy capped per protocol (line 512, square 128, counting 1024), square swept to 512\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write bench artifact");

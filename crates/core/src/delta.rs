@@ -34,7 +34,7 @@
 //! its own epoch open.
 
 use crate::world::PairMode;
-use crate::{Component, Interaction, NodeId, Placement};
+use crate::{Component, CoreError, Interaction, NodeId, Placement};
 use nc_geometry::Dir;
 
 /// An opaque handle to an open checkpoint, returned by [`crate::World::checkpoint`]
@@ -148,19 +148,25 @@ impl<S> DeltaLog<S> {
     }
 
     /// Pops frames strictly deeper than `epoch`, then pops and returns the frame of
-    /// `epoch` itself. Panics when the epoch is not open (already rolled back,
-    /// released, or foreign).
-    pub(crate) fn take_frame(&mut self, epoch: Epoch) -> EpochFrame {
+    /// `epoch` itself. Fails with [`CoreError::EpochNotOpen`] when the epoch is not
+    /// open (already rolled back, released, or foreign) — a serving process must be
+    /// able to report a misused delta log instead of aborting. A stale inner epoch
+    /// (below a live outer one) is caught *before* any frame is popped, so a failed
+    /// call leaves the stack untouched.
+    pub(crate) fn take_frame(&mut self, epoch: Epoch) -> Result<EpochFrame, CoreError> {
+        if !self.frames.iter().any(|frame| frame.id == epoch.id) {
+            return Err(CoreError::EpochNotOpen);
+        }
         while let Some(frame) = self.frames.pop() {
             if frame.id == epoch.id {
-                return frame;
+                return Ok(frame);
             }
             debug_assert!(
                 frame.id > epoch.id,
                 "epoch stack must be consumed innermost-first"
             );
         }
-        panic!("rollback/release of an epoch that is not open");
+        unreachable!("frame with the requested id was present above");
     }
 
     /// Splits off (and returns, newest last) the records appended after `pos`.

@@ -641,6 +641,120 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         *self = PairIndex::new(self.map);
     }
 
+    /// The pinned class-table layout for a snapshot: per slot the live class's state
+    /// (`None` for freed slots awaiting reuse) plus the free-slot stack in pop order.
+    /// Class ids are allocation-history dependent (freed slots are reused LIFO) and
+    /// the canonical sampling walks iterate live ids in ascending order, so a resumed
+    /// run must reproduce this layout exactly, not just an equivalent one.
+    pub(crate) fn snapshot_class_layout(&self) -> (Vec<Option<S>>, Vec<u32>) {
+        let slots = self
+            .classes
+            .iter()
+            .map(|slot| slot.as_ref().map(|class| class.state.clone()))
+            .collect();
+        (slots, self.free_class_slots.clone())
+    }
+
+    /// Rebuilds the index from scratch for the current configuration while pinning
+    /// the class table to a snapshot's layout: the slots are pre-seeded (with zero
+    /// refcounts and recomputed halted flags) so that `class_for` resolves every node
+    /// to its snapshot-time class id by state equality, and the free-slot stack is
+    /// restored in pop order. Registering the whole population then rebuilds the
+    /// refcounts, the per-shard buckets and the running aggregates exactly.
+    ///
+    /// # Errors
+    /// A static description when the layout is internally inconsistent or does not
+    /// cover the configuration's states (the decoder maps it into
+    /// [`crate::CoreError::SnapshotCorrupt`]); the index is left cleared.
+    pub(crate) fn restore_pinned<P: Protocol<State = S>>(
+        &mut self,
+        view: &GeomView<'_, S>,
+        protocol: &P,
+        slots: Vec<Option<S>>,
+        free_slots: Vec<u32>,
+    ) -> Result<(), &'static str> {
+        if slots.len() > CLASS_CAP {
+            return Err("class table exceeds the class cap");
+        }
+        // The free stack must list exactly the empty slots, each once.
+        let mut freed = vec![false; slots.len()];
+        for &id in &free_slots {
+            let Some(flag) = freed.get_mut(id as usize) else {
+                return Err("free class slot out of range");
+            };
+            if *flag {
+                return Err("free class slot listed twice");
+            }
+            *flag = true;
+        }
+        for (slot, &free) in slots.iter().zip(&freed) {
+            if slot.is_none() != free {
+                return Err("free-slot stack disagrees with the slot list");
+            }
+        }
+        // `class_for` resolves nodes by state equality against ascending live ids:
+        // duplicate states would alias two pinned ids (and can never arise in a
+        // genuine run, which allocates a class only when no live one matches).
+        let live_states: Vec<&S> = slots.iter().flatten().collect();
+        for (i, a) in live_states.iter().enumerate() {
+            if live_states.iter().skip(i + 1).any(|b| **a == **b) {
+                return Err("two live classes share one state");
+            }
+        }
+        let n = view.states.len();
+        let map = self.map;
+        *self = PairIndex::new(map);
+        self.shards = (0..map.count()).map(|_| Shard::default()).collect();
+        self.node_class = vec![NONE; n];
+        self.reg_singleton = vec![false; n];
+        self.reg_free = vec![0; n];
+        self.intra = vec![[None; 6]; n];
+        self.g = vec![[0; PORT_CAP]; CLASS_CAP];
+        self.s = vec![0; CLASS_CAP];
+        self.effmask = vec![0; CLASS_CAP * PORT_CAP * CLASS_CAP];
+        self.epc = vec![0; CLASS_CAP * CLASS_CAP];
+        self.classes = slots
+            .into_iter()
+            .map(|slot| {
+                slot.map(|state| ClassSlot {
+                    halted: protocol.is_halted(&state),
+                    state,
+                    refs: 0,
+                })
+            })
+            .collect();
+        self.free_class_slots = free_slots;
+        self.live_ids = (0..self.classes.len() as u32)
+            .filter(|&id| self.classes[id as usize].is_some())
+            .collect();
+        for &id in &self.live_ids.clone() {
+            self.fill_class_tables(protocol, view.dim, id);
+        }
+        let pinned_live = self.live_ids.clone();
+        let pinned_free = self.free_class_slots.clone();
+        let pinned_len = self.classes.len();
+        let all: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+        if self.flush_batch(view, protocol, &all).is_err() {
+            self.clear();
+            return Err("class table overflowed while re-registering the population");
+        }
+        // Registration must not have disturbed the pinned layout: every node found
+        // its class in the table (no fresh allocation popped the free stack or grew
+        // the slot list), and every pinned class is actually referenced.
+        if self.live_ids != pinned_live
+            || self.free_class_slots != pinned_free
+            || self.classes.len() != pinned_len
+        {
+            self.clear();
+            return Err("node states do not match the pinned class table");
+        }
+        if self.live_ids.iter().any(|&id| self.class(id).refs == 0) {
+            self.clear();
+            return Err("pinned class has no member nodes");
+        }
+        Ok(())
+    }
+
     /// Number of free singleton nodes (= singleton components).
     pub(crate) fn singleton_count(&self) -> usize {
         self.singleton_total as usize

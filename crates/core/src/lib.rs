@@ -62,6 +62,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod shard;
 mod simulation;
+pub mod snapshot;
 mod stats;
 mod world;
 
@@ -73,6 +74,7 @@ pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
 pub use scheduler::SamplingMode;
 pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
+pub use snapshot::{Snapshot, SnapshotProtocol, SnapshotReader, SnapshotWriter};
 pub use stats::{ExecutionStats, ShardStats, SpeculationStats};
 pub use world::{Interaction, Permissibility, World};
 

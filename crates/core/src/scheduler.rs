@@ -153,6 +153,32 @@ pub enum SamplingMode {
     Speculative,
 }
 
+impl SamplingMode {
+    /// Stable one-byte tag of this mode in the snapshot format (independent of the
+    /// enum's declaration order, which is not a serialization contract).
+    pub(crate) fn snapshot_tag(self) -> u8 {
+        match self {
+            SamplingMode::Adaptive => 0,
+            SamplingMode::Legacy => 1,
+            SamplingMode::Batched => 2,
+            SamplingMode::Sharded => 3,
+            SamplingMode::Speculative => 4,
+        }
+    }
+
+    /// Inverse of [`SamplingMode::snapshot_tag`]; `None` on an unknown tag.
+    pub(crate) fn from_snapshot_tag(tag: u8) -> Option<SamplingMode> {
+        Some(match tag {
+            0 => SamplingMode::Adaptive,
+            1 => SamplingMode::Legacy,
+            2 => SamplingMode::Batched,
+            3 => SamplingMode::Sharded,
+            4 => SamplingMode::Speculative,
+            _ => return None,
+        })
+    }
+}
+
 /// A scheduler selects the next permissible interaction of a configuration.
 pub trait Scheduler {
     /// Selects the next interaction, or `None` when no permissible pair exists (which can
@@ -601,6 +627,94 @@ impl UniformScheduler {
         }
     }
 
+    // --- snapshots (see `crate::snapshot` for the format and the exactness notes) ------
+
+    /// Encodes the resumability-critical scheduler state: the RNG stream position,
+    /// the sharded substream ordinal, the sticky adaptive/batched flags, whether the
+    /// adaptive enumeration cache is warm for the *current* world version, and any
+    /// undrained bulk-credited skips. The cache contents, the per-version batch
+    /// counts and the speculation window are deliberately not persisted: the first
+    /// two are deterministically re-derived without consuming randomness, and
+    /// speculative applies are always rolled back before a serialization point, so
+    /// dropping the window discards prediction work, never trajectory state.
+    pub(crate) fn snapshot_encode<P: Protocol>(
+        &self,
+        world: &World<P>,
+        out: &mut crate::SnapshotWriter,
+    ) {
+        for word in self.rng.state() {
+            out.u64(word);
+        }
+        out.u64(self.sharded_draws);
+        out.bool(self.collapsed);
+        out.bool(self.batch_overflow);
+        // A warm enumeration cache means the next adaptive draw costs one RNG draw
+        // (`sample_cached`); a cold resume would instead probe up to SWITCH_THRESHOLD
+        // draws first and diverge the stream. The flag is persisted, the contents
+        // re-enumerated on resume (deterministic, consumes no randomness).
+        out.bool(self.cache_valid && self.cache_version == world.version());
+        out.u64(self.pending_skips);
+    }
+
+    /// Decodes the counterpart of [`UniformScheduler::snapshot_encode`], rebuilding a
+    /// scheduler that continues the interrupted RNG streams exactly. `seed`, `mode`
+    /// and `speculation` come from the snapshot's persisted configuration.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::SnapshotTruncated`] or [`crate::CoreError::SnapshotCorrupt`].
+    pub(crate) fn snapshot_decode<P: Protocol>(
+        seed: u64,
+        mode: SamplingMode,
+        speculation: usize,
+        world: &World<P>,
+        r: &mut crate::SnapshotReader<'_>,
+    ) -> crate::Result<UniformScheduler> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        if state == [0; 4] {
+            // Unreachable for a genuine xoshiro stream; rejecting keeps
+            // `StdRng::from_state`'s zero-state fallback out of resumed runs.
+            return Err(crate::CoreError::SnapshotCorrupt {
+                what: "scheduler RNG state is all zero",
+            });
+        }
+        let sharded_draws = r.u64()?;
+        let collapsed = r.bool()?;
+        let batch_overflow = r.bool()?;
+        let cache_warm = r.bool()?;
+        let pending_skips = r.u64()?;
+        let mut scheduler = UniformScheduler::with_mode(seed, mode).with_speculation(speculation);
+        scheduler.rng = StdRng::from_state(state);
+        scheduler.sharded_draws = sharded_draws;
+        scheduler.collapsed = collapsed;
+        scheduler.batch_overflow = batch_overflow;
+        scheduler.pending_skips = pending_skips;
+        if cache_warm {
+            scheduler.warm_cache(world)?;
+        }
+        Ok(scheduler)
+    }
+
+    /// Repopulates the adaptive enumeration cache for the current world version by
+    /// re-running the deterministic enumeration (no randomness consumed) — the resume
+    /// half of the warm-cache flag persisted by [`UniformScheduler::snapshot_encode`].
+    fn warm_cache<P: Protocol>(&mut self, world: &World<P>) -> crate::Result<()> {
+        let version = world.version();
+        match world.enumerate_permissible(Self::CROSS_BUDGET_PER_NODE * world.len()) {
+            Some(pairs) => {
+                self.cache = pairs;
+                self.cache_version = version;
+                self.cache_valid = true;
+                Ok(())
+            }
+            None => Err(crate::CoreError::SnapshotCorrupt {
+                what: "warm enumeration cache claimed for an over-budget configuration",
+            }),
+        }
+    }
+
     /// One optimistic epoch: predict the next `k` selections from the frozen counts,
     /// resolve the drawn indices in parallel (one task per owning shard), apply the
     /// predictions on a delta-logged scratch timeline, and roll back to the
@@ -743,7 +857,9 @@ impl UniformScheduler {
         // Phase C — back to the serialization point. The rollback fires every epoch,
         // so byte-identity to sharded mode *depends* on its exactness: every
         // speculative run doubles as an oracle for the delta log.
-        world.rollback(mark);
+        world
+            .rollback(mark)
+            .expect("the epoch opened by this function is still open");
     }
 
     /// One speculative selection: the canonical sharded draw stays authoritative

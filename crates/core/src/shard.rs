@@ -27,18 +27,60 @@ use std::sync::OnceLock;
 /// also exercises the sharded layout.
 pub const SHARDS_ENV: &str = "NC_SHARDS";
 
-/// The default shard count: `NC_SHARDS` when set to a positive integer, 1 otherwise.
+/// Fallback shard count when `NC_SHARDS` is unset or unusable.
+const SHARDS_FALLBACK: usize = 1;
+
+/// Parses a raw `NC_SHARDS` value: a positive integer after trimming whitespace.
+/// `None` for everything else — empty strings, garbage, zero, and values that
+/// overflow `usize` (which fail to parse) all fall back to the default.
+pub(crate) fn parse_shard_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&s| s >= 1)
+}
+
+/// Parses a raw `NC_SPECULATION` value: a non-negative integer after trimming
+/// whitespace, clamped to the window ceiling. `None` for empty, garbage, and
+/// overflowing values.
+pub(crate) fn parse_speculation_override(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .map(clamp_speculation_window)
+}
+
+/// Resolves an environment override through `parse`, warning exactly once on stderr
+/// (naming the rejected value and the fallback) when the variable is set but
+/// unusable. The callers cache the result in a process-wide `OnceLock`, which is
+/// what bounds the warning to once per variable per process.
+fn resolve_env(name: &str, fallback: usize, parse: fn(&str) -> Option<usize>) -> usize {
+    let raw = match std::env::var(name) {
+        Ok(raw) => raw,
+        Err(std::env::VarError::NotPresent) => return fallback,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!(
+                "warning: {name}={raw:?} is not valid unicode; falling back to {name}={fallback}"
+            );
+            return fallback;
+        }
+    };
+    match parse(&raw) {
+        Some(value) => value,
+        None => {
+            eprintln!(
+                "warning: rejecting {name}={raw:?} (not a usable non-negative integer); \
+                 falling back to {name}={fallback}"
+            );
+            fallback
+        }
+    }
+}
+
+/// The default shard count: `NC_SHARDS` when set to a positive integer, 1 otherwise
+/// (with a single stderr warning when the variable is set but malformed).
 /// Read once per process — the layout of existing worlds must not change mid-run.
 #[must_use]
 pub fn default_shard_count() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var(SHARDS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&s| s >= 1)
-            .unwrap_or(1)
-    })
+    *DEFAULT.get_or_init(|| resolve_env(SHARDS_ENV, SHARDS_FALLBACK, parse_shard_override))
 }
 
 /// Name of the environment variable providing the default speculation window (the
@@ -60,17 +102,22 @@ pub fn clamp_speculation_window(k: usize) -> usize {
     k.min(MAX_SPECULATION_WINDOW)
 }
 
+/// Fallback speculation window when `NC_SPECULATION` is unset or unusable.
+const SPECULATION_FALLBACK: usize = 8;
+
 /// The default speculation window: `NC_SPECULATION` when set to a non-negative
-/// integer (clamped to the window ceiling), 8 otherwise. Read once per process,
-/// like [`default_shard_count`].
+/// integer (clamped to the window ceiling), 8 otherwise (with a single stderr
+/// warning when the variable is set but malformed). Read once per process, like
+/// [`default_shard_count`].
 #[must_use]
 pub fn default_speculation_window() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        std::env::var(SPECULATION_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .map_or(8, clamp_speculation_window)
+        resolve_env(
+            SPECULATION_ENV,
+            SPECULATION_FALLBACK,
+            parse_speculation_override,
+        )
     })
 }
 
@@ -162,6 +209,55 @@ mod tests {
             MAX_SPECULATION_WINDOW
         );
         assert_eq!(clamp_speculation_window(usize::MAX), MAX_SPECULATION_WINDOW);
+    }
+
+    #[test]
+    fn shard_override_parsing_rejects_malformed_values() {
+        // Usable values, with surrounding whitespace tolerated.
+        assert_eq!(parse_shard_override("1"), Some(1));
+        assert_eq!(parse_shard_override(" 4\n"), Some(4));
+        // Empty and whitespace-only.
+        assert_eq!(parse_shard_override(""), None);
+        assert_eq!(parse_shard_override("   "), None);
+        // Garbage, signs, and embedded junk.
+        assert_eq!(parse_shard_override("four"), None);
+        assert_eq!(parse_shard_override("-2"), None);
+        // A leading `+` is accepted by the standard integer parser.
+        assert_eq!(parse_shard_override("+2"), Some(2));
+        assert_eq!(parse_shard_override("4 shards"), None);
+        assert_eq!(parse_shard_override("0x4"), None);
+        // Zero shards is meaningless.
+        assert_eq!(parse_shard_override("0"), None);
+        // Values overflowing `usize` fail to parse rather than wrap.
+        assert_eq!(parse_shard_override("123456789012345678901234567890"), None);
+    }
+
+    #[test]
+    fn speculation_override_parsing_rejects_malformed_and_clamps_large_values() {
+        assert_eq!(parse_speculation_override("0"), Some(0));
+        assert_eq!(parse_speculation_override(" 8 "), Some(8));
+        // In-range values pass through; huge-but-parseable ones hit the ceiling.
+        assert_eq!(
+            parse_speculation_override("1000"),
+            Some(MAX_SPECULATION_WINDOW)
+        );
+        assert_eq!(parse_speculation_override(""), None);
+        assert_eq!(parse_speculation_override("fast"), None);
+        assert_eq!(parse_speculation_override("-1"), None);
+        assert_eq!(
+            parse_speculation_override("99999999999999999999999999999999"),
+            None
+        );
+    }
+
+    #[test]
+    fn resolve_env_falls_back_on_rejection() {
+        // `resolve_env` itself is deterministic given the parse outcome; drive it
+        // through a variable name that is never set to exercise the unset path.
+        assert_eq!(
+            resolve_env("NC_TEST_UNSET_VARIABLE", 7, parse_shard_override),
+            7
+        );
     }
 
     #[test]

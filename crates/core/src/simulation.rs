@@ -1,7 +1,8 @@
 //! Driving executions: protocol + world + scheduler + statistics.
 
 use crate::scheduler::{SamplingMode, Scheduler, UniformScheduler};
-use crate::{ExecutionStats, IndexStats, Protocol, ShardStats, SpeculationStats, World};
+use crate::snapshot::{Snapshot, SnapshotProtocol, SnapshotWriter, FORMAT_VERSION, MAGIC};
+use crate::{CoreError, ExecutionStats, IndexStats, Protocol, ShardStats, SpeculationStats, World};
 use nc_geometry::Shape;
 
 /// Configuration of a simulation run.
@@ -185,6 +186,112 @@ impl<P: Protocol> Simulation<P, UniformScheduler> {
     }
 }
 
+impl<P: SnapshotProtocol> Simulation<P, UniformScheduler> {
+    /// Captures a versioned, checksummed snapshot of the running execution: the
+    /// configuration, the statistics, the scheduler's RNG streams and sticky flags,
+    /// and the world's full runtime state (including the sampler-visible component
+    /// and class-table layouts). Snapshots are taken *between* steps — at the
+    /// serialization points of the execution — and [`Simulation::resume`] rebuilds a
+    /// simulation whose remaining trajectory is **byte-identical** to the
+    /// uninterrupted run's, in every sampling mode and at every shard count (pinned
+    /// by the crash-injection suite in `tests/crash_resume.rs`).
+    ///
+    /// Because work counters ([`IndexStats`], [`SpeculationStats`]) are excluded,
+    /// byte equality of two snapshots is exactly "same execution state": the crash
+    /// harness uses whole-snapshot comparison as its trajectory oracle.
+    #[must_use]
+    pub fn checkpoint(&self) -> Snapshot {
+        let mut out = SnapshotWriter::new();
+        out.bytes(&MAGIC);
+        out.u16(FORMAT_VERSION);
+        out.str16(self.world.protocol().name());
+        out.u64(self.config.n as u64);
+        out.u64(self.config.seed);
+        out.u64(self.config.max_steps);
+        out.u8(self.config.sampling.snapshot_tag());
+        out.u64(self.config.shards as u64);
+        out.u64(self.config.speculation as u64);
+        out.u64(self.stats.steps);
+        out.u64(self.stats.effective_steps);
+        out.u64(self.stats.skipped_steps);
+        out.u64(self.stats.bonds_activated);
+        out.u64(self.stats.bonds_deactivated);
+        out.u64(self.stats.merges);
+        out.u64(self.stats.splits);
+        // World before scheduler: the scheduler's decoder needs the decoded world to
+        // re-warm its enumeration cache.
+        self.world.snapshot_encode(&mut out);
+        self.scheduler.snapshot_encode(&self.world, &mut out);
+        Snapshot::seal(out)
+    }
+
+    /// Rebuilds a running simulation from a snapshot taken by
+    /// [`Simulation::checkpoint`]. The protocol instance must be equivalent to the
+    /// one the snapshot was taken with (same name, same transition function — the
+    /// name is checked, the semantics are the caller's contract).
+    ///
+    /// # Errors
+    /// [`CoreError::SnapshotProtocolMismatch`] when the snapshot names a different
+    /// protocol; [`CoreError::SnapshotTruncated`] / [`CoreError::SnapshotCorrupt`]
+    /// when the body is malformed (every id bounds-checked, scalar bookkeeping
+    /// recounted, full invariant suite run — corrupt input never panics).
+    pub fn resume(
+        protocol: P,
+        snapshot: &Snapshot,
+    ) -> crate::Result<Simulation<P, UniformScheduler>> {
+        fn corrupt(what: &'static str) -> CoreError {
+            CoreError::SnapshotCorrupt { what }
+        }
+        let mut r = snapshot.body_reader();
+        let name = r.str16()?;
+        if name != protocol.name() {
+            return Err(CoreError::SnapshotProtocolMismatch {
+                snapshot: name.to_string(),
+                protocol: protocol.name().to_string(),
+            });
+        }
+        let n = usize::try_from(r.u64()?).map_err(|_| corrupt("population size out of range"))?;
+        let seed = r.u64()?;
+        let max_steps = r.u64()?;
+        let sampling = SamplingMode::from_snapshot_tag(r.u8()?)
+            .ok_or_else(|| corrupt("unknown sampling-mode tag"))?;
+        let shards = usize::try_from(r.u64()?).map_err(|_| corrupt("shard count out of range"))?;
+        let speculation =
+            usize::try_from(r.u64()?).map_err(|_| corrupt("speculation window out of range"))?;
+        if shards == 0 {
+            return Err(corrupt("shard count is zero"));
+        }
+        let stats = ExecutionStats {
+            steps: r.u64()?,
+            effective_steps: r.u64()?,
+            skipped_steps: r.u64()?,
+            bonds_activated: r.u64()?,
+            bonds_deactivated: r.u64()?,
+            merges: r.u64()?,
+            splits: r.u64()?,
+        };
+        let world = World::snapshot_decode(protocol, n, shards, &mut r)?;
+        let scheduler =
+            UniformScheduler::snapshot_decode(seed, sampling, speculation, &world, &mut r)?;
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after the snapshot body"));
+        }
+        Ok(Simulation {
+            world,
+            scheduler,
+            stats,
+            config: SimulationConfig {
+                n,
+                seed,
+                max_steps,
+                sampling,
+                shards,
+                speculation,
+            },
+        })
+    }
+}
+
 impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// Creates a simulation with a custom scheduler.
     #[must_use]
@@ -342,6 +449,24 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             | SamplingMode::Speculative => self.run_until_stable_indexed(),
             SamplingMode::Legacy => self.run_until_stable_legacy(),
         }
+    }
+
+    /// Like [`Simulation::run_until_stable`], but step-budget exhaustion is a typed
+    /// error instead of a report field. The carried step count is the execution's
+    /// *lifetime* count — [`Simulation::resume`] restores the statistics with the
+    /// rest of the runtime state, so a budget exhausted after a
+    /// checkpoint/crash/resume cycle reports the same count as an uninterrupted run.
+    ///
+    /// # Errors
+    /// [`CoreError::StepBudgetExhausted`] when the budget ran out before stability.
+    pub fn try_run_until_stable(&mut self) -> crate::Result<RunReport> {
+        let report = self.run_until_stable();
+        if report.reason == StopReason::StepBudget {
+            return Err(CoreError::StepBudgetExhausted {
+                steps: self.stats.steps,
+            });
+        }
+        Ok(report)
     }
 
     fn run_until_stable_indexed(&mut self) -> RunReport {
@@ -510,6 +635,39 @@ mod tests {
         }
     }
 
+    impl crate::SnapshotProtocol for ChainOf {
+        fn encode_state(&self, state: &S, out: &mut crate::SnapshotWriter) {
+            match state {
+                S::Head(k) => {
+                    out.u8(0);
+                    out.u64(*k as u64);
+                }
+                S::Body => out.u8(1),
+                S::Free => out.u8(2),
+                S::Done => out.u8(3),
+            }
+        }
+
+        fn decode_state(&self, r: &mut crate::SnapshotReader<'_>) -> crate::Result<S> {
+            Ok(match r.u8()? {
+                0 => {
+                    let k = usize::try_from(r.u64()?).map_err(|_| CoreError::SnapshotCorrupt {
+                        what: "chain head counter exceeds the platform word size",
+                    })?;
+                    S::Head(k)
+                }
+                1 => S::Body,
+                2 => S::Free,
+                3 => S::Done,
+                _ => {
+                    return Err(CoreError::SnapshotCorrupt {
+                        what: "unknown chain state tag",
+                    })
+                }
+            })
+        }
+    }
+
     #[test]
     fn run_until_stable_builds_the_chain() {
         let mut sim = Simulation::new(ChainOf { target: 5 }, SimulationConfig::new(5).with_seed(3));
@@ -566,6 +724,79 @@ mod tests {
         assert!(!sim.step());
         let report = sim.run_until_stable();
         assert_eq!(report.reason, StopReason::Stable);
+    }
+
+    /// Steps both simulations once and asserts their checkpoints stay byte-identical.
+    fn lockstep_assert(
+        reference: &mut Simulation<ChainOf, crate::scheduler::UniformScheduler>,
+        resumed: &mut Simulation<ChainOf, crate::scheduler::UniformScheduler>,
+        step: usize,
+    ) {
+        let a = reference.step();
+        let b = resumed.step();
+        assert_eq!(a, b, "step availability diverged at lockstep step {step}");
+        assert_eq!(
+            reference.checkpoint().as_bytes(),
+            resumed.checkpoint().as_bytes(),
+            "checkpoints diverged at lockstep step {step}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_is_byte_identical() {
+        for sampling in [
+            SamplingMode::Adaptive,
+            SamplingMode::Batched,
+            SamplingMode::Sharded,
+            SamplingMode::Speculative,
+        ] {
+            let config = SimulationConfig::new(6)
+                .with_seed(7)
+                .with_sampling(sampling)
+                .with_shards(2)
+                .with_speculation(4);
+            let mut reference = Simulation::new(ChainOf { target: 6 }, config);
+            for _ in 0..10 {
+                reference.step();
+            }
+            let snapshot = reference.checkpoint();
+            let mut resumed = Simulation::resume(ChainOf { target: 6 }, &snapshot)
+                .unwrap_or_else(|e| panic!("resume failed for {sampling:?}: {e}"));
+            assert_eq!(
+                reference.checkpoint().as_bytes(),
+                resumed.checkpoint().as_bytes(),
+                "resume is not a fixed point for {sampling:?}"
+            );
+            for step in 0..40 {
+                lockstep_assert(&mut reference, &mut resumed, step);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_survives_round_trip_through_raw_bytes() {
+        let mut sim = Simulation::new(ChainOf { target: 4 }, SimulationConfig::new(4).with_seed(2));
+        sim.run_until_stable();
+        let bytes = sim.checkpoint().into_bytes();
+        let snapshot = Snapshot::from_bytes(bytes).expect("sealed snapshot must validate");
+        let resumed = Simulation::resume(ChainOf { target: 4 }, &snapshot).expect("resume");
+        assert_eq!(resumed.stats(), sim.stats());
+        assert_eq!(resumed.world().bond_count(), sim.world().bond_count());
+    }
+
+    #[test]
+    fn try_run_until_stable_reports_lifetime_steps_across_resume() {
+        let config = SimulationConfig::new(6).with_seed(5).with_max_steps(3);
+        let mut sim = Simulation::new(ChainOf { target: 6 }, config);
+        let err = sim.try_run_until_stable().unwrap_err();
+        assert_eq!(err, CoreError::StepBudgetExhausted { steps: 3 });
+
+        let snapshot = sim.checkpoint();
+        let mut resumed = Simulation::resume(ChainOf { target: 6 }, &snapshot).expect("resume");
+        let err = resumed.try_run_until_stable().unwrap_err();
+        // The budget counts per call, but the carried step count is the lifetime total:
+        // 3 steps before the crash plus 3 after the resume.
+        assert_eq!(err, CoreError::StepBudgetExhausted { steps: 6 });
     }
 
     #[test]

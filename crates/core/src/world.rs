@@ -25,7 +25,7 @@ use crate::delta::{DeltaLog, Epoch, EpochFrame, WorldRecord};
 use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
 use crate::shard::{ShardMap, PARALLEL_CROSS_MIN};
 use crate::stats::{ShardStats, SpeculationStats};
-use crate::{Component, NodeId, Placement, Protocol};
+use crate::{Component, CoreError, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -626,7 +626,14 @@ impl<P: Protocol> World<P> {
         let absorbed_len = absorbed.len() as u64;
         let surviving_len = surviving.len() as u64;
         let mut moved: Vec<(NodeId, Coord)> = Vec::with_capacity(absorbed.len());
-        for (node, pos) in absorbed.iter() {
+        // Walk the absorbed members in their membership-vector order, not the
+        // occupancy map's hash order: the surviving `members` push order (and the
+        // pending-queue touch order below) is sampler-visible through cross-pair
+        // enumeration and class allocation, and the membership vector — unlike the
+        // hash map — is part of the serialized configuration, so a resumed run
+        // reproduces this walk exactly.
+        for &node in absorbed.members() {
+            let pos = self.placements[node.index()].pos;
             let new_pos = rotation.apply_coord(pos) + translation;
             {
                 let idx = node.index();
@@ -1270,10 +1277,11 @@ impl<P: Protocol> World<P> {
     /// speculative scheduler never hits this path: it only opens epochs with enough
     /// class headroom that a mid-epoch overflow is impossible.
     ///
-    /// # Panics
-    /// Panics if `epoch` is not open (already rolled back or released).
-    pub fn rollback(&mut self, epoch: Epoch) {
-        let frame = self.delta.take_frame(epoch);
+    /// # Errors
+    /// [`CoreError::EpochNotOpen`] if `epoch` is not open (already rolled back or
+    /// released); the world is left untouched in that case.
+    pub fn rollback(&mut self, epoch: Epoch) -> crate::Result<()> {
+        let frame = self.delta.take_frame(epoch)?;
         for record in self.delta.split_records(frame.world_pos).into_iter().rev() {
             match record {
                 WorldRecord::State { node, old } => self.states[node] = old,
@@ -1357,27 +1365,339 @@ impl<P: Protocol> World<P> {
             cell.index.clear_oplog();
         }
         self.index.bump_version();
+        Ok(())
     }
 
     /// Closes `epoch` (and any checkpoints opened after it) *keeping* the mutations
     /// made since. While outer checkpoints remain open their records are retained —
     /// an outer rollback still undoes the released epoch's mutations.
     ///
-    /// # Panics
-    /// Panics if `epoch` is not open (already rolled back or released).
-    pub fn release(&mut self, epoch: Epoch) {
-        let _frame = self.delta.take_frame(epoch);
+    /// # Errors
+    /// [`CoreError::EpochNotOpen`] if `epoch` is not open (already rolled back or
+    /// released); the world is left untouched in that case.
+    pub fn release(&mut self, epoch: Epoch) -> crate::Result<()> {
+        let _frame = self.delta.take_frame(epoch)?;
         if !self.delta.recording() {
             self.delta.reset_records();
             let mut cell = self.pairs.lock().expect("pair index lock poisoned");
             cell.index.set_logging(false);
             cell.index.clear_oplog();
         }
+        Ok(())
     }
 
     /// The shard owning `node` (contiguous id ranges; see [`crate::shard`]).
     pub(crate) fn node_shard(&self, node: NodeId) -> usize {
         self.shard_map.shard_of(node)
+    }
+
+    // --- snapshots (see `crate::snapshot` for the format and the exactness notes) ------
+
+    /// Encodes the sampler-visible runtime state of the configuration: the scalar
+    /// bookkeeping, every node's state/placement/links, the component-slot layout
+    /// with each component's membership order, and — when the permissible-pair index
+    /// is active — its pinned class-table layout. Derived state (halted flags, the
+    /// dirty frontier, count caches) is deliberately omitted; see the module docs of
+    /// [`crate::snapshot`] for what is recomputed on resume and why that is exact.
+    pub(crate) fn snapshot_encode(&self, out: &mut crate::SnapshotWriter)
+    where
+        P: crate::SnapshotProtocol,
+    {
+        out.u8(match self.dim {
+            Dim::Two => 2,
+            Dim::Three => 3,
+        });
+        out.u64(self.bond_count as u64);
+        out.u64(self.sum_sq_sizes);
+        out.u64(self.live_components as u64);
+        out.u64(self.cross_shard_events.load(Ordering::Relaxed));
+        for i in 0..self.len() {
+            self.protocol.encode_state(&self.states[i], out);
+            let placement = self.placements[i];
+            out.i32(placement.pos.x);
+            out.i32(placement.pos.y);
+            out.i32(placement.pos.z);
+            // A rotation is determined by the images of the three axes; encoding
+            // them through the public `apply_dir` round-trips via
+            // `Rotation::from_axis_images`, which validates on decode.
+            out.u8(placement.rot.apply_dir(Dir::Right).index() as u8);
+            out.u8(placement.rot.apply_dir(Dir::Up).index() as u8);
+            out.u8(placement.rot.apply_dir(Dir::ZPlus).index() as u8);
+            out.u64(self.comp_of[i] as u64);
+            for link in &self.links[i] {
+                match link {
+                    Some((peer, port)) => {
+                        out.u8(1);
+                        out.u32(peer.index() as u32);
+                        out.u8(port.index() as u8);
+                    }
+                    None => out.u8(0),
+                }
+            }
+        }
+        out.u64(self.components.len() as u64);
+        for slot in &self.components {
+            match slot {
+                Some(comp) => {
+                    out.u8(1);
+                    out.u64(comp.len() as u64);
+                    // Membership order is sampler-visible (cross-pair enumeration
+                    // walks it) and execution-history dependent: persist it. Frame
+                    // positions are not stored — the occupancy map is rebuilt from
+                    // the members' placements.
+                    for &member in comp.members() {
+                        out.u32(member.index() as u32);
+                    }
+                }
+                None => out.u8(0),
+            }
+        }
+        let cell = self.lock_pairs();
+        out.u8(match cell.mode {
+            PairMode::Disabled => 0,
+            PairMode::Active => 1,
+            PairMode::Overflowed => 2,
+        });
+        if matches!(cell.mode, PairMode::Active) {
+            let (slots, free) = cell.index.snapshot_class_layout();
+            out.u64(slots.len() as u64);
+            for slot in &slots {
+                match slot {
+                    Some(state) => {
+                        out.u8(1);
+                        self.protocol.encode_state(state, out);
+                    }
+                    None => out.u8(0),
+                }
+            }
+            out.u64(free.len() as u64);
+            for id in free {
+                out.u32(id);
+            }
+        }
+    }
+
+    /// Decodes a configuration encoded by [`World::snapshot_encode`] into a fresh
+    /// world of `n` nodes on `shards` shards.
+    ///
+    /// Decoding is defensive end to end: the input has only passed a checksum, so
+    /// every id is bounds-checked, every tag validated, cell occupancy pre-checked
+    /// before insertion, the stored scalar bookkeeping compared against a recount,
+    /// and the full embedding invariant suite run at the end — malformed input yields
+    /// a typed [`CoreError`], never a panic. Halted flags are recomputed from the
+    /// decoded states; the dirty frontier starts conservatively all-dirty.
+    ///
+    /// # Errors
+    /// [`CoreError::SnapshotTruncated`] or [`CoreError::SnapshotCorrupt`].
+    pub(crate) fn snapshot_decode(
+        protocol: P,
+        n: usize,
+        shards: usize,
+        r: &mut crate::SnapshotReader<'_>,
+    ) -> crate::Result<World<P>>
+    where
+        P: crate::SnapshotProtocol,
+    {
+        fn corrupt(what: &'static str) -> CoreError {
+            CoreError::SnapshotCorrupt { what }
+        }
+        if n == 0 {
+            return Err(corrupt("population size is zero"));
+        }
+        // Every node costs at least 30 body bytes (state tag, position, rotation
+        // axes, component id, six link tags), so a population the remaining bytes
+        // cannot possibly hold is rejected *before* the world — whose runtime
+        // structures are sized by `n` — is allocated. Without this bound a
+        // corrupted-but-checksum-valid population count could demand terabytes.
+        const MIN_NODE_BYTES: usize = 30;
+        if n > r.remaining() / MIN_NODE_BYTES {
+            return Err(corrupt("population size exceeds the snapshot body"));
+        }
+        let world = World::with_shards(protocol, n, shards);
+        let dim = match r.u8()? {
+            2 => Dim::Two,
+            3 => Dim::Three,
+            _ => return Err(corrupt("dimension tag is neither 2 nor 3")),
+        };
+        if dim != world.dim {
+            return Err(corrupt(
+                "snapshot dimensionality disagrees with the protocol",
+            ));
+        }
+        let bond_count = r.u64()?;
+        let sum_sq_sizes = r.u64()?;
+        let live_components = r.u64()?;
+        let cross_shard_events = r.u64()?;
+        let mut states = Vec::with_capacity(n);
+        let mut placements = Vec::with_capacity(n);
+        let mut comp_of = Vec::with_capacity(n);
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(world.protocol.decode_state(r)?);
+            let pos = Coord::new(r.i32()?, r.i32()?, r.i32()?);
+            // Reachable embeddings stay within O(n) of the origin; a generous ±2³⁰
+            // bound rejects corrupted coordinates long before the neighbour
+            // arithmetic (`pos + dir.unit()`) could overflow an `i32`.
+            const COORD_BOUND: i32 = 1 << 30;
+            let in_bounds = |c: i32| (-COORD_BOUND..=COORD_BOUND).contains(&c);
+            if !(in_bounds(pos.x) && in_bounds(pos.y) && in_bounds(pos.z)) {
+                return Err(corrupt("node position is outside the plausible grid"));
+            }
+            let mut axes = [Dir::Up; 3];
+            for axis in &mut axes {
+                let idx = r.u8()? as usize;
+                if idx >= 6 {
+                    return Err(corrupt("direction index out of range"));
+                }
+                *axis = Dir::from_index(idx);
+            }
+            let rot = Rotation::from_axis_images(axes[0], axes[1], axes[2])
+                .ok_or_else(|| corrupt("axis images do not form a rigid grid rotation"))?;
+            placements.push(Placement { pos, rot });
+            let comp = r.u64()?;
+            comp_of.push(usize::try_from(comp).map_err(|_| corrupt("component id out of range"))?);
+            let mut node_links = [None; 6];
+            for entry in &mut node_links {
+                match r.u8()? {
+                    0 => {}
+                    1 => {
+                        let peer = r.u32()? as usize;
+                        if peer >= n {
+                            return Err(corrupt("link peer out of range"));
+                        }
+                        let port = r.u8()? as usize;
+                        if port >= 6 {
+                            return Err(corrupt("direction index out of range"));
+                        }
+                        *entry = Some((NodeId::new(peer as u32), Dir::from_index(port)));
+                    }
+                    _ => return Err(corrupt("link tag is neither 0 nor 1")),
+                }
+            }
+            links.push(node_links);
+        }
+        let slot_count = r.count(1)?;
+        let mut components: Vec<Option<Component>> = Vec::with_capacity(slot_count);
+        let mut assigned = vec![false; n];
+        for idx in 0..slot_count {
+            match r.u8()? {
+                0 => components.push(None),
+                1 => {
+                    let members = r.count(4)?;
+                    if members == 0 {
+                        return Err(corrupt("live component slot with no members"));
+                    }
+                    let mut comp = Component::empty();
+                    for _ in 0..members {
+                        let member = r.u32()? as usize;
+                        if member >= n {
+                            return Err(corrupt("component member out of range"));
+                        }
+                        if assigned[member] {
+                            return Err(corrupt("node listed in two components"));
+                        }
+                        assigned[member] = true;
+                        if comp_of[member] != idx {
+                            return Err(corrupt(
+                                "component membership disagrees with the node's component id",
+                            ));
+                        }
+                        let pos = placements[member].pos;
+                        // `Component::insert` treats double occupancy as a caller
+                        // bug and panics; on snapshot input it is corruption.
+                        if comp.is_occupied(pos) {
+                            return Err(corrupt("two component members occupy one cell"));
+                        }
+                        comp.insert(NodeId::new(member as u32), pos);
+                    }
+                    components.push(Some(comp));
+                }
+                _ => return Err(corrupt("component slot tag is neither 0 nor 1")),
+            }
+        }
+        if assigned.iter().any(|&a| !a) {
+            return Err(corrupt("node missing from every component"));
+        }
+        // The stored scalar bookkeeping is redundant with the structures above:
+        // recount and compare, so a corrupted scalar cannot skew the samplers.
+        let linked = links.iter().flatten().flatten().count();
+        if linked % 2 != 0 || (linked / 2) as u64 != bond_count {
+            return Err(corrupt("bond count disagrees with the link table"));
+        }
+        let live = components.iter().flatten().count();
+        if live as u64 != live_components {
+            return Err(corrupt("live component count disagrees with the slot list"));
+        }
+        let recount_sq: u64 = components
+            .iter()
+            .flatten()
+            .map(|c| (c.len() * c.len()) as u64)
+            .sum();
+        if recount_sq != sum_sq_sizes {
+            return Err(corrupt(
+                "component size aggregate disagrees with the slot list",
+            ));
+        }
+        let mode = match r.u8()? {
+            0 => PairMode::Disabled,
+            1 => PairMode::Active,
+            2 => PairMode::Overflowed,
+            _ => return Err(corrupt("pair-index mode tag out of range")),
+        };
+        let pinned = if matches!(mode, PairMode::Active) {
+            let class_slots = r.count(1)?;
+            let mut slots = Vec::with_capacity(class_slots);
+            for _ in 0..class_slots {
+                match r.u8()? {
+                    0 => slots.push(None),
+                    1 => slots.push(Some(world.protocol.decode_state(r)?)),
+                    _ => return Err(corrupt("class slot tag is neither 0 nor 1")),
+                }
+            }
+            let free_count = r.count(4)?;
+            let mut free = Vec::with_capacity(free_count);
+            for _ in 0..free_count {
+                free.push(r.u32()?);
+            }
+            Some((slots, free))
+        } else {
+            None
+        };
+        let mut world = world;
+        let halted = states.iter().map(|s| world.protocol.is_halted(s)).collect();
+        world.halted = halted;
+        world.states = states;
+        world.placements = placements;
+        world.comp_of = comp_of;
+        world.components = components;
+        world.links = links;
+        world.bond_count = bond_count as usize;
+        world.sum_sq_sizes = sum_sq_sizes;
+        world.live_components = live;
+        world
+            .cross_shard_events
+            .store(cross_shard_events, Ordering::Relaxed);
+        if !world.check_invariants() {
+            return Err(corrupt("configuration violates the embedding invariants"));
+        }
+        match mode {
+            PairMode::Disabled => {}
+            PairMode::Overflowed => {
+                world.lock_pairs().mode = PairMode::Overflowed;
+            }
+            PairMode::Active => {
+                let (slots, free) = pinned.expect("decoded for the Active mode above");
+                let view = world.geom_view();
+                let mut cell = world.pairs.lock().expect("pair index lock poisoned");
+                cell.index
+                    .restore_pinned(&view, &world.protocol, slots, free)
+                    .map_err(|what| CoreError::SnapshotCorrupt { what })?;
+                cell.mode = PairMode::Active;
+                drop(cell);
+                world.pairs_active.store(true, Ordering::Relaxed);
+            }
+        }
+        Ok(world)
     }
 
     /// Whether the pair index is active with at least `margin` free class slots —

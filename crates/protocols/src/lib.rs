@@ -36,6 +36,7 @@ pub mod pattern;
 pub mod phase;
 pub mod replication_line;
 pub mod self_replication;
+mod snapshot;
 pub mod square;
 pub mod square2;
 pub mod universal;

@@ -1,0 +1,246 @@
+//! [`SnapshotProtocol`] implementations for the checkpointable protocols.
+//!
+//! Each implementation is a hand-rolled tag-plus-payload codec: one leading `u8`
+//! discriminant per enum variant, followed by the variant's fields in declaration
+//! order with fixed-width little-endian integers. Decoders validate every tag and
+//! every embedded direction index and return [`nc_core::CoreError::SnapshotCorrupt`]
+//! (never panic) on malformed input, so a bit-flipped snapshot that happens to pass
+//! the checksum is still rejected with a typed error.
+//!
+//! Protocols whose state embeds run-scoped configuration (here:
+//! [`CountingOnALine`]'s head start lives in the protocol value, not the state)
+//! round-trip because [`nc_core::Simulation::resume`] takes a freshly constructed
+//! protocol value; the snapshot's stored protocol name guards against resuming with
+//! the wrong constructor entirely.
+
+use nc_core::{CoreError, SnapshotProtocol, SnapshotReader, SnapshotWriter};
+use nc_geometry::Dir;
+
+use crate::counting_line::{CountingLineState, CountingOnALine, LeaderCounters};
+use crate::line::{GlobalLine, LineState};
+use crate::square::{Square, SquareState};
+
+fn encode_dir(dir: Dir, out: &mut SnapshotWriter) {
+    out.u8(dir.index() as u8);
+}
+
+fn decode_dir(r: &mut SnapshotReader<'_>) -> nc_core::Result<Dir> {
+    let idx = r.u8()?;
+    if usize::from(idx) >= 6 {
+        return Err(CoreError::SnapshotCorrupt {
+            what: "port direction index out of range",
+        });
+    }
+    Ok(Dir::from_index(usize::from(idx)))
+}
+
+impl SnapshotProtocol for GlobalLine {
+    fn encode_state(&self, state: &LineState, out: &mut SnapshotWriter) {
+        match state {
+            LineState::Leader(dir) => {
+                out.u8(0);
+                encode_dir(*dir, out);
+            }
+            LineState::Q1 => out.u8(1),
+            LineState::Q0 => out.u8(2),
+        }
+    }
+
+    fn decode_state(&self, r: &mut SnapshotReader<'_>) -> nc_core::Result<LineState> {
+        Ok(match r.u8()? {
+            0 => LineState::Leader(decode_dir(r)?),
+            1 => LineState::Q1,
+            2 => LineState::Q0,
+            _ => {
+                return Err(CoreError::SnapshotCorrupt {
+                    what: "unknown spanning-line state tag",
+                })
+            }
+        })
+    }
+}
+
+impl SnapshotProtocol for Square {
+    fn encode_state(&self, state: &SquareState, out: &mut SnapshotWriter) {
+        match state {
+            SquareState::Leader(dir) => {
+                out.u8(0);
+                encode_dir(*dir, out);
+            }
+            SquareState::Q1 => out.u8(1),
+            SquareState::Q0 => out.u8(2),
+        }
+    }
+
+    fn decode_state(&self, r: &mut SnapshotReader<'_>) -> nc_core::Result<SquareState> {
+        Ok(match r.u8()? {
+            0 => SquareState::Leader(decode_dir(r)?),
+            1 => SquareState::Q1,
+            2 => SquareState::Q0,
+            _ => {
+                return Err(CoreError::SnapshotCorrupt {
+                    what: "unknown spanning-square state tag",
+                })
+            }
+        })
+    }
+}
+
+fn encode_counters(c: &LeaderCounters, out: &mut SnapshotWriter) {
+    out.u64(c.r0);
+    out.u64(c.r1);
+    out.u64(c.debt);
+    out.u32(c.tape_cells);
+}
+
+fn decode_counters(r: &mut SnapshotReader<'_>) -> nc_core::Result<LeaderCounters> {
+    Ok(LeaderCounters {
+        r0: r.u64()?,
+        r1: r.u64()?,
+        debt: r.u64()?,
+        tape_cells: r.u32()?,
+    })
+}
+
+impl SnapshotProtocol for CountingOnALine {
+    fn encode_state(&self, state: &CountingLineState, out: &mut SnapshotWriter) {
+        match state {
+            CountingLineState::Leader(c) => {
+                out.u8(0);
+                encode_counters(c, out);
+            }
+            CountingLineState::Halted(c) => {
+                out.u8(1);
+                encode_counters(c, out);
+            }
+            CountingLineState::TapeCell {
+                index,
+                r0_bit,
+                r1_bit,
+            } => {
+                out.u8(2);
+                out.u32(*index);
+                out.bool(*r0_bit);
+                out.bool(*r1_bit);
+            }
+            CountingLineState::Q0 => out.u8(3),
+            CountingLineState::Q1 => out.u8(4),
+            CountingLineState::Q2 => out.u8(5),
+        }
+    }
+
+    fn decode_state(&self, r: &mut SnapshotReader<'_>) -> nc_core::Result<CountingLineState> {
+        Ok(match r.u8()? {
+            0 => CountingLineState::Leader(decode_counters(r)?),
+            1 => CountingLineState::Halted(decode_counters(r)?),
+            2 => CountingLineState::TapeCell {
+                index: r.u32()?,
+                r0_bit: r.bool()?,
+                r1_bit: r.bool()?,
+            },
+            3 => CountingLineState::Q0,
+            4 => CountingLineState::Q1,
+            5 => CountingLineState::Q2,
+            _ => {
+                return Err(CoreError::SnapshotCorrupt {
+                    what: "unknown counting-line state tag",
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<P: SnapshotProtocol>(protocol: &P, state: &P::State) -> P::State
+    where
+        P::State: Clone,
+    {
+        let mut out = SnapshotWriter::new();
+        protocol.encode_state(state, &mut out);
+        let bytes = out.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let decoded = protocol.decode_state(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "decoder left trailing bytes");
+        decoded
+    }
+
+    #[test]
+    fn line_states_round_trip() {
+        let p = GlobalLine::new();
+        for state in [
+            LineState::Leader(Dir::Up),
+            LineState::Leader(Dir::ZMinus),
+            LineState::Q1,
+            LineState::Q0,
+        ] {
+            assert_eq!(round_trip(&p, &state), state);
+        }
+    }
+
+    #[test]
+    fn square_states_round_trip() {
+        let p = Square::new();
+        for state in [
+            SquareState::Leader(Dir::Left),
+            SquareState::Q1,
+            SquareState::Q0,
+        ] {
+            assert_eq!(round_trip(&p, &state), state);
+        }
+    }
+
+    #[test]
+    fn counting_line_states_round_trip() {
+        let p = CountingOnALine::new(2);
+        let counters = LeaderCounters {
+            r0: u64::MAX - 1,
+            r1: 12,
+            debt: 3,
+            tape_cells: 63,
+        };
+        for state in [
+            CountingLineState::Leader(counters),
+            CountingLineState::Halted(counters),
+            CountingLineState::TapeCell {
+                index: 7,
+                r0_bit: true,
+                r1_bit: false,
+            },
+            CountingLineState::Q0,
+            CountingLineState::Q1,
+            CountingLineState::Q2,
+        ] {
+            assert_eq!(round_trip(&p, &state), state);
+        }
+    }
+
+    #[test]
+    fn decoders_reject_bad_tags_and_directions() {
+        let mut r = SnapshotReader::new(&[9]);
+        assert!(matches!(
+            GlobalLine::new().decode_state(&mut r),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+        let mut r = SnapshotReader::new(&[0, 6]);
+        assert!(matches!(
+            GlobalLine::new().decode_state(&mut r),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+        let mut r = SnapshotReader::new(&[9]);
+        assert!(matches!(
+            Square::new().decode_state(&mut r),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+        let mut r = SnapshotReader::new(&[6]);
+        assert!(matches!(
+            CountingOnALine::new(1).decode_state(&mut r),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+        // Truncated payloads surface as typed truncation errors, not panics.
+        let mut r = SnapshotReader::new(&[0]);
+        assert!(CountingOnALine::new(1).decode_state(&mut r).is_err());
+    }
+}

@@ -24,7 +24,7 @@
 use shape_constructors::core::scheduler::{Scheduler, UniformScheduler};
 use shape_constructors::core::shard::MAX_SPECULATION_WINDOW;
 use shape_constructors::core::{
-    ExecutionStats, NodeId, Placement, Protocol, RunReport, SamplingMode, Simulation,
+    CoreError, ExecutionStats, NodeId, Placement, Protocol, RunReport, SamplingMode, Simulation,
     SimulationConfig, StopReason, Transition, World,
 };
 use shape_constructors::geometry::Dir;
@@ -511,7 +511,7 @@ fn assert_rollback_exact_per_apply<P: Protocol>(protocol: P, n: usize, seed: u64
         let mark = world.checkpoint();
         world.apply(&interaction);
         let post = fingerprint(&world);
-        world.rollback(mark);
+        world.rollback(mark).expect("epoch is open");
         assert_eq!(
             fingerprint(&world),
             pre,
@@ -566,7 +566,7 @@ fn nested_checkpoints_unwind_independently() {
     let inner = world.checkpoint();
     let second = scheduler.next_interaction(&world).expect("churn pairs");
     world.apply(&second);
-    world.rollback(inner);
+    world.rollback(inner).expect("inner epoch is open");
     assert_eq!(
         fingerprint(&world),
         after_first,
@@ -575,7 +575,7 @@ fn nested_checkpoints_unwind_independently() {
     world
         .validate_pair_index()
         .expect("index after inner rollback");
-    world.rollback(outer);
+    world.rollback(outer).expect("outer epoch is open");
     assert_eq!(fingerprint(&world), base, "outer rollback reaches the base");
     world
         .validate_pair_index()
@@ -596,13 +596,13 @@ fn release_commits_an_inner_epoch_but_keeps_the_outer_undo() {
     let second = scheduler.next_interaction(&world).expect("churn pairs");
     world.apply(&second);
     let after_second = fingerprint(&world);
-    world.release(inner);
+    world.release(inner).expect("inner epoch is open");
     assert_eq!(
         fingerprint(&world),
         after_second,
         "release keeps the inner epoch's mutations"
     );
-    world.rollback(outer);
+    world.rollback(outer).expect("outer epoch is open");
     assert_eq!(
         fingerprint(&world),
         base,
@@ -622,7 +622,7 @@ fn released_toplevel_checkpoint_commits_for_good() {
     let interaction = scheduler.next_interaction(&world).expect("churn pairs");
     world.apply(&interaction);
     let after = fingerprint(&world);
-    world.release(mark);
+    world.release(mark).expect("epoch is open");
     assert_eq!(fingerprint(&world), after);
     world.validate_pair_index().expect("index after release");
     // The world keeps working normally — including a fresh checkpoint cycle.
@@ -630,9 +630,33 @@ fn released_toplevel_checkpoint_commits_for_good() {
     let mark = world.checkpoint();
     let next = scheduler.next_interaction(&world).expect("churn pairs");
     world.apply(&next);
-    world.rollback(mark);
+    world.rollback(mark).expect("epoch is open");
     assert_eq!(fingerprint(&world), pre);
     world
         .validate_pair_index()
         .expect("index after the second cycle");
+}
+
+#[test]
+fn closing_a_non_open_epoch_is_a_typed_error_not_a_panic() {
+    let mut world = World::with_shards(Churn, 8, 2);
+    let mark = world.checkpoint();
+    world.release(mark).expect("epoch is open");
+    assert_eq!(world.release(mark), Err(CoreError::EpochNotOpen));
+    assert_eq!(world.rollback(mark), Err(CoreError::EpochNotOpen));
+    // A stale *inner* epoch below a live outer one must fail without consuming the
+    // outer frame.
+    let base = fingerprint(&world);
+    let outer = world.checkpoint();
+    let inner = world.checkpoint();
+    world.rollback(inner).expect("inner epoch is open");
+    assert_eq!(world.rollback(inner), Err(CoreError::EpochNotOpen));
+    let mut scheduler = UniformScheduler::with_mode(5, SamplingMode::Sharded);
+    let interaction = scheduler.next_interaction(&world).expect("churn pairs");
+    world.apply(&interaction);
+    world
+        .rollback(outer)
+        .expect("outer epoch survived the stale inner close");
+    assert_eq!(fingerprint(&world), base);
+    world.validate_pair_index().expect("index after rollback");
 }

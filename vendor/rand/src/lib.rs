@@ -171,6 +171,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator mid-stream.
+        /// Restoring via [`StdRng::from_state`] continues the stream exactly where
+        /// [`StdRng::state`] captured it.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Reconstructs a generator from a captured [`StdRng::state`]. An all-zero
+        /// state is invalid for xoshiro256++ (the stream would be constant zero), so
+        /// it is mapped to the `seed_from_u64(0)` state instead of being accepted.
+        #[must_use]
+        pub fn from_state(state: [u64; 4]) -> StdRng {
+            if state == [0; 4] {
+                return StdRng::seed_from_u64(0);
+            }
+            StdRng { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> StdRng {
             // SplitMix64 expansion, the seeding procedure recommended by the xoshiro
@@ -236,6 +257,20 @@ mod tests {
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(resumed.next_u64(), rng.next_u64());
+        }
+        // The degenerate all-zero state is rejected rather than producing zeros.
+        assert_ne!(StdRng::from_state([0; 4]).next_u64(), 0);
     }
 
     #[test]
