@@ -20,8 +20,15 @@
 //! cargo run -p nc-bench --release --bin scheduler_sweep -- --smoke # CI gate, see below
 //! ```
 //!
+//! Each cell additionally runs the three deterministic adversarial-but-fair schedulers
+//! (`nc_core::adversary`: round-robin, worst-case, eclipse) at n ≤ 128 — they must
+//! still reach the guaranteed outcome, pinning fairness-despite-adversity in the
+//! artifact alongside the throughput rows.
+//!
 //! `--smoke` asserts (a) every mode completes with the protocol's guaranteed outcome at
-//! n = 256, (b) batched achieves at least the indexed steps/sec at n = 256, (c) the
+//! n = 256 — including the three adversaries at n = 64, which must also be
+//! bit-deterministic across two runs — (b) batched achieves at least the indexed
+//! steps/sec at n = 256, (c) the
 //! sharded *and speculative* rows report step counts identical to each other across
 //! shard counts and window sizes (speculation must be invisible in the trajectory),
 //! and (d) on Square n = 512 the sharded sampler at 4 shards achieves at least the
@@ -36,7 +43,11 @@
 //! selections and n = 1024 exceeds 2·10⁹, so Square is swept to 512 and its legacy
 //! rows to 128. `--legacy-max` can lower (never raise) the legacy caps.
 
-use nc_core::{SamplingMode, Simulation, SimulationConfig, SnapshotProtocol, StopReason};
+use nc_core::scheduler::Scheduler;
+use nc_core::{
+    EclipseScheduler, RoundRobinScheduler, RunReport, SamplingMode, Simulation, SimulationConfig,
+    SnapshotProtocol, StopReason, WorstCaseScheduler,
+};
 use nc_protocols::counting_line::{final_count, CountingOnALine};
 use nc_protocols::line::GlobalLine;
 use nc_protocols::square::Square;
@@ -271,6 +282,86 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
     }
 }
 
+/// The adversarial-but-fair schedulers (see `nc_core::adversary`), run as extra rows
+/// at small n: they are deterministic worst cases, not samplers, so they are compared
+/// on completion and determinism rather than throughput. Population capped because
+/// their pair views re-enumerate all permissible pairs on every world change.
+const ADVERSARIES: [&str; 3] = ["round-robin", "worst-case", "eclipse"];
+const ADVERSARY_CAP: usize = 128;
+const ADVERSARY_PATIENCE: u64 = 8;
+
+/// Runs one protocol to completion under a named adversarial scheduler and checks the
+/// same guaranteed outcome as `run_one`. Snapshot timings are zero: checkpoints are
+/// deliberately only offered for the uniform scheduler (PR 5), so adversary rows
+/// carry no snapshot probe.
+fn run_adversary(proto: Proto, n: usize, adversary: &'static str) -> Row {
+    fn go<P: SnapshotProtocol, S: Scheduler>(
+        protocol: P,
+        n: usize,
+        halt: bool,
+        scheduler: S,
+        check: impl FnOnce(&nc_core::World<P>) -> bool,
+    ) -> (RunReport, nc_core::ExecutionStats, bool) {
+        let config = SimulationConfig::new(n).with_max_steps(2_000_000_000);
+        let mut sim = Simulation::with_scheduler(protocol, config, scheduler);
+        let report = if halt {
+            sim.run_until_any_halted()
+        } else {
+            sim.run_until_stable()
+        };
+        let wanted = if halt {
+            report.reason == StopReason::AllHalted
+        } else {
+            report.reason == StopReason::Stable
+        };
+        let ok = wanted && check(sim.world());
+        (report, sim.stats(), ok)
+    }
+    let started = Instant::now();
+    macro_rules! go_proto {
+        ($sched:expr) => {
+            match proto {
+                Proto::Line => go(GlobalLine::new(), n, false, $sched, |w| {
+                    w.output_shape().is_line(n)
+                }),
+                Proto::Square => {
+                    let d = (n as f64).sqrt() as u32;
+                    go(Square::new(), n, false, $sched, move |w| {
+                        d as usize * d as usize != n || w.output_shape().is_full_square(d)
+                    })
+                }
+                Proto::Counting => go(CountingOnALine::new(2), n, true, $sched, |w| w.any_halted()),
+            }
+        };
+    }
+    let (report, stats, completed) = match adversary {
+        "round-robin" => go_proto!(RoundRobinScheduler::new()),
+        "worst-case" => go_proto!(WorstCaseScheduler::new(ADVERSARY_PATIENCE)),
+        "eclipse" => go_proto!(EclipseScheduler::against_leader(ADVERSARY_PATIENCE)),
+        other => panic!("unknown adversary {other}"),
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    Row {
+        protocol: proto.name(),
+        n,
+        mode: adversary,
+        shards: 1,
+        seed: 0,
+        seconds,
+        steps: report.steps,
+        effective_steps: report.effective_steps,
+        skipped_steps: stats.skipped_steps,
+        steps_per_sec: report.steps as f64 / seconds.max(1e-9),
+        completed,
+        speculated: 0,
+        spec_committed: 0,
+        spec_rolled_back: 0,
+        spec_rollback_rate: 0.0,
+        snapshot_ms: 0.0,
+        resume_ms: 0.0,
+    }
+}
+
 fn spec(label: &str) -> ModeSpec {
     *MODES
         .iter()
@@ -356,6 +447,36 @@ fn smoke(protos: &[Proto], seed: u64) {
             }
         }
     }
+    // Adversarial-but-fair schedulers: every protocol must still reach its guaranteed
+    // outcome under each deterministic adversary, and two runs of the same adversary
+    // must take the identical trajectory (they consume no randomness).
+    let adv_n = 64;
+    for &proto in protos {
+        for adversary in ADVERSARIES {
+            let row = run_adversary(proto, adv_n, adversary);
+            let again = run_adversary(proto, adv_n, adversary);
+            eprintln!(
+                "smoke {:>18} {:>11}: {:>12.3}s {:>12} steps {:>14.0} steps/s completed={} (adversary, n={adv_n})",
+                row.protocol, row.mode, row.seconds, row.steps, row.steps_per_sec, row.completed
+            );
+            if !row.completed {
+                failures.push(format!(
+                    "{} under the {} adversary did not complete",
+                    proto.name(),
+                    adversary
+                ));
+            }
+            if (row.steps, row.effective_steps) != (again.steps, again.effective_steps) {
+                failures.push(format!(
+                    "{} under the {} adversary is not deterministic ({} vs {} steps)",
+                    proto.name(),
+                    adversary,
+                    row.steps,
+                    again.steps
+                ));
+            }
+        }
+    }
     // The headline gate: Square n = 512, sharded@4 vs batched, best of three.
     if protos.contains(&Proto::Square) {
         let batched = best_of(Proto::Square, 512, seed, spec("batched"), 3);
@@ -379,7 +500,8 @@ fn smoke(protos: &[Proto], seed: u64) {
     assert!(failures.is_empty(), "smoke failures: {failures:?}");
     eprintln!(
         "smoke ok: batched ≥ indexed at n = {n}, sharded/speculative step counts invariant \
-         across layouts and windows, sharded@4 ≥ batched on square n = 512, all modes completed"
+         across layouts and windows, sharded@4 ≥ batched on square n = 512, all modes \
+         completed, adversarial schedulers deterministic and fair at n = {adv_n}"
     );
 }
 
@@ -469,6 +591,29 @@ fn main() {
                     );
                 }
                 rows.push(row);
+            }
+            // Adversary rows ride along at small n: deterministic worst cases that must
+            // still reach the guaranteed outcome (fairness despite adversarial choice).
+            if n <= ADVERSARY_CAP {
+                for adversary in ADVERSARIES {
+                    let row = run_adversary(proto, n, adversary);
+                    eprintln!(
+                        "{:>18}  {:>6}  {:>8}  {:>12.3}  {:>12}  {:>14.0}  {:>9}",
+                        row.protocol,
+                        row.n,
+                        row.mode,
+                        row.seconds,
+                        row.steps,
+                        row.steps_per_sec,
+                        row.completed
+                    );
+                    assert!(
+                        row.completed,
+                        "{} n={n}: the {adversary} adversary must still complete",
+                        proto.name()
+                    );
+                    rows.push(row);
+                }
             }
             // Parallel-equivalence check rides along with every sweep: the sharded and
             // speculative rows of this cell must agree on step counts (shard count and

@@ -1,0 +1,371 @@
+//! Adversarial-but-fair schedulers.
+//!
+//! The paper's correctness claims are universally quantified over *fair* schedulers:
+//! every execution in which no continuously-enabled interaction is starved forever
+//! must reach the guaranteed terminal set. The uniform random scheduler samples only
+//! a vanishing corner of that space, and it samples it *benignly* — low-probability
+//! orderings (always picking the least productive pair, starving the leader for as
+//! long as fairness allows) are exactly the schedules where protocol-logic bugs hide.
+//!
+//! This module implements three deterministic adversaries behind the same
+//! [`Scheduler`] trait the uniform sampler uses, so stochastic runs and adversarial
+//! runs share every line of protocol and world code:
+//!
+//! * [`RoundRobinScheduler`] cycles a cursor over the canonical enumeration of
+//!   permissible pairs. Within any window of `|permissible|` selections on an
+//!   unchanged configuration, every permissible pair is selected exactly once — the
+//!   textbook fair schedule, and the one that maximizes ineffective churn between
+//!   effective steps.
+//! * [`WorstCaseScheduler`] spends a *fairness budget* of `patience` consecutive
+//!   selections on ineffective pairs (rotating over them, changing nothing by
+//!   definition), then is forced to pick an effective pair — and picks the most
+//!   obstructive one: a non-merging effective pair if any exists (bond flips over
+//!   component growth), last in canonical order as the tie-break. Any interaction
+//!   continuously enabled is executed within `patience + |permissible|` selections,
+//!   so the schedule is fair, but it is pessimal within that bound.
+//! * [`EclipseScheduler`] starves one *victim component* (default: the component of
+//!   node 0, the conventional pre-elected leader): while its fairness counter is
+//!   below `patience` it only schedules pairs not involving the victim's component;
+//!   when the counter saturates — or nothing else is permissible — it concedes one
+//!   victim interaction (effective if possible) and re-arms. This is the
+//!   eclipse/partition attack bounded by a fairness counter: the victim is isolated
+//!   for the longest stretch a fair schedule permits.
+//!
+//! All three are deterministic (no RNG): two runs of the same protocol, population
+//! and adversary parameters produce identical executions, which makes adversarial
+//! regressions bit-for-bit reproducible. They re-enumerate the permissible set only
+//! when the configuration version changes (ineffective selections keep the cached
+//! enumeration valid), costing `O(cross-universe · ports²)` per *effective* step —
+//! fine at the small-to-moderate `n` where adversarial coverage matters.
+
+use crate::scheduler::Scheduler;
+use crate::{Interaction, NodeId, Permissibility, Protocol, World};
+
+/// Cached per-version enumeration shared by the adversaries: the canonical
+/// permissible list plus the effectiveness of each entry.
+#[derive(Debug, Default, Clone)]
+struct PairView {
+    version: Option<u64>,
+    /// Canonical enumeration of permissible pairs (see `World::enumerate_permissible`).
+    pairs: Vec<Interaction>,
+    /// For each pair, the ready-to-apply interaction if it is effective.
+    effective: Vec<Option<Interaction>>,
+}
+
+impl PairView {
+    /// Re-derives the view if the configuration changed since the last call.
+    fn refresh<P: Protocol>(&mut self, world: &World<P>) {
+        let version = world.version();
+        if self.version == Some(version) {
+            return;
+        }
+        self.pairs = world
+            .enumerate_permissible(usize::MAX)
+            .expect("an unbounded budget always enumerates");
+        self.effective = self
+            .pairs
+            .iter()
+            .map(|i| world.effective_interaction_at(i.a, i.pa, i.b, i.pb))
+            .collect();
+        self.version = Some(version);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Indices of the ineffective pairs.
+    fn ineffective_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.pairs.len()).filter(|&i| self.effective[i].is_none())
+    }
+}
+
+/// Deterministic round-robin over the canonical enumeration of permissible pairs.
+///
+/// The cursor is global and monotone: it survives re-enumerations, so on a frozen
+/// configuration of `k` permissible pairs every pair is selected once per `k`
+/// consecutive calls — no pair can be starved. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinScheduler {
+    view: PairView,
+    cursor: u64,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler starting at the first canonical pair.
+    #[must_use]
+    pub fn new() -> RoundRobinScheduler {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        self.view.refresh(world);
+        if self.view.is_empty() {
+            return None;
+        }
+        let at = (self.cursor % self.view.pairs.len() as u64) as usize;
+        self.cursor += 1;
+        // Use the effectiveness-checked form when available so `apply` re-derives
+        // nothing stale; an ineffective pair is returned as enumerated (applying it
+        // is a no-op selection, exactly like the uniform scheduler's misses).
+        Some(self.view.effective[at].unwrap_or(self.view.pairs[at]))
+    }
+}
+
+/// The bounded worst-case adversary: wastes its whole fairness budget on
+/// ineffective selections, then concedes the *least productive* effective pair.
+///
+/// `patience` is the fairness bound `B`: at most `B` consecutive ineffective
+/// selections before an effective pair is executed, so every continuously-enabled
+/// interaction runs within `B + |permissible|` selections. See the module docs.
+#[derive(Debug, Clone)]
+pub struct WorstCaseScheduler {
+    view: PairView,
+    patience: u64,
+    wasted: u64,
+    rotate: u64,
+}
+
+impl WorstCaseScheduler {
+    /// Creates a worst-case adversary with the given fairness bound (the maximum
+    /// run of deliberately wasted selections between effective interactions).
+    #[must_use]
+    pub fn new(patience: u64) -> WorstCaseScheduler {
+        WorstCaseScheduler {
+            view: PairView::default(),
+            patience,
+            wasted: 0,
+            rotate: 0,
+        }
+    }
+
+    /// Picks the most obstructive effective pair: non-merging if possible (a bond
+    /// flip obstructs more than letting the structure grow), last in canonical
+    /// order as the deterministic tie-break.
+    fn worst_effective(&self) -> Option<Interaction> {
+        let mut effective = self.view.effective.iter().flatten();
+        let non_merge = effective
+            .clone()
+            .rfind(|i| !matches!(i.permissibility, Permissibility::Merge { .. }));
+        non_merge.or_else(|| effective.next_back()).copied()
+    }
+}
+
+impl Scheduler for WorstCaseScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        self.view.refresh(world);
+        if self.view.is_empty() {
+            return None;
+        }
+        if self.wasted < self.patience {
+            let wastable: Vec<usize> = self.view.ineffective_indices().collect();
+            if !wastable.is_empty() {
+                let at = wastable[(self.rotate % wastable.len() as u64) as usize];
+                self.rotate += 1;
+                self.wasted += 1;
+                return Some(self.view.pairs[at]);
+            }
+        }
+        match self.worst_effective() {
+            Some(interaction) => {
+                self.wasted = 0;
+                Some(interaction)
+            }
+            None => {
+                // Stable configuration: every pair is ineffective, so rotate over
+                // them forever — the honest behaviour of a fair scheduler that has
+                // nothing productive left (callers detect stability separately).
+                let at = (self.rotate % self.view.pairs.len() as u64) as usize;
+                self.rotate += 1;
+                Some(self.view.pairs[at])
+            }
+        }
+    }
+}
+
+/// The eclipse adversary: isolates one victim component for as long as the
+/// fairness counter allows, scheduling only pairs that do not involve it.
+///
+/// When the counter reaches `patience` — or no non-victim pair is permissible —
+/// one victim interaction is conceded (effective preferred) and the counter
+/// re-arms. See the module docs.
+#[derive(Debug, Clone)]
+pub struct EclipseScheduler {
+    view: PairView,
+    victim: NodeId,
+    patience: u64,
+    eclipsed: u64,
+    rotate: u64,
+}
+
+impl EclipseScheduler {
+    /// Creates an eclipse adversary isolating the component of `victim` with the
+    /// given fairness bound.
+    #[must_use]
+    pub fn new(victim: NodeId, patience: u64) -> EclipseScheduler {
+        EclipseScheduler {
+            view: PairView::default(),
+            victim,
+            patience,
+            eclipsed: 0,
+            rotate: 0,
+        }
+    }
+
+    /// The adversary aimed at the conventional pre-elected leader (node 0).
+    #[must_use]
+    pub fn against_leader(patience: u64) -> EclipseScheduler {
+        EclipseScheduler::new(NodeId::new(0), patience)
+    }
+}
+
+impl Scheduler for EclipseScheduler {
+    fn next_interaction<P: Protocol>(&mut self, world: &World<P>) -> Option<Interaction> {
+        self.view.refresh(world);
+        if self.view.is_empty() {
+            return None;
+        }
+        let victim_component = world.component_id(self.victim);
+        let involves_victim = |i: &Interaction| {
+            world.component_id(i.a) == victim_component
+                || world.component_id(i.b) == victim_component
+        };
+        if self.eclipsed < self.patience {
+            // Prefer effective progress away from the victim; otherwise waste a
+            // selection on a rotating non-victim ineffective pair.
+            if let Some(interaction) = self
+                .view
+                .effective
+                .iter()
+                .flatten()
+                .find(|i| !involves_victim(i))
+            {
+                self.eclipsed += 1;
+                return Some(*interaction);
+            }
+            let shunned: Vec<usize> = self
+                .view
+                .ineffective_indices()
+                .filter(|&at| !involves_victim(&self.view.pairs[at]))
+                .collect();
+            if !shunned.is_empty() {
+                let at = shunned[(self.rotate % shunned.len() as u64) as usize];
+                self.rotate += 1;
+                self.eclipsed += 1;
+                return Some(self.view.pairs[at]);
+            }
+        }
+        // Concede one victim interaction: effective preferred, else any pair (the
+        // whole configuration may be stable — rotate like the other adversaries).
+        self.eclipsed = 0;
+        if let Some(interaction) = self
+            .view
+            .effective
+            .iter()
+            .flatten()
+            .find(|i| involves_victim(i))
+        {
+            return Some(*interaction);
+        }
+        if let Some(interaction) = self.view.effective.iter().flatten().next() {
+            return Some(*interaction);
+        }
+        let at = (self.rotate % self.view.pairs.len() as u64) as usize;
+        self.rotate += 1;
+        Some(self.view.pairs[at])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulation, SimulationConfig, StopReason, Transition};
+    use nc_geometry::Dir;
+
+    /// Free nodes pair up and bond (at most `n/2` effective interactions).
+    struct Pairing;
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum S {
+        Single,
+        Paired,
+    }
+
+    impl Protocol for Pairing {
+        type State = S;
+
+        fn initial_state(&self, _node: NodeId, _n: usize) -> S {
+            S::Single
+        }
+
+        fn transition(
+            &self,
+            a: &S,
+            _pa: Dir,
+            b: &S,
+            _pb: Dir,
+            bonded: bool,
+        ) -> Option<Transition<S>> {
+            if !bonded && *a == S::Single && *b == S::Single {
+                Some(Transition {
+                    a: S::Paired,
+                    b: S::Paired,
+                    bond: true,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    fn run_to_stable<Sch: Scheduler>(scheduler: Sch, n: usize) -> Simulation<Pairing, Sch> {
+        let config = SimulationConfig::new(n).with_max_steps(100_000);
+        let mut sim = Simulation::with_scheduler(Pairing, config, scheduler);
+        let report = sim.run_until_stable();
+        assert_eq!(report.reason, StopReason::Stable);
+        sim
+    }
+
+    #[test]
+    fn round_robin_reaches_stability() {
+        let sim = run_to_stable(RoundRobinScheduler::new(), 6);
+        assert_eq!(sim.stats().effective_steps, 3);
+    }
+
+    #[test]
+    fn worst_case_wastes_its_patience_then_progresses() {
+        let sim = run_to_stable(WorstCaseScheduler::new(7), 6);
+        let stats = sim.stats();
+        assert_eq!(stats.effective_steps, 3);
+        // Every effective step after the first is preceded by exactly `patience`
+        // wasted selections (in the all-singleton start every permissible pair is
+        // effective, so there is nothing to waste before the first pairing).
+        assert!(
+            stats.steps > (stats.effective_steps - 1) * 8,
+            "expected ≥ 7 wasted selections per later effective step, got {} total steps",
+            stats.steps
+        );
+    }
+
+    #[test]
+    fn eclipse_starves_the_victim_but_still_terminates() {
+        let sim = run_to_stable(EclipseScheduler::against_leader(5), 6);
+        assert_eq!(sim.stats().effective_steps, 3);
+        // The victim still ends up paired: fairness forced the concession.
+        assert_eq!(*sim.world().state(NodeId::new(0)), S::Paired);
+    }
+
+    #[test]
+    fn adversaries_are_deterministic() {
+        for _ in 0..2 {
+            let a = run_to_stable(WorstCaseScheduler::new(3), 8);
+            let b = run_to_stable(WorstCaseScheduler::new(3), 8);
+            assert_eq!(a.stats(), b.stats());
+            let sa: Vec<S> = a.world().states().cloned().collect();
+            let sb: Vec<S> = b.world().states().cloned().collect();
+            assert_eq!(sa, sb);
+        }
+    }
+}

@@ -132,7 +132,7 @@ impl InteractionIndex {
 
     /// Exclusive access to the drain state for the scan loop in `World`.
     pub(crate) fn lock(&self) -> MutexGuard<'_, IndexState> {
-        self.inner.lock().expect("interaction index lock poisoned")
+        crate::lock::relock(&self.inner)
     }
 
     /// A snapshot of the work counters.

@@ -52,10 +52,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod component;
 mod delta;
 mod error;
 mod index;
+mod lock;
 mod node;
 mod protocol;
 pub mod rng;
@@ -66,6 +68,7 @@ pub mod snapshot;
 mod stats;
 mod world;
 
+pub use adversary::{EclipseScheduler, RoundRobinScheduler, WorstCaseScheduler};
 pub use component::{Component, Placement};
 pub use delta::Epoch;
 pub use error::CoreError;
@@ -76,7 +79,7 @@ pub use scheduler::SamplingMode;
 pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
 pub use snapshot::{Snapshot, SnapshotProtocol, SnapshotReader, SnapshotWriter};
 pub use stats::{ExecutionStats, ShardStats, SpeculationStats};
-pub use world::{Interaction, Permissibility, World};
+pub use world::{Interaction, InteractionOutcome, Permissibility, World};
 
 /// Hard cap on simultaneously live state classes of the permissible-pair index.
 /// Protocols that can bound their live state diversity below this may opt into batched

@@ -1,0 +1,63 @@
+//! Poison-recovering mutex access.
+//!
+//! The sharded world takes its internal mutexes (interaction index, pair index,
+//! per-shard pending queues) from scoped worker threads. When one worker panics while
+//! holding a guard, `std` marks the mutex *poisoned* and every later `lock()` returns
+//! `Err(PoisonError)`. Turning that into a fresh panic (`.expect("lock poisoned")`)
+//! converts a single root-cause panic into a storm of secondary panics on other
+//! threads — the original message is buried under dozens of "lock poisoned" reports,
+//! and abort-on-double-panic can even take the process down before the root cause is
+//! printed.
+//!
+//! [`relock`] recovers the guard instead ([`PoisonError::into_inner`]), so only the
+//! first panic surfaces. Recovering is sound here because every critical section in
+//! this crate leaves the guarded structures in a consistent state or is followed by a
+//! validation pass (`check_invariants`, `validate_pair_index`) that the suites run
+//! after mutations — the poison flag adds no integrity information on top of that,
+//! it only records that *some* thread panicked, which the unwinding thread already
+//! reports.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// See the module docs for why recovery (rather than a secondary panic) is the right
+/// behaviour for this crate's internal locks.
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A deliberately poisoned lock must still hand out its data, so the panic that
+    /// poisoned it stays the *only* panic an observer sees (the root cause is
+    /// reported by the panicking thread itself, not masked by secondary
+    /// "lock poisoned" panics at every later access).
+    #[test]
+    fn poisoned_lock_recovers_and_keeps_root_cause() {
+        let lock = Mutex::new(vec![1u8, 2, 3]);
+        let root_cause = std::panic::catch_unwind(|| {
+            let _guard = lock.lock().unwrap();
+            panic!("root cause: worker failed mid-update");
+        })
+        .expect_err("the closure panics while holding the guard");
+        // The original panic payload survives intact for the observer…
+        let message = root_cause
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("string panic payload");
+        assert!(message.contains("root cause"), "got: {message}");
+        // …the mutex is now poisoned…
+        assert!(lock.is_poisoned());
+        // …and `relock` still yields the data instead of a masking second panic.
+        let guard = relock(&lock);
+        assert_eq!(*guard, vec![1, 2, 3]);
+        drop(guard);
+        // Repeated access keeps working (no panic storm).
+        relock(&lock).push(4);
+        assert_eq!(*relock(&lock), vec![1, 2, 3, 4]);
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::delta::{DeltaLog, Epoch, EpochFrame, WorldRecord};
 use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
+use crate::lock::relock;
 use crate::shard::{ShardMap, PARALLEL_CROSS_MIN};
 use crate::stats::{ShardStats, SpeculationStats};
 use crate::{Component, CoreError, NodeId, Placement, Protocol};
@@ -296,7 +297,7 @@ impl<P: Protocol> World<P> {
     }
 
     fn lock_pairs(&self) -> MutexGuard<'_, PairCell<P::State>> {
-        self.pairs.lock().expect("pair index lock poisoned")
+        relock(&self.pairs)
     }
 
     /// A monotone configuration version: bumped on every observable change (state write,
@@ -1032,10 +1033,7 @@ impl<P: Protocol> World<P> {
     /// shard's queue lock is taken — this is the cross-shard merge/split routing.
     fn pair_touch(&self, node: NodeId) {
         if self.pairs_active.load(Ordering::Relaxed) {
-            self.pair_pending[self.shard_map.shard_of(node)]
-                .lock()
-                .expect("pending queue lock poisoned")
-                .push(node);
+            relock(&self.pair_pending[self.shard_map.shard_of(node)]).push(node);
         }
     }
 
@@ -1063,7 +1061,7 @@ impl<P: Protocol> World<P> {
         }
         let mut pending: Vec<NodeId> = Vec::new();
         for queue in &self.pair_pending {
-            pending.append(&mut queue.lock().expect("pending queue lock poisoned"));
+            pending.append(&mut relock(queue));
         }
         if pending.is_empty() {
             return;
@@ -1222,10 +1220,10 @@ impl<P: Protocol> World<P> {
         let pending: Vec<Vec<NodeId>> = self
             .pair_pending
             .iter()
-            .map(|q| q.lock().expect("pending queue lock poisoned").clone())
+            .map(|q| relock(q).clone())
             .collect();
         let (index_pos, pairs_mode) = {
-            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            let mut cell = relock(&self.pairs);
             let mode = cell.mode;
             let pos = if matches!(mode, PairMode::Active) {
                 if !cell.index.is_logging() {
@@ -1308,11 +1306,11 @@ impl<P: Protocol> World<P> {
             state.quiescent = frame.quiescent;
         }
         for (queue, saved) in self.pair_pending.iter().zip(frame.pending) {
-            *queue.lock().expect("pending queue lock poisoned") = saved;
+            *relock(queue) = saved;
         }
         let mut rebuilt = false;
         let still_active = {
-            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            let mut cell = relock(&self.pairs);
             cell.counts_cache = None;
             match (frame.pairs_mode, cell.mode) {
                 (PairMode::Active, PairMode::Active) if !frame.index_rebuilt => {
@@ -1360,7 +1358,7 @@ impl<P: Protocol> World<P> {
         }
         if !self.delta.recording() {
             self.delta.reset_records();
-            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            let mut cell = relock(&self.pairs);
             cell.index.set_logging(false);
             cell.index.clear_oplog();
         }
@@ -1379,7 +1377,7 @@ impl<P: Protocol> World<P> {
         let _frame = self.delta.take_frame(epoch)?;
         if !self.delta.recording() {
             self.delta.reset_records();
-            let mut cell = self.pairs.lock().expect("pair index lock poisoned");
+            let mut cell = relock(&self.pairs);
             cell.index.set_logging(false);
             cell.index.clear_oplog();
         }
@@ -1688,7 +1686,7 @@ impl<P: Protocol> World<P> {
             PairMode::Active => {
                 let (slots, free) = pinned.expect("decoded for the Active mode above");
                 let view = world.geom_view();
-                let mut cell = world.pairs.lock().expect("pair index lock poisoned");
+                let mut cell = relock(&world.pairs);
                 cell.index
                     .restore_pinned(&view, &world.protocol, slots, free)
                     .map_err(|what| CoreError::SnapshotCorrupt { what })?;

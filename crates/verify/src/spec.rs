@@ -1,0 +1,277 @@
+//! Per-protocol terminal specifications: what a *stable* reachable configuration is
+//! allowed to look like.
+//!
+//! Each implementation states the protocol's correctness theorem as a decidable
+//! predicate on a [`World`]. The explorer calls [`VerifiedProtocol::check_terminal`]
+//! on every stable configuration it reaches; a failure is a counterexample to the
+//! protocol (or to the simulator — the triage is the caller's job, with the replay
+//! trace in hand).
+//!
+//! The derivations behind the counting predicate (`#q1 = r0 − r1 − debt`,
+//! `#q2 = r1 − tape_cells + debt`, tape length `= bit_width(r0)`) are spelled out in
+//! `tests/README.md`; the checker enforces exactly those identities. Stored tape-cell
+//! *bits* are deliberately not checked: the leader holds the authoritative counters
+//! and bits go stale by design (a documented simplification of the paper's tape).
+
+use nc_core::{NodeId, SnapshotProtocol, World};
+use nc_geometry::{Coord, Shape};
+use nc_protocols::counting_line::{CountingLineState, CountingOnALine};
+use nc_protocols::line::{GlobalLine, LineState};
+use nc_protocols::square::{Square, SquareState};
+
+/// A protocol with a decidable terminal-configuration specification.
+pub trait VerifiedProtocol: SnapshotProtocol + Clone {
+    /// Checks a stable configuration against the protocol's correctness theorem.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated clause.
+    fn check_terminal(&self, world: &World<Self>) -> Result<(), String>
+    where
+        Self: Sized;
+}
+
+fn bit_width(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+fn isqrt(n: usize) -> u32 {
+    let mut d = 0u32;
+    while (d as usize + 1) * (d as usize + 1) <= n {
+        d += 1;
+    }
+    d
+}
+
+/// Whether `shape` contains a full `d × d` square of cells somewhere.
+fn contains_full_square(shape: &Shape, d: u32) -> bool {
+    if d == 0 {
+        return true;
+    }
+    let d = d as i32;
+    shape.cells().any(|c| {
+        (0..d).all(|dx| (0..d).all(|dy| shape.contains_cell(Coord::new2(c.x + dx, c.y + dy))))
+    })
+}
+
+impl VerifiedProtocol for GlobalLine {
+    /// Theorem (spanning line): a stable configuration is a single component whose
+    /// shape is a straight line of all `n` nodes — one leader, `n − 1` settled `q1`s,
+    /// and no free `q0` left (a `q0` always leaves the leader's waiting port
+    /// grabbable, so stability implies none remain).
+    fn check_terminal(&self, world: &World<Self>) -> Result<(), String> {
+        let n = world.len();
+        let mut leaders = 0usize;
+        let mut q0 = 0usize;
+        for state in world.states() {
+            match state {
+                LineState::Leader(_) => leaders += 1,
+                LineState::Q0 => q0 += 1,
+                LineState::Q1 => {}
+            }
+        }
+        if leaders != 1 {
+            return Err(format!("expected exactly one leader, found {leaders}"));
+        }
+        if q0 != 0 {
+            return Err(format!("stable with {q0} unabsorbed q0 node(s)"));
+        }
+        if world.component_count() != 1 {
+            return Err(format!(
+                "expected one spanning component, found {}",
+                world.component_count()
+            ));
+        }
+        let shape = world.shape_of(NodeId::new(0), false);
+        if !shape.is_line(n) {
+            return Err(format!("component is not a line of {n} cells: {shape:?}"));
+        }
+        Ok(())
+    }
+}
+
+impl VerifiedProtocol for Square {
+    /// Theorem (square): a stable configuration is a single spanning component with
+    /// no `q0` left; for `n = d²` its shape is the full `d × d` square, otherwise it
+    /// is the full `⌊√n⌋` square plus a partial next shell (bounding box at most
+    /// `(d + 1) × (d + 1)`).
+    fn check_terminal(&self, world: &World<Self>) -> Result<(), String> {
+        let n = world.len();
+        let mut leaders = 0usize;
+        let mut q0 = 0usize;
+        for state in world.states() {
+            match state {
+                SquareState::Leader(_) => leaders += 1,
+                SquareState::Q0 => q0 += 1,
+                SquareState::Q1 => {}
+            }
+        }
+        if leaders != 1 {
+            return Err(format!("expected exactly one leader, found {leaders}"));
+        }
+        if q0 != 0 {
+            return Err(format!("stable with {q0} unrecruited q0 node(s)"));
+        }
+        if world.component_count() != 1 {
+            return Err(format!(
+                "expected one spanning component, found {}",
+                world.component_count()
+            ));
+        }
+        let d = isqrt(n);
+        let shape = world.shape_of(NodeId::new(0), false);
+        if n == (d as usize) * (d as usize) {
+            if !shape.is_full_square(d) {
+                return Err(format!("expected the full {d}x{d} square, got {shape:?}"));
+            }
+        } else {
+            if !contains_full_square(&shape, d) {
+                return Err(format!(
+                    "shape does not contain the full {d}x{d} core: {shape:?}"
+                ));
+            }
+            if shape.max_dim() > d + 1 {
+                return Err(format!(
+                    "partial shell exceeds the {}x{} bounding box: {shape:?}",
+                    d + 1,
+                    d + 1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VerifiedProtocol for CountingOnALine {
+    /// Theorem (counting): a stable configuration has a halted leader whose counters
+    /// satisfy the accounting identities. Writing `x` for non-recruiting first
+    /// meetings, `t` for recruits, `y` for second meetings and `z` for repayments:
+    /// `r0 = x + t`, `r1 = y`, `debt = t − z`, `tape_cells = t`, hence
+    /// `#q1 = x − y + z = r0 − r1 − debt` and `#q2 = y − z = r1 − tape_cells + debt`.
+    /// Halting requires `r0 = r1 ≥ b`, and `#q1 ≥ 0` then forces `debt = 0`, so at
+    /// the halt: no `q1`, `#q2 = r0 − tape_cells`, `#q0 = n − 1 − r0`, and the tape
+    /// (cells plus leader) is a line of exactly `bit_width(r0)` cells with distinct
+    /// indices `0..tape_cells`. The count itself (`r0 = n − 1`) is *not* part of the
+    /// spec — the protocol is correct with high probability under the uniform
+    /// scheduler, not surely, and small-`n` runs can legitimately halt early.
+    fn check_terminal(&self, world: &World<Self>) -> Result<(), String> {
+        let n = world.len();
+        let mut halted: Option<(NodeId, nc_protocols::counting_line::LeaderCounters)> = None;
+        let (mut q0, mut q1, mut q2) = (0u64, 0u64, 0u64);
+        let mut tape_indices = Vec::new();
+        for node in world.nodes() {
+            match world.state(node) {
+                CountingLineState::Leader(_) => {
+                    return Err(format!(
+                        "stable but the leader at {node} has not halted (starvation)"
+                    ));
+                }
+                CountingLineState::Halted(c) => {
+                    if halted.replace((node, *c)).is_some() {
+                        return Err("more than one halted leader".into());
+                    }
+                }
+                CountingLineState::TapeCell { index, .. } => tape_indices.push((node, *index)),
+                CountingLineState::Q0 => q0 += 1,
+                CountingLineState::Q1 => q1 += 1,
+                CountingLineState::Q2 => q2 += 1,
+            }
+        }
+        let Some((leader, c)) = halted else {
+            return Err("stable without a halted leader (starvation)".into());
+        };
+        if c.r0 != c.r1 || c.r0 < self.head_start() {
+            return Err(format!(
+                "halted with inconsistent counters r0={} r1={} (head start {})",
+                c.r0,
+                c.r1,
+                self.head_start()
+            ));
+        }
+        if c.debt != 0 {
+            return Err(format!("halted with outstanding debt {}", c.debt));
+        }
+        if q1 != 0 {
+            return Err(format!("halted with {q1} once-counted q1 node(s)"));
+        }
+        if u64::from(c.tape_cells) > c.r0 || q2 != c.r0 - u64::from(c.tape_cells) {
+            return Err(format!(
+                "q2 accounting broken: #q2={q2}, r0={}, tape_cells={}",
+                c.r0, c.tape_cells
+            ));
+        }
+        if c.r0 > (n as u64) - 1 || q0 != (n as u64) - 1 - c.r0 {
+            return Err(format!(
+                "q0 accounting broken: #q0={q0}, r0={}, n={n}",
+                c.r0
+            ));
+        }
+        // Tape shape: the leader plus its cells form a line of bit_width(r0) cells.
+        let width = bit_width(c.r0);
+        if u64::from(c.tape_cells) + 1 != u64::from(width) {
+            return Err(format!(
+                "tape capacity {} does not match bit_width(r0)={width}",
+                c.tape_cells + 1
+            ));
+        }
+        let mut seen = vec![false; tape_indices.len()];
+        for &(node, index) in &tape_indices {
+            if index >= c.tape_cells || seen[index as usize] {
+                return Err(format!(
+                    "tape cell {node} has bad or duplicate index {index}"
+                ));
+            }
+            seen[index as usize] = true;
+            if world.component_id(node) != world.component_id(leader) {
+                return Err(format!("tape cell {node} detached from the leader's tape"));
+            }
+        }
+        if world.component(leader).len() != c.tape_cells as usize + 1 {
+            return Err(format!(
+                "leader's component has {} members, expected tape_cells + 1 = {}",
+                world.component(leader).len(),
+                c.tape_cells + 1
+            ));
+        }
+        let shape = world.shape_of(leader, false);
+        if !shape.is_line(width as usize) {
+            return Err(format!("tape is not a line of {width} cells: {shape:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::{Simulation, SimulationConfig};
+
+    /// The specs accept what honest uniform-scheduler runs actually produce.
+    #[test]
+    fn specs_accept_honest_runs() {
+        for seed in 0..5 {
+            let mut sim = Simulation::new(GlobalLine, SimulationConfig::new(6).with_seed(seed));
+            assert!(sim.run_until_stable().stabilized);
+            GlobalLine.check_terminal(sim.world()).expect("line spec");
+
+            let mut sim = Simulation::new(Square::new(), SimulationConfig::new(5).with_seed(seed));
+            assert!(sim.run_until_stable().stabilized);
+            Square::new()
+                .check_terminal(sim.world())
+                .expect("square spec");
+
+            let proto = CountingOnALine::new(1);
+            let mut sim = Simulation::new(proto, SimulationConfig::new(6).with_seed(seed));
+            assert!(sim.run_until_any_halted().condition_met());
+            proto.check_terminal(sim.world()).expect("counting spec");
+        }
+    }
+
+    /// The counting spec rejects a fresh (unstarted, unhalted) world.
+    #[test]
+    fn counting_spec_rejects_unhalted() {
+        let proto = CountingOnALine::new(1);
+        let world = nc_core::World::new(proto, 3);
+        let err = proto.check_terminal(&world).unwrap_err();
+        assert!(err.contains("has not halted"), "{err}");
+    }
+}

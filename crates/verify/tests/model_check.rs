@@ -1,0 +1,156 @@
+//! The model-checking theorems at the verified sizes, as regression tests.
+//!
+//! Exhaustive exploration is cheap enough (worst row: 1365 canonical states) to run
+//! the *full* verified sizes even in debug builds, so these tests pin exactly what
+//! the `verify` binary proves: no bad terminal, fair termination and oracle
+//! agreement at every verified (protocol, n) — plus the canonical state counts, so
+//! any semantics drift in the simulator or the protocols fails here too.
+
+use nc_core::{Simulation, Snapshot};
+use nc_protocols::counting_line::{CountingLineState, CountingOnALine};
+use nc_protocols::line::GlobalLine;
+use nc_protocols::square::Square;
+use nc_verify::{explore, VerifiedProtocol, ViolationKind};
+
+#[test]
+fn global_line_verified_up_to_6() {
+    // One leader grab per step, four port choices for the grabbed node: the graph is
+    // a 4-ary tree with (4^n - 1) / 3 canonical states and 4^(n-1) terminal lines.
+    let expected_states = [1, 5, 21, 85, 341, 1365];
+    for n in 1..=6 {
+        let ex = explore(GlobalLine, n).expect("exploration in bounds");
+        ex.assert_clean();
+        assert_eq!(ex.state_count(), expected_states[n - 1], "n={n}");
+        assert_eq!(ex.terminal_count(), 4usize.pow(n as u32 - 1), "n={n}");
+    }
+}
+
+#[test]
+fn square_verified_up_to_5() {
+    // The port conditions make the square's growth deterministic up to isomorphism:
+    // the graph is a path, with a single terminal shape.
+    let expected_states = [1, 2, 3, 5, 6];
+    for n in 1..=5 {
+        let ex = explore(Square::new(), n).expect("exploration in bounds");
+        ex.assert_clean();
+        assert_eq!(ex.state_count(), expected_states[n - 1], "n={n}");
+        assert_eq!(ex.terminal_count(), 1, "n={n}");
+    }
+}
+
+#[test]
+fn counting_b1_verified_up_to_6() {
+    let expected = [(4, 1), (9, 2), (16, 3), (33, 5), (56, 7)];
+    for (i, &(states, terminals)) in expected.iter().enumerate() {
+        let n = i + 2;
+        let ex = explore(CountingOnALine::new(1), n).expect("exploration in bounds");
+        ex.assert_clean();
+        assert_eq!(ex.state_count(), states, "n={n}");
+        assert_eq!(ex.terminal_count(), terminals, "n={n}");
+    }
+}
+
+/// The head-start boundary, proven both ways: with head start `b` the protocol
+/// starves iff `n - 1 < b` (the leader can never count enough first meetings to
+/// unlock second meetings). At the boundary (`n - 1 == b`) it verifies clean.
+#[test]
+fn counting_head_start_boundary() {
+    for (b, n, starves) in [
+        (2u64, 2usize, true),
+        (2, 3, false),
+        (2, 4, false),
+        (3, 2, true),
+        (3, 3, true),
+        (3, 4, false),
+    ] {
+        let ex = explore(CountingOnALine::new(b), n).expect("exploration in bounds");
+        if starves {
+            assert!(
+                ex.violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::BadTerminal),
+                "b={b} n={n}: expected a starved stable configuration"
+            );
+            assert!(
+                ex.violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::Unfair),
+                "b={b} n={n}: starvation must also fail fair termination"
+            );
+            assert!(
+                !ex.violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::OracleMismatch),
+                "starvation is a protocol property, never a machinery mismatch"
+            );
+        } else {
+            ex.assert_clean();
+        }
+    }
+}
+
+/// A violation's trace must replay through the production machinery to a stable
+/// configuration that indeed fails the spec, and its snapshot export must round-trip
+/// through the PR-5 format and resume into the same canonical configuration.
+#[test]
+fn counterexample_traces_replay_and_snapshot() {
+    let proto = CountingOnALine::new(2);
+    let ex = explore(proto, 2).expect("exploration in bounds");
+    let bad = ex
+        .violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::BadTerminal)
+        .expect("the b=2, n=2 negative control starves");
+    assert!(bad.detail.contains("starvation"), "{}", bad.detail);
+
+    // Replay: BFS traces are minimal, and this one is a single first meeting.
+    assert_eq!(bad.path.len(), 1);
+    let world = ex.replay(&bad.path).expect("trace replays");
+    assert!(world.is_stable_scan());
+    assert!(proto.check_terminal(&world).is_err());
+    assert_eq!(ex.key_of(&world), ex.states[bad.state].key);
+    assert!(matches!(
+        world.state(nc_core::NodeId::new(0)),
+        CountingLineState::Leader(c) if c.r0 == 1
+    ));
+
+    // Snapshot round-trip: export, re-parse, resume, compare canonical keys.
+    let snapshot = ex.counterexample_snapshot(bad.state);
+    let bytes = snapshot.into_bytes();
+    let parsed = Snapshot::from_bytes(bytes).expect("snapshot parses");
+    let resumed = Simulation::resume(proto, &parsed).expect("snapshot resumes");
+    assert_eq!(ex.key_of(resumed.world()), ex.states[bad.state].key);
+    assert!(resumed.world().is_stable_scan());
+}
+
+/// Unfair states really cannot reach a good terminal: brute-force forward closure
+/// from a reported unfair state must contain no good terminal.
+#[test]
+fn unfair_verdicts_are_forward_closed() {
+    let proto = CountingOnALine::new(3);
+    let ex = explore(proto, 3).expect("exploration in bounds");
+    let unfair: Vec<usize> = ex
+        .violations
+        .iter()
+        .filter(|v| v.kind == ViolationKind::Unfair)
+        .map(|v| v.state)
+        .collect();
+    assert!(!unfair.is_empty());
+    for start in unfair {
+        let mut seen = vec![false; ex.states.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            assert!(
+                !ex.states[i].good_terminal,
+                "state {start} was reported unfair but reaches good terminal {i}"
+            );
+            for &s in &ex.states[i].successors {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Adversarial-but-fair scheduling suite.
+//!
+//! The uniform scheduler is fair with probability 1; the paper's guarantees, however,
+//! are stated against *any* fair scheduler. The `nc_core::adversary` module provides
+//! three deterministic adversaries that stay fair while being as obstructive as the
+//! fairness condition allows:
+//!
+//! * `RoundRobinScheduler` — cycles over every permissible pair in enumeration order,
+//!   the classic fairness witness;
+//! * `WorstCaseScheduler` — burns a patience budget on ineffective pairs before
+//!   conceding one effective interaction, maximizing wasted selections;
+//! * `EclipseScheduler` — starves one victim node (default: the initial leader) for
+//!   as long as any other interaction is available, conceding only when its bounded
+//!   patience counter saturates (the fairness escape hatch).
+//!
+//! Each protocol must reach its guaranteed outcome under every adversary — that is
+//! the *fairness suffices* half of the correctness argument, complementing the
+//! exhaustive small-n proof in `crates/verify` (which shows the guaranteed terminal
+//! stays reachable from every reachable configuration) at populations the explorer
+//! cannot enumerate. The adversaries consume no randomness, so their runs must also
+//! be bit-deterministic, and their trajectories must uphold the same index/invariant
+//! contracts the equivalence suite pins for the samplers.
+
+use shape_constructors::core::scheduler::Scheduler;
+use shape_constructors::core::{
+    EclipseScheduler, Protocol, RoundRobinScheduler, Simulation, SimulationConfig,
+    WorstCaseScheduler,
+};
+use shape_constructors::protocols::counting_line::{final_count, CountingOnALine};
+use shape_constructors::protocols::line::GlobalLine;
+use shape_constructors::protocols::square::Square;
+
+const MAX_STEPS: u64 = 50_000_000;
+
+fn config(n: usize) -> SimulationConfig {
+    SimulationConfig::new(n).with_max_steps(MAX_STEPS)
+}
+
+/// Runs `protocol` under `scheduler` until `halt`/stability and returns
+/// (steps, effective steps, a digest of the final configuration).
+fn run<P, S>(protocol: P, n: usize, halt: bool, scheduler: S) -> (u64, u64, String)
+where
+    P: Protocol,
+    S: Scheduler,
+{
+    let mut sim = Simulation::with_scheduler(protocol, config(n), scheduler);
+    let report = if halt {
+        sim.run_until_any_halted()
+    } else {
+        sim.run_until_stable()
+    };
+    assert!(
+        report.steps < MAX_STEPS,
+        "adversarial run hit the step ceiling (fairness violated?)"
+    );
+    assert!(sim.world().check_invariants());
+    let digest = format!(
+        "{:?}|bonds={}|shape={:?}",
+        sim.world().state_slice(),
+        sim.world().bond_count(),
+        sim.output_shape().canonical()
+    );
+    (report.steps, report.effective_steps, digest)
+}
+
+/// Every adversary, every protocol: the guaranteed outcome must be reached.
+#[test]
+fn guaranteed_outcomes_under_every_adversary() {
+    for n in [2usize, 9, 33] {
+        for patience in [1u64, 8] {
+            let mut sim = Simulation::with_scheduler(
+                GlobalLine::new(),
+                config(n),
+                RoundRobinScheduler::new(),
+            );
+            assert!(sim.run_until_stable().stabilized);
+            assert!(sim.output_shape().is_line(n), "round-robin, n={n}");
+
+            let mut sim = Simulation::with_scheduler(
+                GlobalLine::new(),
+                config(n),
+                WorstCaseScheduler::new(patience),
+            );
+            assert!(sim.run_until_stable().stabilized);
+            assert!(
+                sim.output_shape().is_line(n),
+                "worst-case({patience}), n={n}"
+            );
+
+            let mut sim = Simulation::with_scheduler(
+                GlobalLine::new(),
+                config(n),
+                EclipseScheduler::against_leader(patience),
+            );
+            assert!(sim.run_until_stable().stabilized);
+            assert!(sim.output_shape().is_line(n), "eclipse({patience}), n={n}");
+        }
+    }
+    for d in [2u32, 3, 4] {
+        let n = (d * d) as usize;
+        let mut sim =
+            Simulation::with_scheduler(Square::new(), config(n), RoundRobinScheduler::new());
+        assert!(sim.run_until_stable().stabilized);
+        assert!(sim.output_shape().is_full_square(d), "round-robin, d={d}");
+
+        let mut sim =
+            Simulation::with_scheduler(Square::new(), config(n), WorstCaseScheduler::new(4));
+        assert!(sim.run_until_stable().stabilized);
+        assert!(sim.output_shape().is_full_square(d), "worst-case, d={d}");
+
+        let mut sim = Simulation::with_scheduler(
+            Square::new(),
+            config(n),
+            EclipseScheduler::against_leader(4),
+        );
+        assert!(sim.run_until_stable().stabilized);
+        assert!(sim.output_shape().is_full_square(d), "eclipse, d={d}");
+    }
+    for n in [5usize, 16] {
+        // b = 2 keeps the head-start machinery (recruits, debt) in play; n - 1 ≥ b.
+        let proto = || CountingOnALine::new(2);
+        let mut sim = Simulation::with_scheduler(proto(), config(n), RoundRobinScheduler::new());
+        assert!(sim.run_until_any_halted().condition_met());
+        let c = final_count(&sim).expect("halted leader");
+        assert!(c.r0 == c.r1 && c.debt == 0, "round-robin, n={n}: {c:?}");
+
+        let mut sim = Simulation::with_scheduler(proto(), config(n), WorstCaseScheduler::new(8));
+        assert!(sim.run_until_any_halted().condition_met());
+        let c = final_count(&sim).expect("halted leader");
+        assert!(c.r0 == c.r1 && c.debt == 0, "worst-case, n={n}: {c:?}");
+
+        // The eclipse victim is the leader itself: every productive interaction in
+        // this protocol involves it, so the scheduler is forced through its patience
+        // escape hatch on every single step — the harshest fair schedule there is.
+        let mut sim =
+            Simulation::with_scheduler(proto(), config(n), EclipseScheduler::against_leader(8));
+        assert!(sim.run_until_any_halted().condition_met());
+        let c = final_count(&sim).expect("halted leader");
+        assert!(c.r0 == c.r1 && c.debt == 0, "eclipse, n={n}: {c:?}");
+    }
+}
+
+/// Adversaries consume no randomness: two identical runs must take the identical
+/// trajectory (steps, effective steps, final configuration digest).
+#[test]
+fn adversarial_runs_are_deterministic() {
+    for patience in [1u64, 8] {
+        let a = run(
+            GlobalLine::new(),
+            17,
+            false,
+            WorstCaseScheduler::new(patience),
+        );
+        let b = run(
+            GlobalLine::new(),
+            17,
+            false,
+            WorstCaseScheduler::new(patience),
+        );
+        assert_eq!(a, b, "worst-case({patience})");
+
+        let a = run(
+            CountingOnALine::new(2),
+            9,
+            true,
+            EclipseScheduler::against_leader(patience),
+        );
+        let b = run(
+            CountingOnALine::new(2),
+            9,
+            true,
+            EclipseScheduler::against_leader(patience),
+        );
+        assert_eq!(a, b, "eclipse({patience})");
+    }
+    let a = run(Square::new(), 9, false, RoundRobinScheduler::new());
+    let b = run(Square::new(), 9, false, RoundRobinScheduler::new());
+    assert_eq!(a, b, "round-robin");
+}
+
+/// The worst-case adversary really wastes its patience: with patience `p`, total
+/// selections grow at least `p`-fold over the effective ones (minus the opening
+/// moves where every permissible pair is effective and nothing can be wasted).
+#[test]
+fn worst_case_patience_scales_wasted_steps() {
+    let (lo_steps, lo_eff, _) = run(GlobalLine::new(), 9, false, WorstCaseScheduler::new(1));
+    let (hi_steps, hi_eff, _) = run(GlobalLine::new(), 9, false, WorstCaseScheduler::new(16));
+    assert_eq!(
+        lo_eff, hi_eff,
+        "patience must not change the effective work"
+    );
+    assert!(
+        hi_steps > lo_steps,
+        "higher patience must waste more selections ({lo_steps} vs {hi_steps})"
+    );
+    assert!(hi_steps > (hi_eff - 1) * 16);
+}
+
+/// Index/invariant contracts hold along adversarial trajectories too: after every
+/// step the incremental stability answer agrees with the exhaustive scan.
+#[test]
+fn adversarial_trajectories_uphold_index_contracts() {
+    let mut sim =
+        Simulation::with_scheduler(GlobalLine::new(), config(12), WorstCaseScheduler::new(3));
+    let mut guard = 0;
+    while !sim.world().is_stable_scan() {
+        sim.step();
+        assert_eq!(
+            sim.world().find_effective_interaction().is_some(),
+            sim.world().find_effective_interaction_scan().is_some()
+        );
+        assert!(sim.world().check_invariants());
+        guard += 1;
+        assert!(guard < 100_000, "run did not stabilize");
+    }
+    assert!(sim.output_shape().is_line(12));
+}
