@@ -61,12 +61,12 @@ fn write_fixture(path: &std::path::Path) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
-    std::fs::write(path, sim.checkpoint().as_bytes())
+    std::fs::write(path, sim.checkpoint().expect("checkpoint").as_bytes())
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!(
         "wrote {} ({} bytes, {} steps)",
         path.display(),
-        sim.checkpoint().len(),
+        sim.checkpoint().expect("checkpoint").len(),
         sim.stats().steps
     );
     Ok(())
@@ -144,7 +144,9 @@ fn replay<P: nc_core::SnapshotProtocol>(
     if !diff_stats(0, &resumed.stats(), &reference.stats()) {
         return Err("statistics differ at the snapshot point itself".into());
     }
-    if resumed.checkpoint().as_bytes() != reference.checkpoint().as_bytes() {
+    if resumed.checkpoint().expect("checkpoint").as_bytes()
+        != reference.checkpoint().expect("checkpoint").as_bytes()
+    {
         return Err("checkpoint bytes differ at the snapshot point itself".into());
     }
     let mut executed = 0u64;
@@ -163,11 +165,16 @@ fn replay<P: nc_core::SnapshotProtocol>(
         if !diff_stats(step, &resumed.stats(), &reference.stats()) {
             return Err(format!("per-step statistics diverged at step {step}"));
         }
-        if step % 25 == 0 && resumed.checkpoint().as_bytes() != reference.checkpoint().as_bytes() {
+        if step % 25 == 0
+            && resumed.checkpoint().expect("checkpoint").as_bytes()
+                != reference.checkpoint().expect("checkpoint").as_bytes()
+        {
             return Err(format!("checkpoint bytes diverged at step {step}"));
         }
     }
-    if resumed.checkpoint().as_bytes() != reference.checkpoint().as_bytes() {
+    if resumed.checkpoint().expect("checkpoint").as_bytes()
+        != reference.checkpoint().expect("checkpoint").as_bytes()
+    {
         return Err("terminal checkpoints differ".into());
     }
     println!(

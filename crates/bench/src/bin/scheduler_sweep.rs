@@ -43,6 +43,7 @@
 //! selections and n = 1024 exceeds 2·10⁹, so Square is swept to 512 and its legacy
 //! rows to 128. `--legacy-max` can lower (never raise) the legacy caps.
 
+use nc_bench::sweep::SweepRow;
 use nc_core::scheduler::Scheduler;
 use nc_core::{
     EclipseScheduler, RoundRobinScheduler, RunReport, SamplingMode, Simulation, SimulationConfig,
@@ -148,57 +149,16 @@ const MODES: [ModeSpec; 8] = [
     },
 ];
 
-struct Row {
-    protocol: &'static str,
-    n: usize,
-    mode: &'static str,
-    shards: usize,
-    seed: u64,
-    seconds: f64,
-    steps: u64,
-    effective_steps: u64,
-    skipped_steps: u64,
-    steps_per_sec: f64,
-    completed: bool,
-    speculated: u64,
-    spec_committed: u64,
-    spec_rolled_back: u64,
-    spec_rollback_rate: f64,
-    snapshot_ms: f64,
-    resume_ms: f64,
-}
-
-impl Row {
-    fn to_json(&self) -> String {
-        format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}, \"snapshot_ms\": {:.4}, \"resume_ms\": {:.4}}}",
-            self.protocol,
-            self.n,
-            self.mode,
-            self.shards,
-            self.seed,
-            self.seconds,
-            self.steps,
-            self.effective_steps,
-            self.skipped_steps,
-            self.steps_per_sec,
-            self.completed,
-            self.speculated,
-            self.spec_committed,
-            self.spec_rolled_back,
-            self.spec_rollback_rate,
-            self.snapshot_ms,
-            self.resume_ms
-        )
-    }
-}
+/// Row type shared with the `nc-service` stats tier (`nc_bench::sweep`): the sweep
+/// binary and the serving tier emit the same JSON schema.
+type Row = SweepRow;
 
 /// Times one `checkpoint()` and one `resume()` of the finished run (milliseconds),
 /// sanity-checking that the round trip reproduces the statistics — so the bench
 /// artifact doubles as a coarse end-of-run snapshot-exactness probe on every cell.
 fn snapshot_timings<P: SnapshotProtocol>(protocol: P, sim: &Simulation<P>) -> (f64, f64) {
     let started = Instant::now();
-    let snapshot = sim.checkpoint();
+    let snapshot = sim.checkpoint().expect("checkpoint");
     let snapshot_ms = started.elapsed().as_secs_f64() * 1e3;
     let started = Instant::now();
     let resumed = Simulation::resume(protocol, &snapshot).expect("end-of-run snapshot resumes");
@@ -262,9 +222,9 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
     let seconds = started.elapsed().as_secs_f64() - (timings.0 + timings.1) / 1e3;
     let speculation = report.speculation;
     Row {
-        protocol: proto.name(),
+        protocol: proto.name().to_string(),
         n,
-        mode: spec.label,
+        mode: spec.label.to_string(),
         shards: spec.shards,
         seed,
         seconds,
@@ -342,9 +302,9 @@ fn run_adversary(proto: Proto, n: usize, adversary: &'static str) -> Row {
     };
     let seconds = started.elapsed().as_secs_f64();
     Row {
-        protocol: proto.name(),
+        protocol: proto.name().to_string(),
         n,
-        mode: adversary,
+        mode: adversary.to_string(),
         shards: 1,
         seed: 0,
         seconds,
@@ -410,15 +370,29 @@ fn smoke(protos: &[Proto], seed: u64) {
             }
             per_mode.push(row);
         }
-        let indexed = per_mode.iter().find(|r| r.mode == "indexed").unwrap();
-        let batched = per_mode.iter().find(|r| r.mode == "batched").unwrap();
-        if batched.steps_per_sec < indexed.steps_per_sec {
-            failures.push(format!(
-                "{}: batched {:.0} steps/s slower than indexed {:.0} steps/s",
+        // A missing mode row (e.g. a future filtered run that skips a sampler) must
+        // degrade this gate to "skipped with a note", not abort the whole sweep.
+        let indexed = per_mode.iter().find(|r| r.mode == "indexed");
+        let batched = per_mode.iter().find(|r| r.mode == "batched");
+        match (indexed, batched) {
+            (Some(indexed), Some(batched)) => {
+                if batched.steps_per_sec < indexed.steps_per_sec {
+                    failures.push(format!(
+                        "{}: batched {:.0} steps/s slower than indexed {:.0} steps/s",
+                        proto.name(),
+                        batched.steps_per_sec,
+                        indexed.steps_per_sec
+                    ));
+                }
+            }
+            _ => {
+                eprintln!(
+                "smoke note: {}: batched-vs-indexed gate skipped (indexed row {}, batched row {})",
                 proto.name(),
-                batched.steps_per_sec,
-                indexed.steps_per_sec
-            ));
+                if indexed.is_some() { "present" } else { "missing" },
+                if batched.is_some() { "present" } else { "missing" },
+            )
+            }
         }
         let sharded: Vec<&Row> = per_mode
             .iter()

@@ -1,0 +1,141 @@
+//! The shared row format of scheduler-sweep artifacts (`BENCH_scheduler.json`).
+//!
+//! One [`SweepRow`] describes one benchmarked execution: protocol, population size,
+//! sampling-mode label, shard count, seed, wall-clock, step accounting, speculation
+//! counters and the end-of-run snapshot/resume timings. The `scheduler_sweep` binary
+//! emits these rows as the perf baseline, and the `nc-service` results/stats
+//! component serves the same shape over HTTP for completed jobs — one schema, two
+//! producers, so downstream tooling reads both with the same parser.
+//!
+//! Serialization is a hand-rolled JSON emitter (the build environment is offline, so
+//! no serde), field order fixed and stable across producers.
+
+/// One benchmarked or served execution row of a `BENCH_scheduler.json`-style
+/// document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Protocol name (`global-line`, `square`, `counting-on-a-line`, …).
+    pub protocol: String,
+    /// Population size.
+    pub n: usize,
+    /// Sampling-mode label (`legacy`, `indexed`, `batched`, `sharded4`,
+    /// `speculative2`, an adversary name, …).
+    pub mode: String,
+    /// Shard count of the run's world layout.
+    pub shards: usize,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Wall-clock seconds of the run.
+    pub seconds: f64,
+    /// Scheduler steps (including batched/sharded bulk credits).
+    pub steps: u64,
+    /// Effective steps.
+    pub effective_steps: u64,
+    /// Bulk-credited ineffective selections.
+    pub skipped_steps: u64,
+    /// Steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Whether the run reached its protocol's guaranteed outcome.
+    pub completed: bool,
+    /// Optimistically executed interactions (speculative mode only).
+    pub speculated: u64,
+    /// Speculated interactions confirmed by the canonical draw.
+    pub spec_committed: u64,
+    /// Speculated interactions rolled back.
+    pub spec_rolled_back: u64,
+    /// `spec_rolled_back / speculated` (0 when nothing was speculated).
+    pub spec_rollback_rate: f64,
+    /// Milliseconds to take one end-of-run checkpoint.
+    pub snapshot_ms: f64,
+    /// Milliseconds to resume that checkpoint.
+    pub resume_ms: f64,
+}
+
+impl SweepRow {
+    /// The row as one JSON object (fixed field order, four-space indent to sit
+    /// inside the sweep document's `rows` array).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}, \"snapshot_ms\": {:.4}, \"resume_ms\": {:.4}}}",
+            self.protocol,
+            self.n,
+            self.mode,
+            self.shards,
+            self.seed,
+            self.seconds,
+            self.steps,
+            self.effective_steps,
+            self.skipped_steps,
+            self.steps_per_sec,
+            self.completed,
+            self.speculated,
+            self.spec_committed,
+            self.spec_rolled_back,
+            self.spec_rollback_rate,
+            self.snapshot_ms,
+            self.resume_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepRow {
+        SweepRow {
+            protocol: "square".to_string(),
+            n: 256,
+            mode: "sharded4".to_string(),
+            shards: 4,
+            seed: 1,
+            seconds: 0.25,
+            steps: 1000,
+            effective_steps: 400,
+            skipped_steps: 600,
+            steps_per_sec: 4000.0,
+            completed: true,
+            speculated: 0,
+            spec_committed: 0,
+            spec_rolled_back: 0,
+            spec_rollback_rate: 0.0,
+            snapshot_ms: 0.5,
+            resume_ms: 0.75,
+        }
+    }
+
+    #[test]
+    fn json_contains_every_field_in_order() {
+        let json = sample().to_json();
+        let keys = [
+            "protocol",
+            "n",
+            "mode",
+            "shards",
+            "seed",
+            "seconds",
+            "steps",
+            "effective_steps",
+            "skipped_steps",
+            "steps_per_sec",
+            "completed",
+            "speculated",
+            "spec_committed",
+            "spec_rolled_back",
+            "spec_rollback_rate",
+            "snapshot_ms",
+            "resume_ms",
+        ];
+        let mut last = 0;
+        for key in keys {
+            let needle = format!("\"{key}\":");
+            let at = json[last..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{key} missing or out of order in {json}"));
+            last += at;
+        }
+        assert!(json.contains("\"protocol\": \"square\""));
+        assert!(json.contains("\"completed\": true"));
+    }
+}

@@ -73,6 +73,7 @@ pub use component::{Component, Placement};
 pub use delta::Epoch;
 pub use error::CoreError;
 pub use index::IndexStats;
+pub use lock::panic_message;
 pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
 pub use scheduler::SamplingMode;

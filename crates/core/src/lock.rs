@@ -17,6 +17,7 @@
 //! it only records that *some* thread panicked, which the unwinding thread already
 //! reports.
 
+use std::any::Any;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Locks `mutex`, recovering the guard if a previous holder panicked.
@@ -25,6 +26,28 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// behaviour for this crate's internal locks.
 pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a panic payload (the value returned by
+/// [`std::panic::catch_unwind`]'s `Err` arm or passed to a panic hook).
+///
+/// `panic!("literal")` produces a `&'static str` payload, `panic!("{x}")` and
+/// `std::panic::panic_any(String::from(..))` produce a `String`, and
+/// `panic_any(other)` produces an arbitrary opaque type. Downcasting to only one of
+/// these — the classic `payload.downcast_ref::<&str>().expect(..)` — itself panics
+/// on the other two, replacing the root cause with a misleading secondary report.
+/// This helper handles all three shapes and never panics: observers that report a
+/// crash (the service tier's workers, the poisoned-lock test below) get the original
+/// message, or a placeholder for opaque payloads.
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
 }
 
 #[cfg(test)]
@@ -44,11 +67,10 @@ mod tests {
             panic!("root cause: worker failed mid-update");
         })
         .expect_err("the closure panics while holding the guard");
-        // The original panic payload survives intact for the observer…
-        let message = root_cause
-            .downcast_ref::<&str>()
-            .copied()
-            .expect("string panic payload");
+        // The original panic payload survives intact for the observer (extracted
+        // through `panic_message`, which cannot itself panic on a surprising
+        // payload type — the bug the old `.expect("string panic payload")` had).
+        let message = panic_message(root_cause.as_ref());
         assert!(message.contains("root cause"), "got: {message}");
         // …the mutex is now poisoned…
         assert!(lock.is_poisoned());
@@ -59,5 +81,34 @@ mod tests {
         // Repeated access keeps working (no panic storm).
         relock(&lock).push(4);
         assert_eq!(*relock(&lock), vec![1, 2, 3, 4]);
+    }
+
+    /// Every payload shape a panic can carry must come back as a readable message:
+    /// `panic!("literal")` (`&'static str`), `panic!("{}", ..)` (`String`), and
+    /// `panic_any` of an arbitrary type (opaque placeholder). None of them may make
+    /// the extractor itself panic.
+    #[test]
+    fn panic_message_handles_str_string_and_opaque_payloads() {
+        let payload = std::panic::catch_unwind(|| panic!("literal payload")).expect_err("panics");
+        assert_eq!(panic_message(payload.as_ref()), "literal payload");
+
+        let worker = 7;
+        let payload =
+            std::panic::catch_unwind(|| panic!("worker {worker} failed")).expect_err("panics");
+        assert_eq!(panic_message(payload.as_ref()), "worker 7 failed");
+
+        let payload =
+            std::panic::catch_unwind(|| std::panic::panic_any(String::from("owned string")))
+                .expect_err("panics");
+        assert_eq!(panic_message(payload.as_ref()), "owned string");
+
+        #[derive(Debug)]
+        struct Opaque(#[allow(dead_code)] u32);
+        let payload =
+            std::panic::catch_unwind(|| std::panic::panic_any(Opaque(3))).expect_err("panics");
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "<non-string panic payload>"
+        );
     }
 }

@@ -199,12 +199,16 @@ impl<P: SnapshotProtocol> Simulation<P, UniformScheduler> {
     /// Because work counters ([`IndexStats`], [`SpeculationStats`]) are excluded,
     /// byte equality of two snapshots is exactly "same execution state": the crash
     /// harness uses whole-snapshot comparison as its trajectory oracle.
-    #[must_use]
-    pub fn checkpoint(&self) -> Snapshot {
+    ///
+    /// # Errors
+    /// [`CoreError::SnapshotCorrupt`] when the protocol name does not fit the
+    /// format's `u16` length prefix — a malicious or buggy protocol name must
+    /// surface as a typed failure, never abort a worker mid-checkpoint.
+    pub fn checkpoint(&self) -> crate::Result<Snapshot> {
         let mut out = SnapshotWriter::new();
         out.bytes(&MAGIC);
         out.u16(FORMAT_VERSION);
-        out.str16(self.world.protocol().name());
+        out.str16(self.world.protocol().name())?;
         out.u64(self.config.n as u64);
         out.u64(self.config.seed);
         out.u64(self.config.max_steps);
@@ -222,7 +226,7 @@ impl<P: SnapshotProtocol> Simulation<P, UniformScheduler> {
         // re-warm its enumeration cache.
         self.world.snapshot_encode(&mut out);
         self.scheduler.snapshot_encode(&self.world, &mut out);
-        Snapshot::seal(out)
+        Ok(Snapshot::seal(out))
     }
 
     /// Rebuilds a running simulation from a snapshot taken by
@@ -736,8 +740,8 @@ mod tests {
         let b = resumed.step();
         assert_eq!(a, b, "step availability diverged at lockstep step {step}");
         assert_eq!(
-            reference.checkpoint().as_bytes(),
-            resumed.checkpoint().as_bytes(),
+            reference.checkpoint().expect("checkpoint").as_bytes(),
+            resumed.checkpoint().expect("checkpoint").as_bytes(),
             "checkpoints diverged at lockstep step {step}"
         );
     }
@@ -759,12 +763,12 @@ mod tests {
             for _ in 0..10 {
                 reference.step();
             }
-            let snapshot = reference.checkpoint();
+            let snapshot = reference.checkpoint().expect("checkpoint");
             let mut resumed = Simulation::resume(ChainOf { target: 6 }, &snapshot)
                 .unwrap_or_else(|e| panic!("resume failed for {sampling:?}: {e}"));
             assert_eq!(
-                reference.checkpoint().as_bytes(),
-                resumed.checkpoint().as_bytes(),
+                reference.checkpoint().expect("checkpoint").as_bytes(),
+                resumed.checkpoint().expect("checkpoint").as_bytes(),
                 "resume is not a fixed point for {sampling:?}"
             );
             for step in 0..40 {
@@ -777,11 +781,64 @@ mod tests {
     fn resume_survives_round_trip_through_raw_bytes() {
         let mut sim = Simulation::new(ChainOf { target: 4 }, SimulationConfig::new(4).with_seed(2));
         sim.run_until_stable();
-        let bytes = sim.checkpoint().into_bytes();
+        let bytes = sim.checkpoint().expect("checkpoint").into_bytes();
         let snapshot = Snapshot::from_bytes(bytes).expect("sealed snapshot must validate");
         let resumed = Simulation::resume(ChainOf { target: 4 }, &snapshot).expect("resume");
         assert_eq!(resumed.stats(), sim.stats());
         assert_eq!(resumed.world().bond_count(), sim.world().bond_count());
+    }
+
+    #[test]
+    fn checkpoint_with_oversized_protocol_name_is_a_typed_error() {
+        /// A protocol whose name cannot fit the snapshot format's `u16` length
+        /// prefix — the checkpoint must fail typed, never abort the caller.
+        struct HugeName {
+            name: String,
+        }
+
+        impl Protocol for HugeName {
+            type State = u8;
+
+            fn initial_state(&self, _node: NodeId, _n: usize) -> u8 {
+                0
+            }
+
+            fn transition(
+                &self,
+                _a: &u8,
+                _pa: Dir,
+                _b: &u8,
+                _pb: Dir,
+                _bonded: bool,
+            ) -> Option<Transition<u8>> {
+                None
+            }
+
+            fn name(&self) -> &str {
+                &self.name
+            }
+        }
+
+        impl crate::SnapshotProtocol for HugeName {
+            fn encode_state(&self, state: &u8, out: &mut crate::SnapshotWriter) {
+                out.u8(*state);
+            }
+
+            fn decode_state(&self, r: &mut crate::SnapshotReader<'_>) -> crate::Result<u8> {
+                r.u8()
+            }
+        }
+
+        let protocol = HugeName {
+            name: "x".repeat(usize::from(u16::MAX) + 1),
+        };
+        let sim = Simulation::new(protocol, SimulationConfig::new(2).with_seed(1));
+        assert_eq!(
+            sim.checkpoint().unwrap_err(),
+            CoreError::SnapshotCorrupt {
+                what: "string too long for a u16 length prefix"
+            }
+        );
     }
 
     #[test]
@@ -791,7 +848,7 @@ mod tests {
         let err = sim.try_run_until_stable().unwrap_err();
         assert_eq!(err, CoreError::StepBudgetExhausted { steps: 3 });
 
-        let snapshot = sim.checkpoint();
+        let snapshot = sim.checkpoint().expect("checkpoint");
         let mut resumed = Simulation::resume(ChainOf { target: 6 }, &snapshot).expect("resume");
         let err = resumed.try_run_until_stable().unwrap_err();
         // The budget counts per call, but the carried step count is the lifetime total:

@@ -148,13 +148,18 @@ impl SnapshotWriter {
 
     /// Appends a length-prefixed string (`u16` length + UTF-8 bytes).
     ///
-    /// # Panics
-    /// Panics if the string is longer than `u16::MAX` bytes (protocol names are
-    /// short identifiers).
-    pub fn str16(&mut self, s: &str) {
-        let len = u16::try_from(s.len()).expect("string too long for a u16 prefix");
+    /// # Errors
+    /// [`CoreError::SnapshotCorrupt`] when the string exceeds `u16::MAX` bytes —
+    /// the field cannot represent it, and a worker checkpointing a job mid-run must
+    /// get a typed failure it can surface, never a panic that takes the process
+    /// down (protocol names are attacker-influenced in the service tier).
+    pub fn str16(&mut self, s: &str) -> crate::Result<()> {
+        let len = u16::try_from(s.len()).map_err(|_| CoreError::SnapshotCorrupt {
+            what: "string too long for a u16 length prefix",
+        })?;
         self.u16(len);
         self.bytes(s.as_bytes());
+        Ok(())
     }
 
     /// Number of bytes written so far.
@@ -415,7 +420,7 @@ mod tests {
         w.u64(u64::MAX - 1);
         w.i32(-42);
         w.bool(true);
-        w.str16("counting-on-a-line");
+        w.str16("counting-on-a-line").unwrap();
         let bytes = w.into_bytes();
         let mut r = SnapshotReader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
@@ -459,7 +464,7 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.bytes(b"XXXX");
         w.u16(FORMAT_VERSION);
-        w.str16("p");
+        w.str16("p").unwrap();
         let snap = Snapshot::seal(w);
         assert_eq!(
             Snapshot::from_bytes(snap.into_bytes()),
@@ -469,7 +474,7 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.bytes(&MAGIC);
         w.u16(FORMAT_VERSION + 9);
-        w.str16("p");
+        w.str16("p").unwrap();
         let snap = Snapshot::seal(w);
         assert_eq!(
             Snapshot::from_bytes(snap.into_bytes()),
@@ -484,7 +489,7 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.bytes(&MAGIC);
         w.u16(FORMAT_VERSION);
-        w.str16("global-line");
+        w.str16("global-line").unwrap();
         w.u64(123);
         let snap = Snapshot::seal(w);
         let reparsed = Snapshot::from_bytes(snap.as_bytes().to_vec()).unwrap();
@@ -493,6 +498,24 @@ mod tests {
         assert_eq!(body.str16().unwrap(), "global-line");
         assert_eq!(body.u64().unwrap(), 123);
         assert_eq!(body.remaining(), 0);
+    }
+
+    #[test]
+    fn str16_rejects_oversized_strings_with_a_typed_error() {
+        let mut w = SnapshotWriter::new();
+        let huge = "x".repeat(usize::from(u16::MAX) + 1);
+        assert_eq!(
+            w.str16(&huge),
+            Err(CoreError::SnapshotCorrupt {
+                what: "string too long for a u16 length prefix"
+            })
+        );
+        // The failed write must leave no partial framing behind: the writer stays
+        // usable, so a worker can surface the error and carry on with other jobs.
+        assert!(w.is_empty());
+        w.str16("ok").unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(SnapshotReader::new(&bytes).str16().unwrap(), "ok");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! A minimal blocking HTTP/1.1 client for the smoke gate and the test suites.
+//!
+//! Raw `TcpStream` request/response, one request per connection (matching the
+//! server's `Connection: close` policy). Not a general client — just enough to
+//! drive the service's own API from its `--smoke` mode and the integration tests
+//! without any external tooling in the offline container.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP exchange: status code and body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exchange {
+    /// The response status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+/// Socket errors, or a malformed status line from the server.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Exchange> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: service\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &str) -> Option<Exchange> {
+    let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())?;
+    Some(Exchange { status, body })
+}
+
+/// Polls `GET path` until `predicate` accepts the body or `tries` polls elapse
+/// (`interval` apart). Returns the last exchange.
+///
+/// # Errors
+/// Socket errors from any poll.
+pub fn poll_until(
+    addr: SocketAddr,
+    path: &str,
+    tries: usize,
+    interval: Duration,
+    mut predicate: impl FnMut(&Exchange) -> bool,
+) -> std::io::Result<Exchange> {
+    let mut last = request(addr, "GET", path, "")?;
+    for _ in 0..tries {
+        if predicate(&last) {
+            break;
+        }
+        std::thread::sleep(interval);
+        last = request(addr, "GET", path, "")?;
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_status_line_and_body() {
+        let exchange =
+            parse_response("HTTP/1.1 201 Created\r\nContent-Length: 10\r\n\r\n{\"id\": 0}\n")
+                .expect("well-formed");
+        assert_eq!(exchange.status, 201);
+        assert_eq!(exchange.body, "{\"id\": 0}\n");
+        assert_eq!(parse_response("garbage"), None);
+    }
+}

@@ -1,0 +1,236 @@
+//! The HTTP tier: routing service state over the vendored `tiny_http` server.
+//!
+//! Routing is a pure function from `(method, url, body)` to a [`Response`]
+//! ([`route`]), so the whole API surface is fuzzable and unit-testable without
+//! sockets; the socket loop ([`serve`]) only shuttles parsed requests in and
+//! responses out. Malformed *transport* (bad framing, oversized fields) never
+//! reaches this layer — the vendored server answers it 4xx itself; malformed
+//! *content* (bad job specs, unknown ids) is answered here with typed JSON errors.
+//!
+//! Routes:
+//!
+//! | Method | Path                | Answer |
+//! |--------|---------------------|--------|
+//! | GET    | `/healthz`          | `200` `ok` |
+//! | POST   | `/jobs`             | `201` `{"id": N}` (body: form-encoded [`JobSpec`](crate::job::JobSpec)) |
+//! | GET    | `/jobs/<id>`        | `200` status JSON |
+//! | POST   | `/jobs/<id>/cancel` | `200` status JSON |
+//! | GET    | `/jobs/<id>/report` | `200` deterministic report JSON (`409` until done) |
+//! | GET    | `/stats`            | `200` counter JSON |
+//! | GET    | `/stats/rows`       | `200` `BENCH_scheduler.json`-style rows |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tiny_http::{Method, Response, Server};
+
+use crate::job::{JobId, JobSpec};
+use crate::queue::JobQueue;
+use crate::stats::{escape_json, rows_json, ServiceStats};
+
+/// Shared handles of the three components the HTTP tier fronts.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    /// The job queue (submission, status, cancel).
+    pub queue: Arc<Mutex<JobQueue>>,
+    /// The live counters.
+    pub stats: Arc<Mutex<ServiceStats>>,
+}
+
+impl ServiceHandle {
+    /// Fresh empty service state with the given queue seed.
+    #[must_use]
+    pub fn new(seed: u64) -> ServiceHandle {
+        ServiceHandle {
+            queue: Arc::new(Mutex::new(JobQueue::new(seed))),
+            stats: Arc::new(Mutex::new(ServiceStats::default())),
+        }
+    }
+}
+
+fn json(status: u16, body: String) -> Response {
+    Response::from_string(body)
+        .with_status_code(status)
+        .with_content_type("application/json")
+}
+
+fn error_json(status: u16, message: &str) -> Response {
+    json(
+        status,
+        format!("{{\"error\": \"{}\"}}\n", escape_json(message)),
+    )
+}
+
+/// Routes one request. Total: every `(method, url, body)` produces a response, and
+/// none panics — the HTTP fuzz suite drives this with adversarial inputs.
+#[must_use]
+pub fn route(service: &ServiceHandle, method: Method, url: &str, body: &[u8]) -> Response {
+    // Lock poisoning (a panicked holder) degrades to 503, not a panic cascade.
+    let Ok(mut queue) = service.queue.lock() else {
+        return error_json(503, "queue lock poisoned");
+    };
+    let path = url.split('?').next().unwrap_or(url);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        (Method::Get, ["healthz"]) => Response::from_string("ok\n"),
+        (Method::Post, ["jobs"]) => {
+            let Ok(body) = std::str::from_utf8(body) else {
+                return error_json(422, "submission body is not UTF-8");
+            };
+            match JobSpec::parse(body) {
+                Ok(spec) => {
+                    let id = queue.submit(spec);
+                    if let Ok(mut stats) = service.stats.lock() {
+                        stats.submitted += 1;
+                    }
+                    json(201, format!("{{\"id\": {id}}}\n"))
+                }
+                Err(e) => error_json(422, &e.to_string()),
+            }
+        }
+        (Method::Get, ["jobs", id]) => match parse_id(id) {
+            Some(id) => match queue.get(id) {
+                Some(record) => json(200, format!("{}\n", record.status_json())),
+                None => error_json(404, "no such job"),
+            },
+            None => error_json(404, "job ids are decimal numbers"),
+        },
+        (Method::Post, ["jobs", id, "cancel"]) => match parse_id(id) {
+            Some(id) => match queue.cancel(id) {
+                Some(_) => {
+                    let record = queue.get(id).expect("cancel implies existence");
+                    json(200, format!("{}\n", record.status_json()))
+                }
+                None => error_json(404, "no such job"),
+            },
+            None => error_json(404, "job ids are decimal numbers"),
+        },
+        (Method::Get, ["jobs", id, "report"]) => match parse_id(id) {
+            Some(id) => match queue.get(id) {
+                Some(record) => match &record.report {
+                    Some(report) => json(200, format!("{}\n", report.to_json())),
+                    None => error_json(
+                        409,
+                        &format!("job is {}; no report yet", record.state.as_str()),
+                    ),
+                },
+                None => error_json(404, "no such job"),
+            },
+            None => error_json(404, "job ids are decimal numbers"),
+        },
+        (Method::Get, ["stats"]) => match service.stats.lock() {
+            Ok(stats) => json(200, format!("{}\n", stats.to_json())),
+            Err(_) => error_json(503, "stats lock poisoned"),
+        },
+        (Method::Get, ["stats", "rows"]) => json(200, rows_json(&queue)),
+        // Known paths with the wrong method get 405, everything else 404.
+        (_, ["healthz"] | ["jobs"] | ["stats"] | ["stats", "rows"])
+        | (_, ["jobs", _] | ["jobs", _, "cancel"] | ["jobs", _, "report"]) => {
+            error_json(405, "method not allowed")
+        }
+        _ => error_json(404, "no such route"),
+    }
+}
+
+fn parse_id(token: &str) -> Option<JobId> {
+    token.parse().ok()
+}
+
+/// The accept loop: serves routed requests until `stop` is raised (the server's own
+/// stopper is raised alongside by the caller). Peer write errors are ignored — the
+/// client hung up; there is nobody to answer.
+pub fn serve(server: &Server, service: &ServiceHandle, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match server.recv() {
+            Ok(Some(request)) => {
+                let url = request.url().to_string();
+                let body = request.content().to_vec();
+                let response = route(service, request.method(), &url, &body);
+                let _ = request.respond(response);
+            }
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+    use crate::worker::run_slice;
+
+    fn body(response: &Response) -> String {
+        String::from_utf8_lossy(response.data()).to_string()
+    }
+
+    #[test]
+    fn submit_status_cancel_report_lifecycle() {
+        let service = ServiceHandle::new(5);
+        let response = route(&service, Method::Post, "/jobs", b"protocol=square&n=9");
+        assert_eq!(response.status_code(), 201);
+        assert_eq!(body(&response), "{\"id\": 0}\n");
+
+        let response = route(&service, Method::Get, "/jobs/0", b"");
+        assert_eq!(response.status_code(), 200);
+        assert!(body(&response).contains("\"state\": \"queued\""));
+
+        // No report before completion.
+        assert_eq!(
+            route(&service, Method::Get, "/jobs/0/report", b"").status_code(),
+            409
+        );
+
+        // Drive the job to completion through the queue directly.
+        {
+            let mut queue = service.queue.lock().expect("queue");
+            while queue.has_live_jobs() {
+                if let Some(claim) = queue.claim_next() {
+                    let (result, seconds) = run_slice(&claim, 1_000_000);
+                    queue.complete_slice(claim.id, result, seconds);
+                }
+            }
+            assert_eq!(queue.get(0).expect("record").state, JobState::Done);
+        }
+        let response = route(&service, Method::Get, "/jobs/0/report", b"");
+        assert_eq!(response.status_code(), 200);
+        assert!(body(&response).contains("\"completed\": true"));
+
+        // Cancelling a done job is a no-op that still reports the state.
+        let response = route(&service, Method::Post, "/jobs/0/cancel", b"");
+        assert_eq!(response.status_code(), 200);
+        assert!(body(&response).contains("\"state\": \"done\""));
+
+        let response = route(&service, Method::Get, "/stats/rows", b"");
+        assert_eq!(response.status_code(), 200);
+        assert!(body(&response).contains("\"protocol\": \"square\""));
+    }
+
+    #[test]
+    fn content_errors_are_typed_statuses() {
+        let service = ServiceHandle::new(5);
+        let cases: [(Method, &str, &[u8], u16); 8] = [
+            (Method::Post, "/jobs", b"protocol=warp&n=4", 422),
+            (Method::Post, "/jobs", b"\xff\xfe", 422),
+            (Method::Get, "/jobs/99", b"", 404),
+            (Method::Get, "/jobs/not-a-number", b"", 404),
+            (Method::Post, "/jobs/99/cancel", b"", 404),
+            (Method::Delete, "/jobs", b"", 405),
+            (Method::Post, "/stats", b"", 405),
+            (Method::Get, "/teapot", b"", 404),
+        ];
+        for (method, url, body_bytes, expected) in cases {
+            let response = route(&service, method, url, body_bytes);
+            assert_eq!(response.status_code(), expected, "{method} {url}");
+        }
+    }
+
+    #[test]
+    fn query_strings_are_ignored_in_routing() {
+        let service = ServiceHandle::new(5);
+        assert_eq!(
+            route(&service, Method::Get, "/healthz?probe=1", b"").status_code(),
+            200
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Simulation-as-a-service: a snapshot-backed job queue, budgeted workers and an
+//! HTTP results/stats tier over the shape-construction simulator.
+//!
+//! The crate follows the amimono-style modular-monolith layout the roadmap calls
+//! for: three typed components behind one binary —
+//!
+//! * **queue** ([`queue`]): multi-tenant submission, weighted round-robin fairness
+//!   (reusing the sharded sampler's rate-composition arithmetic for the tenant
+//!   draw), cancellation, and crash retries with exponential backoff;
+//! * **workers** ([`worker`]): each claim runs one bounded slice of a
+//!   [`Simulation`](nc_core::Simulation) and checkpoints through the PR 5 snapshot
+//!   format at every slice boundary, so a crashed worker — injected or genuine —
+//!   loses at most one slice and the retry resumes **byte-identically** (pinned by
+//!   `tests/crash_recovery.rs` and the `--smoke` gate);
+//! * **results/stats** ([`stats`], [`http`]): deterministic per-job reports, live
+//!   counters, and `BENCH_scheduler.json`-style sweep rows served over the vendored
+//!   minimal HTTP/1.1 server (`vendor/tiny_http`).
+//!
+//! The `service` binary wires all three; `service --smoke` is the self-contained CI
+//! gate (bind an ephemeral port, submit over real HTTP, poll to completion, check
+//! the crash-recovered report against an uncrashed twin).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod runner;
+pub mod stats;
+pub mod worker;
+
+pub use http::ServiceHandle;
+pub use job::{JobId, JobSpec, JobState, ProtocolKind, SpecError};
+pub use queue::{JobQueue, SliceResult};
+pub use runner::{JobReport, JobRunner, SliceOutcome};
+pub use stats::ServiceStats;
+pub use worker::WorkerConfig;

@@ -1,0 +1,285 @@
+//! Workers: claim a job, run one bounded slice, checkpoint, hand back.
+//!
+//! A worker never holds the queue lock while simulating: it claims under the lock,
+//! executes the slice on its own, then reports the result under the lock. Each claim
+//! runs **one** slice and requeues, so a heavy job cannot starve other tenants — the
+//! queue's weighted draw decides what runs next after every slice.
+//!
+//! Crash handling: the slice body runs under `catch_unwind`. A panic — whether
+//! injected by the job's `crash_after_slices` knob or a genuine bug — is recovered
+//! with [`nc_core::panic_message`] (the PR 9 panic-payload fix: `&str`, `String` and
+//! opaque payloads all produce a readable message instead of a second panic) and
+//! reported as [`SliceResult::Crashed`]; the queue requeues with backoff. Progress
+//! since the last checkpoint is lost by construction, which is exactly what the
+//! byte-identical recovery guarantee needs: the retry resumes from a slice boundary
+//! the uncrashed run also passed through.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::queue::{Claim, JobQueue, SliceResult};
+use crate::runner::{JobReport, JobRunner, SliceOutcome};
+use crate::stats::ServiceStats;
+
+/// Tuning of a worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Scheduler steps per slice. Small slices interleave tenants finely but
+    /// checkpoint more often; the slice length is part of the deterministic slice
+    /// arithmetic, so all workers of one service must share it.
+    pub slice: u64,
+    /// How long an idle worker sleeps before re-polling the queue.
+    pub idle_poll: Duration,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            slice: 50_000,
+            idle_poll: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Executes one claimed slice: resume (or fresh start), advance, checkpoint. Pure
+/// apart from wall-clock measurement; shared by the worker loop and the tests.
+///
+/// Returns the slice result and the wall-clock seconds spent.
+#[must_use]
+pub fn run_slice(claim: &Claim, slice: u64) -> (SliceResult, f64) {
+    let started = Instant::now();
+    let injected_crash = claim.crashes == 0
+        && claim
+            .spec
+            .crash_after_slices
+            .is_some_and(|after| claim.slices >= after);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut runner = match &claim.snapshot {
+            Some(bytes) => {
+                JobRunner::resume(&claim.spec, bytes).map_err(|e| format!("resume failed: {e}"))?
+            }
+            None => JobRunner::start(&claim.spec),
+        };
+        if injected_crash {
+            // The injection point sits *after* resume and *before* the slice runs:
+            // the crash loses the slice's progress, which is the interesting case
+            // for the recovery argument.
+            panic!(
+                "injected crash before slice {} of job {}",
+                claim.slices, claim.id
+            );
+        }
+        match runner.advance(slice, claim.spec.step_budget) {
+            SliceOutcome::Finished { completed } => {
+                let report = JobReport::from_runner(&claim.spec, &runner, completed);
+                let steps = runner.stats().steps;
+                Ok(SliceResult::Done { report, steps })
+            }
+            SliceOutcome::BudgetExhausted => Ok(SliceResult::Failed {
+                error: format!(
+                    "step budget of {} exhausted after {} steps",
+                    claim.spec.step_budget,
+                    runner.stats().steps
+                ),
+            }),
+            SliceOutcome::Yielded => {
+                let snapshot = runner
+                    .checkpoint_bytes()
+                    .map_err(|e| format!("checkpoint failed: {e}"))?;
+                let steps = runner.stats().steps;
+                Ok(SliceResult::Parked { snapshot, steps })
+            }
+        }
+    }));
+    let seconds = started.elapsed().as_secs_f64();
+    let slice_result = match result {
+        Ok(Ok(slice_result)) => slice_result,
+        Ok(Err(error)) => SliceResult::Failed { error },
+        Err(payload) => SliceResult::Crashed {
+            message: nc_core::panic_message(payload.as_ref()).to_string(),
+        },
+    };
+    (slice_result, seconds)
+}
+
+/// The worker loop: poll, run, report, until `stop` is raised. Meant to run on its
+/// own thread; any number of workers may share one queue.
+pub fn worker_loop(
+    queue: &Arc<Mutex<JobQueue>>,
+    stats: &Arc<Mutex<ServiceStats>>,
+    stop: &Arc<AtomicBool>,
+    config: WorkerConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let claim = queue.lock().map(|mut q| q.claim_next()).unwrap_or(None);
+        let Some(claim) = claim else {
+            std::thread::sleep(config.idle_poll);
+            continue;
+        };
+        let (result, seconds) = run_slice(&claim, config.slice);
+        let tenant = claim.spec.tenant.clone();
+        if let Ok(mut stats) = stats.lock() {
+            stats.record_slice(&tenant, &result);
+        }
+        if let Ok(mut q) = queue.lock() {
+            q.complete_slice(claim.id, result, seconds);
+        }
+    }
+}
+
+/// Spawns `workers` threads running [`worker_loop`]; join the handles after raising
+/// `stop` to shut the pool down.
+#[must_use]
+pub fn spawn_pool(
+    queue: &Arc<Mutex<JobQueue>>,
+    stats: &Arc<Mutex<ServiceStats>>,
+    stop: &Arc<AtomicBool>,
+    config: WorkerConfig,
+    workers: usize,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(queue);
+            let stats = Arc::clone(stats);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || worker_loop(&queue, &stats, &stop, config))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, ProtocolKind};
+
+    fn submit(queue: &mut JobQueue, spec: JobSpec) -> crate::job::JobId {
+        queue.submit(spec)
+    }
+
+    /// Drives the queue single-threadedly until no live jobs remain.
+    fn drain(queue: &mut JobQueue, stats: &mut ServiceStats, slice: u64) {
+        let mut guard = 0;
+        while queue.has_live_jobs() {
+            if let Some(claim) = queue.claim_next() {
+                let (result, seconds) = run_slice(&claim, slice);
+                stats.record_slice(&claim.spec.tenant, &result);
+                queue.complete_slice(claim.id, result, seconds);
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "the queue must drain");
+        }
+    }
+
+    #[test]
+    fn a_job_runs_to_done_across_many_slices() {
+        let mut queue = JobQueue::new(3);
+        let mut stats = ServiceStats::default();
+        let id = submit(&mut queue, JobSpec::new(ProtocolKind::Square, 16));
+        drain(&mut queue, &mut stats, 256);
+        let record = queue.get(id).expect("record");
+        assert_eq!(record.state, crate::job::JobState::Done);
+        let report = record.report.as_ref().expect("report");
+        assert!(report.completed);
+        assert!(
+            record.slices > 1,
+            "slice length 256 must take several slices"
+        );
+    }
+
+    #[test]
+    fn injected_crash_recovers_to_an_identical_report() {
+        // Reference: no crash.
+        let mut queue = JobQueue::new(3);
+        let mut stats = ServiceStats::default();
+        let clean = submit(&mut queue, JobSpec::new(ProtocolKind::Square, 16));
+        drain(&mut queue, &mut stats, 256);
+        let clean_json = queue
+            .get(clean)
+            .expect("record")
+            .report
+            .as_ref()
+            .expect("report")
+            .to_json();
+
+        // Same spec, crash injected before slice 2 of the first attempt.
+        let mut queue = JobQueue::new(3);
+        let mut spec = JobSpec::new(ProtocolKind::Square, 16);
+        spec.crash_after_slices = Some(2);
+        let crashed = submit(&mut queue, spec);
+        drain(&mut queue, &mut stats, 256);
+        let record = queue.get(crashed).expect("record");
+        assert_eq!(record.crashes, 1, "the injection fires exactly once");
+        assert!(record.attempts >= 2, "the retry is a fresh attempt");
+        let crashed_json = record.report.as_ref().expect("report").to_json();
+        assert_eq!(
+            crashed_json, clean_json,
+            "recovery from the last checkpoint must reproduce the uncrashed report byte for byte"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_the_job_with_a_typed_message() {
+        let mut queue = JobQueue::new(3);
+        let mut stats = ServiceStats::default();
+        let mut spec = JobSpec::new(ProtocolKind::Line, 64);
+        spec.step_budget = 100;
+        let id = submit(&mut queue, spec);
+        drain(&mut queue, &mut stats, 64);
+        let record = queue.get(id).expect("record");
+        assert_eq!(record.state, crate::job::JobState::Failed);
+        assert!(record
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("step budget")));
+    }
+
+    #[test]
+    fn threaded_pool_completes_jobs_from_two_tenants() {
+        let queue = Arc::new(Mutex::new(JobQueue::new(9)));
+        let stats = Arc::new(Mutex::new(ServiceStats::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let ids: Vec<_> = {
+            let mut q = queue.lock().expect("queue");
+            (0..4)
+                .map(|i| {
+                    let mut spec = JobSpec::new(ProtocolKind::Square, 9);
+                    spec.seed = 100 + i;
+                    spec.tenant = if i % 2 == 0 {
+                        "even".into()
+                    } else {
+                        "odd".into()
+                    };
+                    q.submit(spec)
+                })
+                .collect()
+        };
+        let config = WorkerConfig {
+            slice: 128,
+            idle_poll: Duration::from_millis(1),
+        };
+        let handles = spawn_pool(&queue, &stats, &stop, config, 3);
+        let started = Instant::now();
+        loop {
+            if !queue.lock().expect("queue").has_live_jobs() {
+                break;
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(60),
+                "pool must finish 4 small jobs quickly"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for handle in handles {
+            handle.join().expect("worker joins");
+        }
+        let q = queue.lock().expect("queue");
+        for id in ids {
+            let record = q.get(id).expect("record");
+            assert_eq!(record.state, crate::job::JobState::Done, "job {id}");
+            assert!(record.report.as_ref().expect("report").completed);
+        }
+    }
+}

@@ -429,7 +429,7 @@ impl<P: VerifiedProtocol> Exploration<P> {
         );
         canon::install(sim.world_mut(), &self.states[idx].config)
             .expect("explored configurations are realizable");
-        sim.checkpoint()
+        sim.checkpoint().expect("checkpoint")
     }
 
     /// One-line human summary.

@@ -90,10 +90,10 @@ fn reference_trajectory<P: SnapshotProtocol>(
     max_collected: usize,
 ) -> (Vec<Vec<u8>>, Vec<u64>) {
     let mut sim = Simulation::new(protocol, config);
-    let mut checkpoints = vec![sim.checkpoint().into_bytes()];
+    let mut checkpoints = vec![sim.checkpoint().expect("checkpoint").into_bytes()];
     let mut merges = vec![sim.stats().merges];
     while checkpoints.len() <= max_collected && sim.step() {
-        checkpoints.push(sim.checkpoint().into_bytes());
+        checkpoints.push(sim.checkpoint().expect("checkpoint").into_bytes());
         merges.push(sim.stats().merges);
     }
     (checkpoints, merges)
@@ -142,7 +142,7 @@ fn assert_crash_resume_exact<P: SnapshotProtocol>(
             let mut resumed = Simulation::resume(make(), &snapshot)
                 .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
             assert_eq!(
-                resumed.checkpoint().as_bytes(),
+                resumed.checkpoint().expect("checkpoint").as_bytes(),
                 &checkpoints[crash_at][..],
                 "{label}: resume must be a fixed point of checkpointing"
             );
@@ -152,7 +152,7 @@ fn assert_crash_resume_exact<P: SnapshotProtocol>(
                     "{label}: the resumed run went dry at step {step}"
                 );
                 assert_eq!(
-                    resumed.checkpoint().as_bytes(),
+                    resumed.checkpoint().expect("checkpoint").as_bytes(),
                     &expected[..],
                     "{label}: trajectory diverged at step {step}"
                 );
@@ -189,7 +189,7 @@ fn resume_continues_to_the_same_terminal_configuration() {
     for _ in 0..40 {
         assert!(reference.step());
     }
-    let snapshot = reference.checkpoint();
+    let snapshot = reference.checkpoint().expect("checkpoint");
     let ref_report = reference.run_until_stable();
 
     let mut resumed = Simulation::resume(GlobalLine::new(), &snapshot).expect("resume");
@@ -198,8 +198,8 @@ fn resume_continues_to_the_same_terminal_configuration() {
     assert_eq!(resumed.stats(), reference.stats());
     assert!(resumed.output_shape().is_line(20));
     assert_eq!(
-        resumed.checkpoint().as_bytes(),
-        reference.checkpoint().as_bytes(),
+        resumed.checkpoint().expect("checkpoint").as_bytes(),
+        reference.checkpoint().expect("checkpoint").as_bytes(),
         "terminal checkpoints must match byte for byte"
     );
 }
@@ -218,7 +218,7 @@ fn sealed_fixture() -> Vec<u8> {
     for _ in 0..25 {
         assert!(sim.step());
     }
-    sim.checkpoint().into_bytes()
+    sim.checkpoint().expect("checkpoint").into_bytes()
 }
 
 #[test]

@@ -1,0 +1,820 @@
+//! Offline stand-in for the `tiny_http` crate: a minimal HTTP/1.1 server.
+//!
+//! The build environment has no access to a crates.io registry, so this crate vendors
+//! the small subset of an HTTP server that the `nc-service` tier needs — the same
+//! pattern as `vendor/rand` and `vendor/rayon`. The shape of the API follows
+//! `tiny_http` (a [`Server`] accepting connections, a [`Request`] with method, URL,
+//! headers and body, answered by a [`Response`]), so swapping to the real crate later
+//! is a thin-adapter change, with two documented simplifications: [`Server::recv`]
+//! returns `Ok(None)` after [`ServerStopper::stop`] instead of blocking forever, and
+//! every connection serves exactly one request (`Connection: close`).
+//!
+//! # Robustness contract
+//!
+//! The parser is **bounded and panic-free**: every malformed, truncated, oversized or
+//! bit-flipped request is rejected with a typed [`HttpError`] that maps onto a 4xx/5xx
+//! status code ([`HttpError::status`]), and the server answers it with that status
+//! itself — the application layer only ever sees well-formed requests. All limits are
+//! explicit in [`Limits`]: request-line length, header count and size, and body size
+//! (checked against `Content-Length` *before* the body buffer is allocated, so a
+//! crafted length cannot trigger an allocation bomb — the same discipline as the
+//! snapshot decoder in `nc-core`). The fuzz suite in `crates/service` drives both the
+//! pure parser ([`parse_request_bytes`]) and the socket path with truncations, bit
+//! flips and oversize payloads and requires typed rejections, never panics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hard bounds on what the parser accepts. Every field has a conservative default;
+/// oversteps are typed errors, never panics or unbounded allocations.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Longest accepted request line (method + URL + version), in bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, in bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted request body, in bytes (checked against `Content-Length`
+    /// before allocating).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Typed rejection of a malformed or over-limit request. Every variant maps to an
+/// HTTP status code through [`HttpError::status`]; none of them is ever a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The stream ended before a complete request head (line + headers) arrived.
+    TruncatedHead,
+    /// The body was shorter than the declared `Content-Length`.
+    TruncatedBody {
+        /// Bytes the request declared.
+        declared: usize,
+        /// Bytes that actually arrived.
+        received: usize,
+    },
+    /// The request line is not `METHOD SP URL SP VERSION` or is not valid UTF-8.
+    MalformedRequestLine,
+    /// The request line exceeded [`Limits::max_request_line`].
+    RequestLineTooLong,
+    /// The method is not one this server implements.
+    UnsupportedMethod,
+    /// The version is neither `HTTP/1.0` nor `HTTP/1.1`.
+    UnsupportedVersion,
+    /// A header line has no colon or is not valid UTF-8.
+    MalformedHeader,
+    /// A header line exceeded [`Limits::max_header_line`].
+    HeaderLineTooLong,
+    /// More headers than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// `Content-Length` is present but not a decimal number.
+    InvalidContentLength,
+    /// The declared body length exceeds [`Limits::max_body`].
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// The HTTP status code this rejection is answered with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::TruncatedHead
+            | HttpError::TruncatedBody { .. }
+            | HttpError::MalformedRequestLine
+            | HttpError::MalformedHeader
+            | HttpError::InvalidContentLength => 400,
+            HttpError::RequestLineTooLong => 414,
+            HttpError::UnsupportedMethod => 501,
+            HttpError::UnsupportedVersion => 505,
+            HttpError::HeaderLineTooLong | HttpError::TooManyHeaders => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::TruncatedHead => write!(f, "request head truncated"),
+            HttpError::TruncatedBody { declared, received } => write!(
+                f,
+                "request body truncated: declared {declared} bytes, received {received}"
+            ),
+            HttpError::MalformedRequestLine => write!(f, "malformed request line"),
+            HttpError::RequestLineTooLong => write!(f, "request line too long"),
+            HttpError::UnsupportedMethod => write!(f, "unsupported method"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            HttpError::MalformedHeader => write!(f, "malformed header line"),
+            HttpError::InvalidContentLength => write!(f, "invalid Content-Length"),
+            HttpError::HeaderLineTooLong => write!(f, "header line too long"),
+            HttpError::TooManyHeaders => write!(f, "too many headers"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The standard reason phrase for a status code (a short fixed table; unknown codes
+/// get an empty phrase, which is valid HTTP).
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Request methods this server implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `HEAD`
+    Head,
+}
+
+impl Method {
+    fn parse(token: &str) -> Result<Method, HttpError> {
+        match token {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "HEAD" => Ok(Method::Head),
+            _ => Err(HttpError::UnsupportedMethod),
+        }
+    }
+
+    /// The canonical token of the method.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fully parsed request, detached from any connection — what [`parse_request_bytes`]
+/// returns and what the fuzz suite drives directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The request method.
+    pub method: Method,
+    /// The raw URL (path + optional query), exactly as sent.
+    pub url: String,
+    /// Header `(name, value)` pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl ParsedRequest {
+    /// The first value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == wanted)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parsed request head: method, URL, lower-cased header pairs.
+type RequestHead = (Method, String, Vec<(String, String)>);
+
+/// Splits `head` into lines at CRLF (tolerating bare LF, as most servers do) and
+/// parses the request line and headers. `head` excludes the blank line.
+fn parse_head(head: &[u8], limits: &Limits) -> Result<RequestHead, HttpError> {
+    let mut lines = head.split(|&b| b == b'\n').map(|line| {
+        if line.last() == Some(&b'\r') {
+            &line[..line.len() - 1]
+        } else {
+            line
+        }
+    });
+    let request_line = lines.next().ok_or(HttpError::MalformedRequestLine)?;
+    if request_line.len() > limits.max_request_line {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let request_line =
+        std::str::from_utf8(request_line).map_err(|_| HttpError::MalformedRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let (method, url, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(u), Some(v), None) if !m.is_empty() && !u.is_empty() => (m, u, v),
+        _ => return Err(HttpError::MalformedRequestLine),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion);
+    }
+    let method = Method::parse(method)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // trailing empty segment after the final CRLF
+        }
+        if line.len() > limits.max_header_line {
+            return Err(HttpError::HeaderLineTooLong);
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let line = std::str::from_utf8(line).map_err(|_| HttpError::MalformedHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::MalformedHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::MalformedHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method, url.to_string(), headers))
+}
+
+/// The declared body length of a parsed header set: 0 when absent, a typed error
+/// when unparsable or over the cap. Checked **before** any body allocation.
+fn content_length(headers: &[(String, String)], limits: &Limits) -> Result<usize, HttpError> {
+    let Some((_, value)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(0);
+    };
+    let declared: usize = value.parse().map_err(|_| HttpError::InvalidContentLength)?;
+    if declared > limits.max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: limits.max_body,
+        });
+    }
+    Ok(declared)
+}
+
+/// Parses one complete in-memory request (head, blank line, body). This is the pure
+/// entry point the fuzz suite drives: any byte soup in, typed result out, no panics,
+/// no allocation proportional to claimed-but-absent payload.
+pub fn parse_request_bytes(bytes: &[u8], limits: &Limits) -> Result<ParsedRequest, HttpError> {
+    // Find the end of the head without scanning past the caps: the head cannot be
+    // longer than the request line plus every header line plus framing.
+    let head_cap = limits.max_request_line + limits.max_headers * (limits.max_header_line + 2) + 4;
+    let boundary = find_head_end(bytes, head_cap)?;
+    let (method, url, headers) = parse_head(&bytes[..boundary.head_len], limits)?;
+    let declared = content_length(&headers, limits)?;
+    let body_bytes = &bytes[boundary.body_start.min(bytes.len())..];
+    if body_bytes.len() < declared {
+        return Err(HttpError::TruncatedBody {
+            declared,
+            received: body_bytes.len(),
+        });
+    }
+    Ok(ParsedRequest {
+        method,
+        url,
+        headers,
+        body: body_bytes[..declared].to_vec(),
+    })
+}
+
+struct HeadBoundary {
+    head_len: usize,
+    body_start: usize,
+}
+
+/// Locates the head/body boundary (`\r\n\r\n`, tolerating `\n\n`), bounded by
+/// `head_cap` so an endless header stream cannot buffer unboundedly.
+fn find_head_end(bytes: &[u8], head_cap: usize) -> Result<HeadBoundary, HttpError> {
+    let scan = &bytes[..bytes.len().min(head_cap)];
+    for i in 0..scan.len() {
+        if scan[i] == b'\n' {
+            if i + 1 < scan.len() && scan[i + 1] == b'\n' {
+                return Ok(HeadBoundary {
+                    head_len: i + 1,
+                    body_start: i + 2,
+                });
+            }
+            if i + 2 < scan.len() && scan[i + 1] == b'\r' && scan[i + 2] == b'\n' {
+                return Ok(HeadBoundary {
+                    head_len: i + 1,
+                    body_start: i + 3,
+                });
+            }
+        }
+    }
+    if bytes.len() > head_cap {
+        // No blank line within the cap: some line is necessarily over its limit.
+        return Err(HttpError::HeaderLineTooLong);
+    }
+    Err(HttpError::TruncatedHead)
+}
+
+/// An accepted, fully parsed request, holding its connection for the response.
+pub struct Request {
+    parsed: ParsedRequest,
+    remote_addr: SocketAddr,
+    stream: TcpStream,
+}
+
+impl Request {
+    /// The request method.
+    #[must_use]
+    pub fn method(&self) -> Method {
+        self.parsed.method
+    }
+
+    /// The raw URL (path + optional query).
+    #[must_use]
+    pub fn url(&self) -> &str {
+        &self.parsed.url
+    }
+
+    /// The request body.
+    #[must_use]
+    pub fn content(&self) -> &[u8] {
+        &self.parsed.body
+    }
+
+    /// The first value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.parsed.header(name)
+    }
+
+    /// The peer address of the connection.
+    #[must_use]
+    pub fn remote_addr(&self) -> SocketAddr {
+        self.remote_addr
+    }
+
+    /// Sends `response` and closes the connection.
+    ///
+    /// # Errors
+    /// Propagates socket write errors (the peer may already have hung up).
+    pub fn respond(mut self, response: Response) -> io::Result<()> {
+        response.write_to(&mut self.stream)
+    }
+}
+
+/// A response: status code, content type and body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` text response.
+    #[must_use]
+    pub fn from_string(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A `200 OK` binary response.
+    #[must_use]
+    pub fn from_data(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/octet-stream".to_string(),
+            body,
+        }
+    }
+
+    /// Sets the status code.
+    #[must_use]
+    pub fn with_status_code(mut self, status: u16) -> Response {
+        self.status = status;
+        self
+    }
+
+    /// Sets the `Content-Type` header.
+    #[must_use]
+    pub fn with_content_type(mut self, content_type: &str) -> Response {
+        self.content_type = content_type.to_string();
+        self
+    }
+
+    /// The status code.
+    #[must_use]
+    pub fn status_code(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.body
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.body.len(),
+            self.content_type,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Cooperative stop signal for a [`Server`] owned by another thread.
+#[derive(Clone)]
+pub struct ServerStopper {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerStopper {
+    /// Makes the server's [`Server::recv`] return `Ok(None)` at its next poll.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A listening HTTP/1.1 server.
+pub struct Server {
+    listener: TcpListener,
+    limits: Limits,
+    stop: Arc<AtomicBool>,
+    poll_interval: Duration,
+    io_timeout: Duration,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port; read it back with
+    /// [`Server::server_addr`]).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn http(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            limits: Limits::default(),
+            stop: Arc::new(AtomicBool::new(false)),
+            poll_interval: Duration::from_millis(2),
+            io_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Replaces the parser limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: Limits) -> Server {
+        self.limits = limits;
+        self
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates `local_addr` errors.
+    pub fn server_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    #[must_use]
+    pub fn stopper(&self) -> ServerStopper {
+        ServerStopper {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Waits for the next **well-formed** request, or `Ok(None)` once
+    /// [`ServerStopper::stop`] was called. Malformed traffic is answered with its
+    /// [`HttpError::status`] and never surfaces here, so the application layer only
+    /// handles parsed requests. Individual connection I/O errors are skipped (the
+    /// peer hung up; there is nobody to answer).
+    ///
+    /// # Errors
+    /// Propagates accept errors other than `WouldBlock`.
+    pub fn recv(&self) -> io::Result<Option<Request>> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                Ok((stream, remote_addr)) => {
+                    // Ok(None)/Err mean we answered 4xx/5xx or the peer vanished.
+                    if let Ok(Some(request)) = self.read_one(stream, remote_addr) {
+                        return Ok(Some(request));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.poll_interval);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads one request from a fresh connection: `Ok(Some)` for a well-formed
+    /// request, `Ok(None)` when the request was malformed and answered in place.
+    fn read_one(
+        &self,
+        mut stream: TcpStream,
+        remote_addr: SocketAddr,
+    ) -> io::Result<Option<Request>> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        match read_request(&mut stream, &self.limits) {
+            Ok(parsed) => Ok(Some(Request {
+                parsed,
+                remote_addr,
+                stream,
+            })),
+            Err(error) => {
+                let response =
+                    Response::from_string(format!("{error}\n")).with_status_code(error.status());
+                let _ = response.write_to(&mut stream);
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Reads one request from a stream: buffers the head up to the cap, then the body up
+/// to the declared (and capped) length. The in-memory fuzz path
+/// ([`parse_request_bytes`]) and this socket path share the same head/body parsing.
+fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<ParsedRequest, HttpError> {
+    let head_cap = limits.max_request_line + limits.max_headers * (limits.max_header_line + 2) + 4;
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let boundary = loop {
+        match find_head_end(&buffer, head_cap) {
+            Ok(boundary) => break boundary,
+            Err(HttpError::TruncatedHead) => {
+                if buffer.len() > head_cap {
+                    return Err(HttpError::HeaderLineTooLong);
+                }
+                let read = stream
+                    .read(&mut chunk)
+                    .map_err(|_| HttpError::TruncatedHead)?;
+                if read == 0 {
+                    return Err(HttpError::TruncatedHead);
+                }
+                buffer.extend_from_slice(&chunk[..read]);
+            }
+            Err(other) => return Err(other),
+        }
+    };
+    let (method, url, headers) = parse_head(&buffer[..boundary.head_len], limits)?;
+    let declared = content_length(&headers, limits)?;
+    let mut body = buffer[boundary.body_start.min(buffer.len())..].to_vec();
+    while body.len() < declared {
+        let read = stream
+            .read(&mut chunk)
+            .map_err(|_| HttpError::TruncatedBody {
+                declared,
+                received: body.len(),
+            })?;
+        if read == 0 {
+            return Err(HttpError::TruncatedBody {
+                declared,
+                received: body.len(),
+            });
+        }
+        let needed = declared - body.len();
+        body.extend_from_slice(&chunk[..read.min(needed)]);
+    }
+    body.truncate(declared);
+    Ok(ParsedRequest {
+        method,
+        url,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let parsed = parse_request_bytes(b"GET /jobs/3 HTTP/1.1\r\nHost: x\r\n\r\n", &limits())
+            .expect("valid request");
+        assert_eq!(parsed.method, Method::Get);
+        assert_eq!(parsed.url, "/jobs/3");
+        assert_eq!(parsed.header("host"), Some("x"));
+        assert_eq!(parsed.header("HOST"), Some("x"));
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let parsed = parse_request_bytes(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nn=9&x",
+            &limits(),
+        )
+        .expect("valid request");
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.body, b"n=9&x");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_framing() {
+        let parsed =
+            parse_request_bytes(b"GET / HTTP/1.1\nHost: y\n\n", &limits()).expect("bare LF");
+        assert_eq!(parsed.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn truncations_are_typed() {
+        let full = b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nn=9&x";
+        for cut in 0..full.len() {
+            let err = parse_request_bytes(&full[..cut], &limits())
+                .expect_err("every strict prefix is incomplete");
+            assert!(
+                matches!(
+                    err,
+                    HttpError::TruncatedHead
+                        | HttpError::TruncatedBody { .. }
+                        | HttpError::MalformedRequestLine
+                ),
+                "prefix of {cut} bytes: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_fields_are_typed() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(
+            parse_request_bytes(long_line.as_bytes(), &limits()).unwrap_err(),
+            HttpError::RequestLineTooLong
+        );
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert_eq!(
+            parse_request_bytes(many_headers.as_bytes(), &limits()).unwrap_err(),
+            HttpError::TooManyHeaders
+        );
+
+        let huge_body = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(
+            parse_request_bytes(huge_body, &limits()).unwrap_err(),
+            HttpError::BodyTooLarge {
+                declared: 99_999_999,
+                limit: limits().max_body
+            }
+        );
+    }
+
+    #[test]
+    fn bad_method_version_and_headers_are_typed() {
+        assert_eq!(
+            parse_request_bytes(b"BREW / HTTP/1.1\r\n\r\n", &limits()).unwrap_err(),
+            HttpError::UnsupportedMethod
+        );
+        assert_eq!(
+            parse_request_bytes(b"GET / HTTP/3.0\r\n\r\n", &limits()).unwrap_err(),
+            HttpError::UnsupportedVersion
+        );
+        assert_eq!(
+            parse_request_bytes(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", &limits()).unwrap_err(),
+            HttpError::MalformedHeader
+        );
+        assert_eq!(
+            parse_request_bytes(b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n", &limits())
+                .unwrap_err(),
+            HttpError::InvalidContentLength
+        );
+    }
+
+    #[test]
+    fn every_error_maps_to_a_4xx_or_5xx_status() {
+        let errors = [
+            HttpError::TruncatedHead,
+            HttpError::TruncatedBody {
+                declared: 5,
+                received: 2,
+            },
+            HttpError::MalformedRequestLine,
+            HttpError::RequestLineTooLong,
+            HttpError::UnsupportedMethod,
+            HttpError::UnsupportedVersion,
+            HttpError::MalformedHeader,
+            HttpError::HeaderLineTooLong,
+            HttpError::TooManyHeaders,
+            HttpError::BodyTooLarge {
+                declared: 10,
+                limit: 1,
+            },
+        ];
+        for error in errors {
+            let status = error.status();
+            assert!((400..=599).contains(&status), "{error:?} -> {status}");
+            assert!(!error.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn server_round_trip_and_stop() {
+        let server = Server::http("127.0.0.1:0").expect("bind");
+        let addr = server.server_addr().expect("addr");
+        let stopper = server.stopper();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0;
+            while let Some(request) = server.recv().expect("recv") {
+                let body = format!("{} {}", request.method(), request.url());
+                request
+                    .respond(Response::from_string(body))
+                    .expect("respond");
+                served += 1;
+            }
+            served
+        });
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
+        assert!(reply.ends_with("GET /healthz"), "got: {reply}");
+
+        // Malformed traffic is answered 4xx by the server itself and never reaches
+        // the application loop.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"BREW / HTTP/1.1\r\n\r\n").expect("write");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("read");
+        assert!(reply.starts_with("HTTP/1.1 501 "), "got: {reply}");
+
+        stopper.stop();
+        assert_eq!(handle.join().expect("join"), 1);
+    }
+}
