@@ -9,10 +9,15 @@
 //! which makes the binary a CI-gateable oracle for the snapshot subsystem.
 //!
 //! ```text
-//! cargo run -p nc-bench --release --bin replay -- <snapshot-file> [--steps N]
+//! cargo run -p nc-bench --release --bin replay -- <snapshot-file> [--steps N] [--progress N]
 //! cargo run -p nc-bench --release --bin replay -- --smoke          # committed fixture
 //! cargo run -p nc-bench --release --bin replay -- --write-fixture  # regenerate it
 //! ```
+//!
+//! Long replays are silent until the verdict by default. `--progress N` prints a
+//! stderr heartbeat every `N` lockstep steps — lockstep position, lifetime step
+//! count and the statistics deltas since the previous heartbeat — without touching
+//! stdout, so `--smoke` output (which never passes the flag) stays byte-stable.
 //!
 //! The protocol is dispatched on the snapshot's stored protocol name. Protocols
 //! whose constructor takes run-scoped parameters use the experiment-suite defaults
@@ -119,6 +124,7 @@ fn replay<P: nc_core::SnapshotProtocol>(
     protocol_for_reference: P,
     snapshot: &Snapshot,
     steps: u64,
+    progress: u64,
 ) -> Result<(), String> {
     let mut resumed = Simulation::resume(protocol_for_resume, snapshot)
         .map_err(|e| format!("resume failed: {e}"))?;
@@ -150,6 +156,7 @@ fn replay<P: nc_core::SnapshotProtocol>(
         return Err("checkpoint bytes differ at the snapshot point itself".into());
     }
     let mut executed = 0u64;
+    let mut last_reported = resumed.stats();
     for step in 1..=steps {
         let a = resumed.step();
         let b = reference.step();
@@ -164,6 +171,19 @@ fn replay<P: nc_core::SnapshotProtocol>(
         executed += 1;
         if !diff_stats(step, &resumed.stats(), &reference.stats()) {
             return Err(format!("per-step statistics diverged at step {step}"));
+        }
+        if progress > 0 && step % progress == 0 {
+            let now = resumed.stats();
+            eprintln!(
+                "progress: lockstep {step}/{steps} — lifetime steps {} (+{}), +{} effective, +{} skipped, +{} merges, +{} splits since last report",
+                now.steps,
+                now.steps - last_reported.steps,
+                now.effective_steps - last_reported.effective_steps,
+                now.skipped_steps - last_reported.skipped_steps,
+                now.merges - last_reported.merges,
+                now.splits - last_reported.splits
+            );
+            last_reported = now;
         }
         if step % 25 == 0
             && resumed.checkpoint().expect("checkpoint").as_bytes()
@@ -189,15 +209,22 @@ fn replay<P: nc_core::SnapshotProtocol>(
 }
 
 /// Dispatches on the snapshot's stored protocol name.
-fn replay_by_name(snapshot: &Snapshot, steps: u64) -> Result<(), String> {
+fn replay_by_name(snapshot: &Snapshot, steps: u64, progress: u64) -> Result<(), String> {
     match snapshot.protocol_name() {
-        "global-line" => replay(GlobalLine::new(), GlobalLine::new(), snapshot, steps),
-        "square" => replay(Square::new(), Square::new(), snapshot, steps),
+        "global-line" => replay(
+            GlobalLine::new(),
+            GlobalLine::new(),
+            snapshot,
+            steps,
+            progress,
+        ),
+        "square" => replay(Square::new(), Square::new(), snapshot, steps, progress),
         "counting-on-a-line" => replay(
             CountingOnALine::new(2),
             CountingOnALine::new(2),
             snapshot,
             steps,
+            progress,
         ),
         other => Err(format!("no replay dispatch for protocol {other:?}")),
     }
@@ -207,6 +234,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file: Option<std::path::PathBuf> = None;
     let mut steps = 200u64;
+    let mut progress = 0u64;
     let mut smoke = false;
     let mut write = false;
     let mut i = 0;
@@ -221,6 +249,13 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("--steps: not a number: {raw:?}"))?;
             }
+            "--progress" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--progress needs a step interval")?;
+                progress = raw
+                    .parse()
+                    .map_err(|_| format!("--progress: not a number: {raw:?}"))?;
+            }
             other if !other.starts_with('-') => file = Some(other.into()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -234,14 +269,14 @@ fn run() -> Result<(), String> {
         (false, Some(path)) => path,
         (true, Some(_)) => return Err("--smoke takes no snapshot file".into()),
         (false, None) => return Err(
-            "usage: replay <snapshot-file> [--steps N] | replay --smoke | replay --write-fixture"
+            "usage: replay <snapshot-file> [--steps N] [--progress N] | replay --smoke | replay --write-fixture"
                 .into(),
         ),
     };
     let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let snapshot = Snapshot::from_bytes(bytes)
         .map_err(|e| format!("{}: invalid snapshot: {e}", path.display()))?;
-    replay_by_name(&snapshot, steps)
+    replay_by_name(&snapshot, steps, progress)
 }
 
 fn main() -> ExitCode {

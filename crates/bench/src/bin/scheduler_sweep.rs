@@ -18,7 +18,14 @@
 //! cargo run -p nc-bench --release --bin scheduler_sweep            # writes BENCH_scheduler.json
 //! cargo run -p nc-bench --release --bin scheduler_sweep -- --out /dev/stdout
 //! cargo run -p nc-bench --release --bin scheduler_sweep -- --smoke # CI gate, see below
+//! cargo run -p nc-bench --release --bin scheduler_sweep -- --profile # per-phase columns
 //! ```
+//!
+//! `--profile` attaches a telemetry handle to every benchmarked run and emits the
+//! per-phase wall-clock breakdown (sample/resolve/apply/flush/rollback, plus the
+//! delta-log record counter) both on stderr and as extra row columns
+//! (`nc_bench::sweep::SweepProfile`). The smoke gates always run unprofiled — the
+//! throughput comparisons stay free of instrumentation overhead.
 //!
 //! Each cell additionally runs the three deterministic adversarial-but-fair schedulers
 //! (`nc_core::adversary`: round-robin, worst-case, eclipse) at n ≤ 128 — they must
@@ -43,11 +50,11 @@
 //! selections and n = 1024 exceeds 2·10⁹, so Square is swept to 512 and its legacy
 //! rows to 128. `--legacy-max` can lower (never raise) the legacy caps.
 
-use nc_bench::sweep::SweepRow;
+use nc_bench::sweep::{SweepProfile, SweepRow};
 use nc_core::scheduler::Scheduler;
 use nc_core::{
     EclipseScheduler, RoundRobinScheduler, RunReport, SamplingMode, Simulation, SimulationConfig,
-    SnapshotProtocol, StopReason, WorstCaseScheduler,
+    SnapshotProtocol, StopReason, Telemetry, WorstCaseScheduler,
 };
 use nc_protocols::counting_line::{final_count, CountingOnALine};
 use nc_protocols::line::GlobalLine;
@@ -173,17 +180,23 @@ fn snapshot_timings<P: SnapshotProtocol>(protocol: P, sim: &Simulation<P>) -> (f
 
 /// Runs one protocol to its completion condition and checks the guaranteed outcome:
 /// the spanning line, the ⌊√n⌋ square for perfect squares, or a halted counting leader.
-fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
+fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec, profile: bool) -> Row {
     let config = SimulationConfig::new(n)
         .with_seed(seed)
         .with_max_steps(2_000_000_000)
         .with_sampling(spec.mode)
         .with_shards(spec.shards)
         .with_speculation(spec.speculation);
+    let obs = if profile {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let started = Instant::now();
-    let (report, stats, completed, timings) = match proto {
+    let (report, stats, completed, timings, delta_records) = match proto {
         Proto::Line => {
             let mut sim = Simulation::new(GlobalLine::new(), config);
+            sim.set_telemetry(obs.clone());
             let report = sim.run_until_stable();
             let ok = report.reason == StopReason::Stable;
             assert!(
@@ -191,10 +204,17 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 "a stable GlobalLine run must produce the spanning line"
             );
             let timings = snapshot_timings(GlobalLine::new(), &sim);
-            (report, sim.stats(), ok, timings)
+            (
+                report,
+                sim.stats(),
+                ok,
+                timings,
+                sim.world().delta_records(),
+            )
         }
         Proto::Square => {
             let mut sim = Simulation::new(Square::new(), config);
+            sim.set_telemetry(obs.clone());
             let report = sim.run_until_stable();
             let ok = report.reason == StopReason::Stable;
             let d = (n as f64).sqrt() as u32;
@@ -203,10 +223,17 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 "a stable Square run on a perfect-square population must produce the square"
             );
             let timings = snapshot_timings(Square::new(), &sim);
-            (report, sim.stats(), ok, timings)
+            (
+                report,
+                sim.stats(),
+                ok,
+                timings,
+                sim.world().delta_records(),
+            )
         }
         Proto::Counting => {
             let mut sim = Simulation::new(CountingOnALine::new(2), config);
+            sim.set_telemetry(obs.clone());
             let report = sim.run_until_any_halted();
             let ok = report.reason == StopReason::AllHalted;
             assert!(
@@ -214,7 +241,13 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
                 "a halted counting run must leave a halted leader"
             );
             let timings = snapshot_timings(CountingOnALine::new(2), &sim);
-            (report, sim.stats(), ok, timings)
+            (
+                report,
+                sim.stats(),
+                ok,
+                timings,
+                sim.world().delta_records(),
+            )
         }
     };
     // The run's wall-clock is measured before the snapshot probe but the probe runs
@@ -239,6 +272,7 @@ fn run_one(proto: Proto, n: usize, seed: u64, spec: ModeSpec) -> Row {
         spec_rollback_rate: speculation.rollback_rate(),
         snapshot_ms: timings.0,
         resume_ms: timings.1,
+        profile: profile.then(|| SweepProfile::from_run(&report.phases, delta_records)),
     }
 }
 
@@ -319,6 +353,7 @@ fn run_adversary(proto: Proto, n: usize, adversary: &'static str) -> Row {
         spec_rollback_rate: 0.0,
         snapshot_ms: 0.0,
         resume_ms: 0.0,
+        profile: None,
     }
 }
 
@@ -334,7 +369,7 @@ fn spec(label: &str) -> ModeSpec {
 fn best_of(proto: Proto, n: usize, seed: u64, spec: ModeSpec, reps: u32) -> Row {
     let mut best: Option<Row> = None;
     for _ in 0..reps {
-        let row = run_one(proto, n, seed, spec);
+        let row = run_one(proto, n, seed, spec, false);
         if best
             .as_ref()
             .is_none_or(|b| row.steps_per_sec > b.steps_per_sec)
@@ -360,7 +395,8 @@ fn smoke(protos: &[Proto], seed: u64) {
             if mode.mode == SamplingMode::Legacy && n > proto.legacy_cap() {
                 continue;
             }
-            let row = run_one(proto, n, seed, mode);
+            // The smoke gates compare throughput, so they always run unprofiled.
+            let row = run_one(proto, n, seed, mode, false);
             eprintln!(
                 "smoke {:>18} {:>8}: {:>12.3}s {:>12} steps {:>14.0} steps/s completed={}",
                 row.protocol, row.mode, row.seconds, row.steps, row.steps_per_sec, row.completed
@@ -509,6 +545,7 @@ fn main() {
     let legacy_max: usize = flag_value("--legacy-max")
         .map(|v| v.parse().expect("--legacy-max must be an integer"))
         .unwrap_or(usize::MAX);
+    let profile = args.iter().any(|a| a == "--profile");
     let seed = 1u64;
 
     if args.iter().any(|a| a == "--smoke") {
@@ -532,7 +569,7 @@ fn main() {
                 if mode.mode == SamplingMode::Legacy && n > legacy_max.min(proto.legacy_cap()) {
                     continue;
                 }
-                let row = run_one(proto, n, seed, mode);
+                let row = run_one(proto, n, seed, mode, profile);
                 eprintln!(
                     "{:>18}  {:>6}  {:>8}  {:>12.3}  {:>12}  {:>14.0}  {:>9}",
                     row.protocol,
@@ -543,6 +580,19 @@ fn main() {
                     row.steps_per_sec,
                     row.completed
                 );
+                if let Some(p) = &row.profile {
+                    eprintln!(
+                        "{:>18}  {n:>6}  {} phases: sample {:.1}ms, resolve {:.1}ms, apply {:.1}ms, flush {:.1}ms, rollback {:.1}ms, {} delta records",
+                        proto.name(),
+                        row.mode,
+                        p.sample_ms,
+                        p.resolve_ms,
+                        p.apply_ms,
+                        p.flush_ms,
+                        p.rollback_ms,
+                        p.delta_records
+                    );
+                }
                 if mode.mode == SamplingMode::Adaptive {
                     indexed_secs = row.seconds;
                 }

@@ -1,0 +1,179 @@
+//! Exports the step-indexed structured trace of a pinned run as a Chrome
+//! trace-event JSON document (loadable in `about://tracing` / Perfetto's legacy
+//! importer).
+//!
+//! Events are stamped `(lifetime_step, lane)` — never wall clock — and the lane
+//! is a fixed partition of node ids independent of the runtime shard layout, so
+//! the export of a pinned run is a *byte-reproducible* artifact: same protocol,
+//! seed and step count ⇒ same bytes, at every `NC_SHARDS` setting. That turns
+//! the exporter into a determinism oracle on top of a debugging aid.
+//!
+//! ```text
+//! cargo run -p nc-bench --release --bin trace_export -- --out trace.json
+//! cargo run -p nc-bench --release --bin trace_export -- --protocol line --n 32 --steps 500
+//! cargo run -p nc-bench --release --bin trace_export -- --smoke   # CI determinism gate
+//! ```
+//!
+//! `--smoke` runs the pinned configuration (Square, n = 16, seed 42, sharded
+//! sampling, 200 driver steps plus one checkpoint) at 1 and at 4 shards,
+//! requires the two exports to be **byte-identical**, and requires the trace to
+//! contain every event family the simulator is expected to emit on that run
+//! (selection, merge, index flush, class allocation, checkpoint). Nothing is
+//! written to disk in smoke mode.
+
+use nc_core::{
+    SamplingMode, Simulation, SimulationConfig, SnapshotProtocol, Telemetry, TraceEvent,
+};
+use nc_obs::chrome_trace_json;
+use nc_protocols::counting_line::CountingOnALine;
+use nc_protocols::line::GlobalLine;
+use nc_protocols::square::Square;
+use std::process::ExitCode;
+
+/// The pinned smoke configuration (mirrors the replay fixture's spirit: small,
+/// fast, committed in code so the gate cannot drift silently).
+const SMOKE_N: usize = 16;
+const SMOKE_SEED: u64 = 42;
+const SMOKE_STEPS: u64 = 200;
+
+/// Runs `steps` driver steps of one protocol with telemetry attached and
+/// returns the trace (plus how many events the bounded ring evicted).
+fn traced_run<P: SnapshotProtocol>(
+    protocol: P,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    steps: u64,
+) -> (Vec<TraceEvent>, u64) {
+    let config = SimulationConfig::new(n)
+        .with_seed(seed)
+        .with_sampling(SamplingMode::Sharded)
+        .with_shards(shards);
+    let mut sim = Simulation::new(protocol, config);
+    sim.set_telemetry(Telemetry::enabled());
+    for _ in 0..steps {
+        if !sim.step() {
+            break;
+        }
+    }
+    // One checkpoint so the export exercises the `checkpoint` event family too.
+    sim.checkpoint().expect("end-of-run checkpoint");
+    (
+        sim.telemetry().trace_events(),
+        sim.telemetry().trace_dropped(),
+    )
+}
+
+fn traced_run_by_name(
+    protocol: &str,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    steps: u64,
+) -> Result<(Vec<TraceEvent>, u64), String> {
+    Ok(match protocol {
+        "line" => traced_run(GlobalLine::new(), n, seed, shards, steps),
+        "square" => traced_run(Square::new(), n, seed, shards, steps),
+        "counting" => traced_run(CountingOnALine::new(2), n, seed, shards, steps),
+        other => {
+            return Err(format!(
+                "unknown protocol {other:?} (use line,square,counting)"
+            ))
+        }
+    })
+}
+
+/// The determinism gate: the pinned run's export must be byte-identical at 1
+/// and 4 shards, and must contain every expected event family.
+fn smoke() -> Result<(), String> {
+    let (events_one, dropped_one) = traced_run(Square::new(), SMOKE_N, SMOKE_SEED, 1, SMOKE_STEPS);
+    let (events_four, dropped_four) =
+        traced_run(Square::new(), SMOKE_N, SMOKE_SEED, 4, SMOKE_STEPS);
+    let one = chrome_trace_json(&events_one, "square-n16-seed42");
+    let four = chrome_trace_json(&events_four, "square-n16-seed42");
+    if dropped_one != 0 || dropped_four != 0 {
+        return Err(format!(
+            "smoke trace overflowed the ring ({dropped_one}/{dropped_four} dropped): raise the capacity or shrink the run"
+        ));
+    }
+    if one != four {
+        return Err(format!(
+            "trace exports differ across shard counts ({} vs {} events, {} vs {} bytes) — \
+             the step-indexed trace must be layout-invariant",
+            events_one.len(),
+            events_four.len(),
+            one.len(),
+            four.len()
+        ));
+    }
+    for family in [
+        "selection",
+        "merge",
+        "index_flush",
+        "class_alloc",
+        "checkpoint",
+    ] {
+        if !one.contains(&format!("\"name\":\"{family}\"")) {
+            return Err(format!(
+                "pinned run emitted no {family:?} event — an instrumentation hook went missing"
+            ));
+        }
+    }
+    println!(
+        "trace_export smoke ok: {} events, byte-identical at 1 and 4 shards ({} bytes)",
+        events_one.len(),
+        one.len()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return smoke();
+    }
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let parse = |name: &str, default: u64| -> Result<u64, String> {
+        flag_value(name).map_or(Ok(default), |raw| {
+            raw.parse()
+                .map_err(|_| format!("{name}: not a number: {raw:?}"))
+        })
+    };
+    let protocol = flag_value("--protocol").unwrap_or_else(|| "square".to_string());
+    let n = parse("--n", SMOKE_N as u64)? as usize;
+    let seed = parse("--seed", SMOKE_SEED)?;
+    let shards = parse("--shards", default_shards() as u64)? as usize;
+    let steps = parse("--steps", SMOKE_STEPS)?;
+    let out_path = flag_value("--out").unwrap_or_else(|| "TRACE_export.json".to_string());
+
+    let (events, dropped) = traced_run_by_name(&protocol, n, seed, shards, steps)?;
+    let name = format!("{protocol}-n{n}-seed{seed}");
+    let json = chrome_trace_json(&events, &name);
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {out_path}: {} events ({} dropped from the ring), {} bytes",
+        events.len(),
+        dropped,
+        json.len()
+    );
+    Ok(())
+}
+
+/// The `NC_SHARDS` default, so a plain invocation matches the simulator's.
+fn default_shards() -> usize {
+    nc_core::shard::default_shard_count()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace_export: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

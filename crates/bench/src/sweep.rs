@@ -10,6 +10,44 @@
 //! Serialization is a hand-rolled JSON emitter (the build environment is offline, so
 //! no serde), field order fixed and stable across producers.
 
+use nc_core::{Phase, PhaseProfile};
+
+/// Optional per-phase profiling columns of one row, attached when the producer
+/// ran with telemetry enabled (`scheduler_sweep --profile`). Absent by default,
+/// so plain artifacts keep the original schema byte for byte.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepProfile {
+    /// Milliseconds inside scheduler sampling (`Phase::Sample`).
+    pub sample_ms: f64,
+    /// Milliseconds resolving speculated predictions (`Phase::Resolve`).
+    pub resolve_ms: f64,
+    /// Milliseconds applying interactions (`Phase::Apply`).
+    pub apply_ms: f64,
+    /// Milliseconds flushing the pair index (`Phase::Flush`).
+    pub flush_ms: f64,
+    /// Milliseconds rolling back delta epochs (`Phase::Rollback`).
+    pub rollback_ms: f64,
+    /// Lifetime undo records appended to the delta log — the rollback-churn
+    /// observable (speculation that re-logs the same slots is invisible in the
+    /// committed trajectory; this counter is where it shows).
+    pub delta_records: u64,
+}
+
+impl SweepProfile {
+    /// Builds the columns from a run's phase profile and delta-log counter.
+    #[must_use]
+    pub fn from_run(phases: &PhaseProfile, delta_records: u64) -> SweepProfile {
+        SweepProfile {
+            sample_ms: phases.get(Phase::Sample).millis(),
+            resolve_ms: phases.get(Phase::Resolve).millis(),
+            apply_ms: phases.get(Phase::Apply).millis(),
+            flush_ms: phases.get(Phase::Flush).millis(),
+            rollback_ms: phases.get(Phase::Rollback).millis(),
+            delta_records,
+        }
+    }
+}
+
 /// One benchmarked or served execution row of a `BENCH_scheduler.json`-style
 /// document.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +87,8 @@ pub struct SweepRow {
     pub snapshot_ms: f64,
     /// Milliseconds to resume that checkpoint.
     pub resume_ms: f64,
+    /// Per-phase profiling columns; `None` unless the producer profiled.
+    pub profile: Option<SweepProfile>,
 }
 
 impl SweepRow {
@@ -56,8 +96,14 @@ impl SweepRow {
     /// inside the sweep document's `rows` array).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let profile = self.profile.as_ref().map_or_else(String::new, |p| {
+            format!(
+                ", \"sample_ms\": {:.4}, \"resolve_ms\": {:.4}, \"apply_ms\": {:.4}, \"flush_ms\": {:.4}, \"rollback_ms\": {:.4}, \"delta_records\": {}",
+                p.sample_ms, p.resolve_ms, p.apply_ms, p.flush_ms, p.rollback_ms, p.delta_records
+            )
+        });
         format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}, \"snapshot_ms\": {:.4}, \"resume_ms\": {:.4}}}",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"shards\": {}, \"seed\": {}, \"seconds\": {:.6}, \"steps\": {}, \"effective_steps\": {}, \"skipped_steps\": {}, \"steps_per_sec\": {:.1}, \"completed\": {}, \"speculated\": {}, \"spec_committed\": {}, \"spec_rolled_back\": {}, \"spec_rollback_rate\": {:.4}, \"snapshot_ms\": {:.4}, \"resume_ms\": {:.4}{}}}",
             self.protocol,
             self.n,
             self.mode,
@@ -74,7 +120,8 @@ impl SweepRow {
             self.spec_rolled_back,
             self.spec_rollback_rate,
             self.snapshot_ms,
-            self.resume_ms
+            self.resume_ms,
+            profile
         )
     }
 }
@@ -102,6 +149,7 @@ mod tests {
             spec_rollback_rate: 0.0,
             snapshot_ms: 0.5,
             resume_ms: 0.75,
+            profile: None,
         }
     }
 
@@ -137,5 +185,33 @@ mod tests {
         }
         assert!(json.contains("\"protocol\": \"square\""));
         assert!(json.contains("\"completed\": true"));
+    }
+
+    #[test]
+    fn profile_columns_appear_only_when_attached() {
+        let plain = sample().to_json();
+        assert!(!plain.contains("sample_ms"));
+        let mut row = sample();
+        row.profile = Some(SweepProfile {
+            sample_ms: 1.5,
+            resolve_ms: 0.25,
+            apply_ms: 2.0,
+            flush_ms: 0.5,
+            rollback_ms: 0.0,
+            delta_records: 123,
+        });
+        let json = row.to_json();
+        for key in [
+            "sample_ms",
+            "resolve_ms",
+            "apply_ms",
+            "flush_ms",
+            "rollback_ms",
+            "delta_records",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{key} missing");
+        }
+        assert!(json.contains("\"delta_records\": 123"));
+        assert!(json.ends_with("}"));
     }
 }

@@ -98,6 +98,11 @@ pub(crate) struct DeltaLog<S> {
     records: Vec<WorldRecord<S>>,
     frames: Vec<EpochFrame>,
     next_id: u64,
+    /// Lifetime number of records ever appended — a monotone *work* counter in the
+    /// [`crate::IndexStats`] spirit, never rewound by rollbacks. Rollback churn
+    /// (speculation that keeps re-logging the same slots) is invisible in the
+    /// committed trajectory; this is its observable.
+    appended: u64,
 }
 
 impl<S> DeltaLog<S> {
@@ -106,6 +111,7 @@ impl<S> DeltaLog<S> {
             records: Vec::new(),
             frames: Vec::new(),
             next_id: 0,
+            appended: 0,
         }
     }
 
@@ -120,7 +126,13 @@ impl<S> DeltaLog<S> {
     pub(crate) fn record(&mut self, make: impl FnOnce() -> WorldRecord<S>) {
         if self.recording() {
             self.records.push(make());
+            self.appended += 1;
         }
+    }
+
+    /// Lifetime count of appended undo records (monotone; see the field docs).
+    pub(crate) fn lifetime_records(&self) -> u64 {
+        self.appended
     }
 
     /// Opens a frame (records must already have been positioned by the caller) and

@@ -37,6 +37,7 @@ use crate::component::{Component, DeterministicState};
 use crate::shard::{ShardMap, PARALLEL_FLUSH_MIN};
 use crate::{Interaction, NodeId, Placement, Protocol};
 use nc_geometry::{Dim, Dir};
+use nc_obs::{Telemetry, TraceEventKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -534,6 +535,11 @@ pub(crate) struct PairIndex<S> {
     /// epoch frames; `rollback_ops` unwinds a suffix.
     oplog: Vec<IndexOp<S>>,
     logging: bool,
+    /// Telemetry handle shared with the owning world (disabled by default): class
+    /// allocations/retirements are sampler-visible, deterministic events — they
+    /// happen only on the strictly sequential `apply_facts` path of a flush, in
+    /// ascending node order — and are worth a step-indexed trace entry each.
+    obs: Telemetry,
 }
 
 /// Raised when the live class count exceeds [`CLASS_CAP`]; the world then abandons the
@@ -565,7 +571,13 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             memo: HashMap::default(),
             oplog: Vec::new(),
             logging: false,
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches the world's telemetry handle (see the `obs` field docs).
+    pub(crate) fn set_telemetry(&mut self, obs: Telemetry) {
+        self.obs = obs;
     }
 
     /// Appends an operation if logging is enabled (the hot-path guard).
@@ -622,7 +634,9 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
     ) -> Result<(), ClassOverflow> {
         let n = view.states.len();
         let map = self.map;
+        let obs = self.obs.clone();
         *self = PairIndex::new(map);
+        self.obs = obs;
         self.shards = (0..map.count()).map(|_| Shard::default()).collect();
         self.node_class = vec![NONE; n];
         self.reg_singleton = vec![false; n];
@@ -638,7 +652,9 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
 
     /// Drops every registration (after an overflow: the index stays unusable).
     pub(crate) fn clear(&mut self) {
+        let obs = self.obs.clone();
         *self = PairIndex::new(self.map);
+        self.obs = obs;
     }
 
     /// The pinned class-table layout for a snapshot: per slot the live class's state
@@ -703,7 +719,9 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
         }
         let n = view.states.len();
         let map = self.map;
+        let obs = self.obs.clone();
         *self = PairIndex::new(map);
+        self.obs = obs;
         self.shards = (0..map.count()).map(|_| Shard::default()).collect();
         self.node_class = vec![NONE; n];
         self.reg_singleton = vec![false; n];
@@ -988,6 +1006,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             (self.classes.len() as u32 - 1, false)
         };
         sorted_insert(&mut self.live_ids, id);
+        self.obs.trace(0, TraceEventKind::ClassAlloc { class: id });
         self.log(|| IndexOp::AllocClass {
             class: id,
             reused_slot,
@@ -1062,6 +1081,7 @@ impl<S: Clone + PartialEq + Sync> PairIndex<S> {
             let freed = self.classes[id as usize]
                 .take()
                 .expect("class id must be live");
+            self.obs.trace(0, TraceEventKind::ClassRetire { class: id });
             self.log(|| IndexOp::ReleaseFree {
                 class: id,
                 state: freed.state,

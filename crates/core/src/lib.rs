@@ -73,7 +73,7 @@ pub use component::{Component, Placement};
 pub use delta::Epoch;
 pub use error::CoreError;
 pub use index::IndexStats;
-pub use lock::panic_message;
+pub use lock::{panic_message, relock};
 pub use node::NodeId;
 pub use protocol::{Protocol, Transition};
 pub use scheduler::SamplingMode;
@@ -81,6 +81,11 @@ pub use simulation::{RunReport, Simulation, SimulationConfig, StopReason};
 pub use snapshot::{Snapshot, SnapshotProtocol, SnapshotReader, SnapshotWriter};
 pub use stats::{ExecutionStats, ShardStats, SpeculationStats};
 pub use world::{Interaction, InteractionOutcome, Permissibility, World};
+
+/// Re-exported telemetry types (see `nc_obs`): downstream crates attach a
+/// [`Telemetry`] handle via [`Simulation::set_telemetry`] / [`World::set_telemetry`]
+/// without depending on the observability crate directly.
+pub use nc_obs::{Phase, PhaseProfile, PhaseStat, Telemetry, TraceEvent, TraceEventKind};
 
 /// Hard cap on simultaneously live state classes of the permissible-pair index.
 /// Protocols that can bound their live state diversity below this may opt into batched

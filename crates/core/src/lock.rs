@@ -23,8 +23,11 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// Locks `mutex`, recovering the guard if a previous holder panicked.
 ///
 /// See the module docs for why recovery (rather than a secondary panic) is the right
-/// behaviour for this crate's internal locks.
-pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+/// behaviour for this crate's internal locks. Public because the service tier shares
+/// the policy for its queue/stats locks: a crashed worker must not turn every later
+/// HTTP request into a 503 (callers there count recoveries in a
+/// `lock_poison_recoveries` metric).
+pub fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -778,6 +778,9 @@ impl UniformScheduler {
             .map(|bucket| Vec::with_capacity(bucket.len()))
             .collect();
         {
+            let obs = world.telemetry().clone();
+            let mut timer = obs.phase(nc_obs::Phase::Resolve);
+            timer.add_units(buckets.iter().map(|b| b.len() as u64).sum());
             let world_ref: &World<P> = world;
             rayon::scope(|scope| {
                 for (bucket, out) in buckets.iter().zip(outs.iter_mut()) {

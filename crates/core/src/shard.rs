@@ -161,6 +161,23 @@ impl ShardMap {
     }
 }
 
+/// Number of canonical trace lanes (see [`trace_lane`]).
+pub const TRACE_LANES: usize = 4;
+
+/// The canonical trace lane of a node: the shard it would belong to under a fixed
+/// [`TRACE_LANES`]-way partition of `0..n`, regardless of the runtime shard count.
+///
+/// Step-indexed trace events are stamped with this lane rather than the owning
+/// runtime shard. The runtime shard of a node is a function of `NC_SHARDS`, so
+/// stamping it would make traces differ between shard counts even though the
+/// executed trajectory is byte-identical; the canonical lane is a function of
+/// `(node, n)` only, which is what lets the `trace_export --smoke` gate byte-compare
+/// traces across `NC_SHARDS=1` and `4`.
+#[must_use]
+pub fn trace_lane(node: NodeId, n: usize) -> u32 {
+    ShardMap::new(n, TRACE_LANES).shard_of(node) as u32
+}
+
 /// Minimum number of queued re-derivations before a flush fans the geometry derivation
 /// out to one task per shard. Below it the scoped-thread spawn overhead of the vendored
 /// pool dominates; per-interaction flushes (a handful of touched nodes) always stay
@@ -258,6 +275,27 @@ mod tests {
             resolve_env("NC_TEST_UNSET_VARIABLE", 7, parse_shard_override),
             7
         );
+    }
+
+    #[test]
+    fn trace_lanes_are_independent_of_the_runtime_shard_count() {
+        // The lane partition is fixed by (node, n) alone; feeding the same nodes
+        // through worlds sharded 1/2/4 ways must never change it. (The lane is
+        // computed from n directly, so this pins the *intent*: nothing about the
+        // lane function may ever consult the runtime layout.)
+        for n in [1usize, 3, 4, 16, 65] {
+            for i in 0..n {
+                let lane = trace_lane(NodeId::new(i as u32), n);
+                assert!((lane as usize) < TRACE_LANES.min(n));
+            }
+        }
+        // Lanes follow the contiguous-partition shape: ascending in node id.
+        let lanes: Vec<u32> = (0..16).map(|i| trace_lane(NodeId::new(i), 16)).collect();
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        assert_eq!(lanes, sorted);
+        assert_eq!(lanes[0], 0);
+        assert_eq!(lanes[15], 3);
     }
 
     #[test]

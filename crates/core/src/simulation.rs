@@ -1,9 +1,11 @@
 //! Driving executions: protocol + world + scheduler + statistics.
 
 use crate::scheduler::{SamplingMode, Scheduler, UniformScheduler};
+use crate::shard::trace_lane;
 use crate::snapshot::{Snapshot, SnapshotProtocol, SnapshotWriter, FORMAT_VERSION, MAGIC};
 use crate::{CoreError, ExecutionStats, IndexStats, Protocol, ShardStats, SpeculationStats, World};
 use nc_geometry::Shape;
+use nc_obs::{Phase, PhaseProfile, Telemetry, TraceEventKind};
 
 /// Configuration of a simulation run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +144,12 @@ pub struct RunReport {
     /// (cumulative over the scheduler's lifetime; all zero outside
     /// [`SamplingMode::Speculative`]).
     pub speculation: SpeculationStats,
+    /// Per-phase wall-clock profile accumulated over the simulation's lifetime.
+    /// All zero unless telemetry was attached via [`Simulation::set_telemetry`],
+    /// so report equality checks between instrumented and plain runs must
+    /// compare the other fields — and equality between two *uninstrumented*
+    /// runs is unaffected.
+    pub phases: PhaseProfile,
 }
 
 impl RunReport {
@@ -173,6 +181,7 @@ pub struct Simulation<P: Protocol, S: Scheduler = UniformScheduler> {
     scheduler: S,
     stats: ExecutionStats,
     config: SimulationConfig,
+    obs: Telemetry,
 }
 
 impl<P: Protocol> Simulation<P, UniformScheduler> {
@@ -226,6 +235,12 @@ impl<P: SnapshotProtocol> Simulation<P, UniformScheduler> {
         // re-warm its enumeration cache.
         self.world.snapshot_encode(&mut out);
         self.scheduler.snapshot_encode(&self.world, &mut out);
+        self.obs.trace(
+            0,
+            TraceEventKind::Checkpoint {
+                bytes: out.len() as u64,
+            },
+        );
         Ok(Snapshot::seal(out))
     }
 
@@ -292,6 +307,7 @@ impl<P: SnapshotProtocol> Simulation<P, UniformScheduler> {
                 shards,
                 speculation,
             },
+            obs: Telemetry::disabled(),
         })
     }
 }
@@ -305,7 +321,23 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             scheduler,
             stats: ExecutionStats::default(),
             config,
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle to the simulation and its world (the world
+    /// forwards it to the pair index). A disabled handle detaches: every hook
+    /// degrades back to an early return. Telemetry never influences the sampled
+    /// trajectory — it only observes it.
+    pub fn set_telemetry(&mut self, obs: Telemetry) {
+        self.world.set_telemetry(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.obs
     }
 
     /// The current configuration.
@@ -351,13 +383,36 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     /// One scheduler call with a step allowance (batched jumps that would overshoot it
     /// spend it on skipped ineffective selections instead).
     fn step_within(&mut self, max_steps: u64) -> StepOutcome {
+        self.obs.set_step(self.stats.steps);
+        let spec_before = self.scheduler.speculation_stats();
         // Between selections the speculative scheduler runs its optimistic epoch
         // (and restores the configuration exactly); every other scheduler no-ops.
         self.scheduler.prepare(&mut self.world);
+        let mut sample = self.obs.phase(Phase::Sample);
         let picked = self
             .scheduler
             .next_interaction_bounded(&self.world, max_steps);
         let skipped = self.scheduler.drain_skipped_steps();
+        sample.add_units(skipped + u64::from(picked.is_some()));
+        drop(sample);
+        if self.obs.is_enabled() {
+            // The speculative epoch ran inside a muted delta scope; its commit /
+            // rollback totals are re-emitted here, on the serial path, as events
+            // stamped with the step that consumed the epoch's predictions.
+            let spec = self.scheduler.speculation_stats();
+            let committed = spec.committed - spec_before.committed;
+            if committed > 0 {
+                self.obs
+                    .trace(0, TraceEventKind::SpeculationCommit { count: committed });
+            }
+            let rolled_back = spec.rolled_back - spec_before.rolled_back;
+            if rolled_back > 0 {
+                self.obs.trace(
+                    0,
+                    TraceEventKind::SpeculationRollback { count: rolled_back },
+                );
+            }
+        }
         self.stats.steps += skipped;
         self.stats.skipped_steps += skipped;
         let Some(interaction) = picked else {
@@ -367,7 +422,21 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
                 StepOutcome::Dry
             };
         };
+        // Events emitted inside this apply (merge, split, flush, class churn)
+        // are stamped with the 1-based ordinal of the step that caused them.
+        self.obs.set_step(self.stats.steps + 1);
+        let apply = self.obs.phase(Phase::Apply);
         let outcome = self.world.apply(&interaction);
+        drop(apply);
+        if self.obs.is_enabled() {
+            let node = interaction.a.min(interaction.b);
+            self.obs.trace(
+                trace_lane(node, self.config.n),
+                TraceEventKind::Selection {
+                    effective: outcome.effective,
+                },
+            );
+        }
         self.stats.steps += 1;
         if outcome.effective {
             self.stats.effective_steps += 1;
@@ -572,6 +641,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             stabilized: stabilized || reason == StopReason::Stable,
             index: self.world.index_stats(),
             speculation: self.scheduler.speculation_stats(),
+            phases: self.obs.phase_profile(),
         }
     }
 }
@@ -854,6 +924,65 @@ mod tests {
         // The budget counts per call, but the carried step count is the lifetime total:
         // 3 steps before the crash plus 3 after the resume.
         assert_eq!(err, CoreError::StepBudgetExhausted { steps: 6 });
+    }
+
+    /// Runs a pinned configuration with telemetry attached and returns the trace.
+    fn traced_run(shards: usize, sampling: SamplingMode) -> Vec<nc_obs::TraceEvent> {
+        let config = SimulationConfig::new(8)
+            .with_seed(42)
+            .with_sampling(sampling)
+            .with_shards(shards)
+            .with_speculation(4);
+        let mut sim = Simulation::new(ChainOf { target: 8 }, config);
+        sim.set_telemetry(Telemetry::enabled());
+        sim.run_until_stable();
+        sim.telemetry().trace_events()
+    }
+
+    #[test]
+    fn trace_is_identical_across_shard_counts() {
+        for sampling in [SamplingMode::Adaptive, SamplingMode::Sharded] {
+            let one = traced_run(1, sampling);
+            let four = traced_run(4, sampling);
+            assert!(!one.is_empty(), "pinned run must emit events");
+            assert_eq!(
+                one, four,
+                "trace diverged across shard counts ({sampling:?})"
+            );
+        }
+        // Speculation is an execution-layout artifact (it degrades to sharded
+        // sampling at one shard), so its commit/rollback events legitimately
+        // differ across shard counts — but the trajectory-level events must
+        // still agree exactly once those are filtered out.
+        let committed_only = |events: Vec<nc_obs::TraceEvent>| {
+            events
+                .into_iter()
+                .filter(|e| {
+                    !matches!(
+                        e.kind,
+                        TraceEventKind::SpeculationCommit { .. }
+                            | TraceEventKind::SpeculationRollback { .. }
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let one = committed_only(traced_run(1, SamplingMode::Speculative));
+        let four = committed_only(traced_run(4, SamplingMode::Speculative));
+        assert_eq!(one, four, "committed trace diverged under speculation");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_trajectory() {
+        let config = SimulationConfig::new(6).with_seed(7).with_speculation(4);
+        let mut plain = Simulation::new(ChainOf { target: 6 }, config);
+        let mut traced = Simulation::new(ChainOf { target: 6 }, config);
+        traced.set_telemetry(Telemetry::enabled());
+        let a = plain.run_until_stable();
+        let mut b = traced.run_until_stable();
+        assert!(b.phases.get(Phase::Sample).calls > 0);
+        b.phases = PhaseProfile::default();
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), traced.stats());
     }
 
     #[test]

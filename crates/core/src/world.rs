@@ -24,10 +24,11 @@
 use crate::delta::{DeltaLog, Epoch, EpochFrame, WorldRecord};
 use crate::index::{BaseCounts, GeomView, IndexStats, InteractionIndex, PairIndex};
 use crate::lock::relock;
-use crate::shard::{ShardMap, PARALLEL_CROSS_MIN};
+use crate::shard::{trace_lane, ShardMap, PARALLEL_CROSS_MIN};
 use crate::stats::{ShardStats, SpeculationStats};
 use crate::{Component, CoreError, NodeId, Placement, Protocol};
 use nc_geometry::{Coord, Dim, Dir, Rotation, Shape};
+use nc_obs::{Phase, Telemetry, TraceEventKind};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -198,6 +199,10 @@ pub struct World<P: Protocol> {
     /// (see [`crate::delta`]). Inert (a cheap branch per mutation) while no
     /// checkpoint is open.
     delta: DeltaLog<P::State>,
+    /// The telemetry handle (disabled by default — every hook is an early return).
+    /// Muted while a delta epoch is open: speculative scratch applies are invisible
+    /// in the committed trajectory and must be invisible in the trace.
+    obs: Telemetry,
 }
 
 impl<P: Protocol> World<P> {
@@ -260,7 +265,32 @@ impl<P: Protocol> World<P> {
             scratch_stamp: vec![0; n],
             scratch_epoch: 0,
             delta: DeltaLog::new(),
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: subsequent merges/splits, index flushes and
+    /// class-table changes emit step-indexed trace events into it, and the flush /
+    /// rollback phases are timed. Pass [`Telemetry::disabled`] (the construction
+    /// default) to turn all hooks back into early returns. Telemetry never touches
+    /// the trajectory and is not persisted in snapshots.
+    pub fn set_telemetry(&mut self, obs: Telemetry) {
+        relock(&self.pairs).index.set_telemetry(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The attached telemetry handle (disabled unless [`World::set_telemetry`] was
+    /// called).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.obs
+    }
+
+    /// Lifetime number of undo records the delta log has appended (monotone, never
+    /// rewound): the observable of rollback churn under speculative execution.
+    #[must_use]
+    pub fn delta_records(&self) -> u64 {
+        self.delta.lifetime_records()
     }
 
     /// The number of shards the runtime structures are partitioned into.
@@ -568,6 +598,17 @@ impl<P: Protocol> World<P> {
                 self.links[b.index()][pb.index()] = Some((a, pa));
                 self.bond_count += 1;
                 outcome.bond_activated = true;
+            }
+        }
+        if outcome.merged || outcome.split {
+            // Stamped with the smaller participant's canonical lane (not its runtime
+            // shard — see `shard::trace_lane`); muted inside speculative epochs.
+            let lane = trace_lane(a.min(b), self.len());
+            if outcome.merged {
+                self.obs.trace(lane, TraceEventKind::Merge);
+            }
+            if outcome.split {
+                self.obs.trace(lane, TraceEventKind::Split);
             }
         }
         if outcome.effective {
@@ -1068,6 +1109,14 @@ impl<P: Protocol> World<P> {
         }
         pending.sort_unstable();
         pending.dedup();
+        let mut timer = self.obs.phase(Phase::Flush);
+        timer.add_units(pending.len() as u64);
+        self.obs.trace(
+            trace_lane(pending[0], self.len()),
+            TraceEventKind::IndexFlush {
+                touched: pending.len() as u32,
+            },
+        );
         let mut cell = self.lock_pairs();
         let view = self.geom_view();
         if cell
@@ -1252,7 +1301,11 @@ impl<P: Protocol> World<P> {
             pending,
             pairs_mode,
         };
-        self.delta.open(frame)
+        let epoch = self.delta.open(frame);
+        // Mutations from here to the matching rollback/release are scratch work
+        // (speculation, undo-suite probes): keep them out of the step-indexed trace.
+        self.obs.set_muted(true);
+        epoch
     }
 
     /// Rolls the world back to the state it had when `epoch` was opened (discarding
@@ -1280,7 +1333,11 @@ impl<P: Protocol> World<P> {
     /// released); the world is left untouched in that case.
     pub fn rollback(&mut self, epoch: Epoch) -> crate::Result<()> {
         let frame = self.delta.take_frame(epoch)?;
-        for record in self.delta.split_records(frame.world_pos).into_iter().rev() {
+        let obs = self.obs.clone();
+        let mut timer = obs.phase(Phase::Rollback);
+        let records = self.delta.split_records(frame.world_pos);
+        timer.add_units(records.len() as u64);
+        for record in records.into_iter().rev() {
             match record {
                 WorldRecord::State { node, old } => self.states[node] = old,
                 WorldRecord::Halted { node, old } => self.halted[node] = old,
@@ -1363,6 +1420,9 @@ impl<P: Protocol> World<P> {
             cell.index.clear_oplog();
         }
         self.index.bump_version();
+        // The unwind itself ran muted (the flag was raised by `checkpoint`); unmute
+        // only once the outermost epoch is gone.
+        self.obs.set_muted(self.delta.recording());
         Ok(())
     }
 
@@ -1381,6 +1441,7 @@ impl<P: Protocol> World<P> {
             cell.index.set_logging(false);
             cell.index.clear_oplog();
         }
+        self.obs.set_muted(self.delta.recording());
         Ok(())
     }
 

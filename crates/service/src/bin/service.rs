@@ -9,7 +9,10 @@
 //! ephemeral port, then act as the service's own HTTP client — submit one Square
 //! job plus a crash-injected twin, poll both to completion over real sockets,
 //! fetch the reports, and require the crash-recovered report to be byte-identical
-//! to the uncrashed one. Exits 0 on success, 1 with a diagnostic on any failure.
+//! to the uncrashed one. The gate then scrapes `GET /metrics` and fails on a
+//! structurally ill-formed exposition or any missing required family
+//! (`nc_service::metrics::REQUIRED_FAMILIES`). Exits 0 on success, 1 with a
+//! diagnostic on any failure.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -98,7 +101,7 @@ fn main() -> ExitCode {
         },
         idle_poll: Duration::from_millis(2),
     };
-    let workers = spawn_pool(&service.queue, &service.stats, &stop, config, args.workers);
+    let workers = spawn_pool(&service, &stop, config, args.workers);
     println!(
         "service: listening on http://{addr} ({} workers)",
         args.workers
@@ -214,6 +217,37 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
         return Err(format!("rows answered {}: {}", rows.status, rows.body));
     }
 
-    println!("service: smoke PASSED (clean and crash-recovered reports identical)");
+    // The metrics gate: the scrape must be structurally valid Prometheus text,
+    // expose every required family, and reflect the work the smoke run just did.
+    let scrape =
+        client::request(addr, "GET", "/metrics", "").map_err(|e| format!("metrics: {e}"))?;
+    if scrape.status != 200 {
+        return Err(format!("/metrics answered {}", scrape.status));
+    }
+    nc_obs::validate_prometheus_text(&scrape.body)
+        .map_err(|e| format!("/metrics scrape is ill-formed: {e}"))?;
+    for family in nc_service::metrics::REQUIRED_FAMILIES {
+        if !scrape.body.contains(&format!("# TYPE {family} ")) {
+            return Err(format!("/metrics scrape is missing family {family}"));
+        }
+    }
+    for evidence in [
+        "service_jobs_submitted_total 2",
+        "service_jobs_done_total 2",
+        "service_crashes_total 1",
+        "service_retries_total 1",
+    ] {
+        if !scrape.body.contains(evidence) {
+            return Err(format!(
+                "/metrics does not reflect the smoke run (expected {evidence:?}):\n{}",
+                scrape.body
+            ));
+        }
+    }
+
+    println!(
+        "service: smoke PASSED (clean and crash-recovered reports identical; /metrics well-formed, {} families)",
+        nc_service::metrics::REQUIRED_FAMILIES.len()
+    );
     Ok(())
 }

@@ -18,6 +18,13 @@
 //! | GET    | `/jobs/<id>/report` | `200` deterministic report JSON (`409` until done) |
 //! | GET    | `/stats`            | `200` counter JSON |
 //! | GET    | `/stats/rows`       | `200` `BENCH_scheduler.json`-style rows |
+//! | GET    | `/metrics`          | `200` Prometheus text exposition (`nc_obs` registry) |
+//!
+//! Lock poisoning (a panicked worker holding the queue or stats lock) does not
+//! degrade routing to 503: the lock is recovered via the shared policy in
+//! [`crate::metrics::recover_lock`] and the event is counted in the
+//! `service_lock_poison_recoveries_total` family, so a single crash stays a
+//! single crash instead of an outage.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use tiny_http::{Method, Response, Server};
 
 use crate::job::{JobId, JobSpec};
+use crate::metrics::{recover_lock, ServiceMetrics};
 use crate::queue::JobQueue;
 use crate::stats::{escape_json, rows_json, ServiceStats};
 
@@ -35,6 +43,8 @@ pub struct ServiceHandle {
     pub queue: Arc<Mutex<JobQueue>>,
     /// The live counters.
     pub stats: Arc<Mutex<ServiceStats>>,
+    /// The metric families behind `GET /metrics`.
+    pub metrics: Arc<ServiceMetrics>,
 }
 
 impl ServiceHandle {
@@ -44,6 +54,7 @@ impl ServiceHandle {
         ServiceHandle {
             queue: Arc::new(Mutex::new(JobQueue::new(seed))),
             stats: Arc::new(Mutex::new(ServiceStats::default())),
+            metrics: Arc::new(ServiceMetrics::new()),
         }
     }
 }
@@ -62,13 +73,24 @@ fn error_json(status: u16, message: &str) -> Response {
 }
 
 /// Routes one request. Total: every `(method, url, body)` produces a response, and
-/// none panics — the HTTP fuzz suite drives this with adversarial inputs.
+/// none panics — the HTTP fuzz suite drives this with adversarial inputs. Every
+/// response is counted in `service_http_requests_total{status}` on the way out.
 #[must_use]
 pub fn route(service: &ServiceHandle, method: Method, url: &str, body: &[u8]) -> Response {
-    // Lock poisoning (a panicked holder) degrades to 503, not a panic cascade.
-    let Ok(mut queue) = service.queue.lock() else {
-        return error_json(503, "queue lock poisoned");
-    };
+    let response = dispatch(service, method, url, body);
+    service
+        .metrics
+        .http_requests
+        .with(&response.status_code().to_string())
+        .inc();
+    response
+}
+
+fn dispatch(service: &ServiceHandle, method: Method, url: &str, body: &[u8]) -> Response {
+    // A poisoned lock (panicked holder) is recovered and counted, not a 503:
+    // the queue is left consistent by every critical section, and the crash
+    // itself is already accounted by the worker tier.
+    let mut queue = recover_lock(&service.queue, &service.metrics);
     let path = url.split('?').next().unwrap_or(url);
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
@@ -80,9 +102,8 @@ pub fn route(service: &ServiceHandle, method: Method, url: &str, body: &[u8]) ->
             match JobSpec::parse(body) {
                 Ok(spec) => {
                     let id = queue.submit(spec);
-                    if let Ok(mut stats) = service.stats.lock() {
-                        stats.submitted += 1;
-                    }
+                    recover_lock(&service.stats, &service.metrics).submitted += 1;
+                    service.metrics.jobs_submitted.inc();
                     json(201, format!("{{\"id\": {id}}}\n"))
                 }
                 Err(e) => error_json(422, &e.to_string()),
@@ -118,13 +139,21 @@ pub fn route(service: &ServiceHandle, method: Method, url: &str, body: &[u8]) ->
             },
             None => error_json(404, "job ids are decimal numbers"),
         },
-        (Method::Get, ["stats"]) => match service.stats.lock() {
-            Ok(stats) => json(200, format!("{}\n", stats.to_json())),
-            Err(_) => error_json(503, "stats lock poisoned"),
-        },
+        (Method::Get, ["stats"]) => json(
+            200,
+            format!(
+                "{}\n",
+                recover_lock(&service.stats, &service.metrics).to_json()
+            ),
+        ),
         (Method::Get, ["stats", "rows"]) => json(200, rows_json(&queue)),
+        (Method::Get, ["metrics"]) => {
+            service.metrics.refresh_queue(&queue);
+            Response::from_string(service.metrics.render_prometheus())
+                .with_content_type("text/plain; version=0.0.4")
+        }
         // Known paths with the wrong method get 405, everything else 404.
-        (_, ["healthz"] | ["jobs"] | ["stats"] | ["stats", "rows"])
+        (_, ["healthz"] | ["jobs"] | ["stats"] | ["stats", "rows"] | ["metrics"])
         | (_, ["jobs", _] | ["jobs", _, "cancel"] | ["jobs", _, "report"]) => {
             error_json(405, "method not allowed")
         }
@@ -138,14 +167,22 @@ fn parse_id(token: &str) -> Option<JobId> {
 
 /// The accept loop: serves routed requests until `stop` is raised (the server's own
 /// stopper is raised alongside by the caller). Peer write errors are ignored — the
-/// client hung up; there is nobody to answer.
+/// client hung up; there is nobody to answer. Each request leaves one access-log
+/// line on stderr (method, path, status, response bytes) — stdout stays reserved
+/// for the binary's own protocol output, so `--smoke` stdout is unaffected.
 pub fn serve(server: &Server, service: &ServiceHandle, stop: &Arc<AtomicBool>) {
     while !stop.load(Ordering::SeqCst) {
         match server.recv() {
             Ok(Some(request)) => {
+                let method = request.method();
                 let url = request.url().to_string();
                 let body = request.content().to_vec();
-                let response = route(service, request.method(), &url, &body);
+                let response = route(service, method, &url, &body);
+                eprintln!(
+                    "service: {method} {url} -> {} ({} bytes)",
+                    response.status_code(),
+                    response.data().len()
+                );
                 let _ = request.respond(response);
             }
             Ok(None) => break,
@@ -231,6 +268,68 @@ mod tests {
         assert_eq!(
             route(&service, Method::Get, "/healthz?probe=1", b"").status_code(),
             200
+        );
+    }
+
+    #[test]
+    fn metrics_route_serves_a_well_formed_scrape() {
+        let service = ServiceHandle::new(5);
+        let _ = route(&service, Method::Post, "/jobs", b"protocol=square&n=9");
+        let response = route(&service, Method::Get, "/metrics", b"");
+        assert_eq!(response.status_code(), 200);
+        let text = body(&response);
+        nc_obs::validate_prometheus_text(&text).expect("well-formed scrape");
+        assert!(
+            text.contains("service_jobs_submitted_total 1"),
+            "the submission must be counted: {text}"
+        );
+        assert!(
+            text.contains("service_queue_depth{tenant=\"default\"} 1"),
+            "the queued job must show as depth: {text}"
+        );
+        assert_eq!(
+            route(&service, Method::Post, "/metrics", b"").status_code(),
+            405
+        );
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_answering_503() {
+        let service = ServiceHandle::new(5);
+        // Poison both locks the way a crashed worker would: panic while holding.
+        for _ in 0..2 {
+            let queue = Arc::clone(&service.queue);
+            let stats = Arc::clone(&service.stats);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _q = queue.lock().unwrap();
+                let _s = stats.lock();
+                panic!("worker crash while holding the queue lock");
+            }));
+        }
+        assert!(service.queue.is_poisoned());
+        // Routing keeps working — no 503, and the recovery is counted exactly
+        // once per poisoning, not once per later request.
+        let response = route(&service, Method::Post, "/jobs", b"protocol=line&n=8");
+        assert_eq!(response.status_code(), 201);
+        assert_eq!(
+            route(&service, Method::Get, "/stats", b"").status_code(),
+            200
+        );
+        assert_eq!(
+            route(&service, Method::Get, "/jobs/0", b"").status_code(),
+            200
+        );
+        let recoveries = service.metrics.lock_poison_recoveries.value();
+        assert!(
+            (1..=2).contains(&recoveries),
+            "one recovery per poisoned lock, got {recoveries}"
+        );
+        let scrape = body(&route(&service, Method::Get, "/metrics", b""));
+        assert!(
+            scrape.contains(&format!(
+                "service_lock_poison_recoveries_total {recoveries}"
+            )),
+            "{scrape}"
         );
     }
 }

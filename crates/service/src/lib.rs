@@ -14,11 +14,17 @@
 //!   `tests/crash_recovery.rs` and the `--smoke` gate);
 //! * **results/stats** ([`stats`], [`http`]): deterministic per-job reports, live
 //!   counters, and `BENCH_scheduler.json`-style sweep rows served over the vendored
-//!   minimal HTTP/1.1 server (`vendor/tiny_http`).
+//!   minimal HTTP/1.1 server (`vendor/tiny_http`);
+//! * **metrics** ([`metrics`]): the `nc_obs`-backed registry behind `GET /metrics`
+//!   — Prometheus text with integer-only values, split into deterministic families
+//!   (queue depth/age in picks, crash/retry/backoff and step counters, HTTP status
+//!   counts) and wall-clock families (slice latency, worker busy time), plus the
+//!   poisoned-lock recovery policy shared by the HTTP and worker tiers.
 //!
-//! The `service` binary wires all three; `service --smoke` is the self-contained CI
+//! The `service` binary wires all four; `service --smoke` is the self-contained CI
 //! gate (bind an ephemeral port, submit over real HTTP, poll to completion, check
-//! the crash-recovered report against an uncrashed twin).
+//! the crash-recovered report against an uncrashed twin, and require a well-formed
+//! `/metrics` scrape carrying every required family).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +32,7 @@
 pub mod client;
 pub mod http;
 pub mod job;
+pub mod metrics;
 pub mod queue;
 pub mod runner;
 pub mod stats;
@@ -33,6 +40,7 @@ pub mod worker;
 
 pub use http::ServiceHandle;
 pub use job::{JobId, JobSpec, JobState, ProtocolKind, SpecError};
+pub use metrics::ServiceMetrics;
 pub use queue::{JobQueue, SliceResult};
 pub use runner::{JobReport, JobRunner, SliceOutcome};
 pub use stats::ServiceStats;

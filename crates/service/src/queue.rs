@@ -30,6 +30,15 @@ pub const MAX_ATTEMPTS: u64 = 4;
 /// Ceiling of the exponential retry backoff, in queue picks.
 pub const MAX_BACKOFF_PICKS: u64 = 16;
 
+/// The backoff (in queue picks) imposed after the `crashes`-th crash: `2ᵏ` capped
+/// at [`MAX_BACKOFF_PICKS`]. Shared with the metrics tier so the
+/// `service_backoff_picks_total` counter and the queue agree by construction.
+#[must_use]
+pub fn backoff_for(crashes: u64) -> u64 {
+    2u64.saturating_pow(u32::try_from(crashes).unwrap_or(u32::MAX))
+        .min(MAX_BACKOFF_PICKS)
+}
+
 /// Everything the queue tracks about one submitted job.
 #[derive(Debug)]
 pub struct JobRecord {
@@ -53,6 +62,9 @@ pub struct JobRecord {
     pub cancel_requested: bool,
     /// The queue pick-counter value before which the job must not be claimed.
     pub not_before_pick: u64,
+    /// The pick-counter value when the job last entered a tenant queue (submission
+    /// or requeue) — the queue-age observable, measured in picks, not wall clock.
+    pub enqueued_pick: u64,
     /// The final report, once done.
     pub report: Option<JobReport>,
     /// Wall-clock seconds of executed slices (stats only; not deterministic).
@@ -98,6 +110,10 @@ pub struct Claim {
     pub slices: u64,
     /// Crashes already absorbed (crash injection fires on the first attempt only).
     pub crashes: u64,
+    /// Lifetime steps at the resume checkpoint (the sim-step delta baseline).
+    pub steps: u64,
+    /// How many picks the job waited in the queue before this claim.
+    pub queued_age_picks: u64,
 }
 
 /// How a worker hands a slice's result back to the queue.
@@ -179,6 +195,7 @@ impl JobQueue {
             snapshot: None,
             cancel_requested: false,
             not_before_pick: 0,
+            enqueued_pick: self.picks,
             report: None,
             seconds: 0.0,
             error: None,
@@ -274,6 +291,8 @@ impl JobQueue {
             snapshot: record.snapshot.clone(),
             slices: record.slices,
             crashes: record.crashes,
+            steps: record.steps,
+            queued_age_picks: pick.saturating_sub(record.enqueued_pick),
         })
     }
 
@@ -295,6 +314,7 @@ impl JobQueue {
                 record.steps = steps;
                 record.snapshot = Some(snapshot);
                 record.state = JobState::Queued;
+                record.enqueued_pick = pick;
                 self.tenants
                     .entry(record.spec.tenant.clone())
                     .or_default()
@@ -323,13 +343,11 @@ impl JobQueue {
                     record.state = JobState::Failed;
                 } else {
                     // Exponential backoff in queue picks: 2, 4, 8, … capped.
-                    let backoff = 2u64
-                        .saturating_pow(u32::try_from(record.crashes).unwrap_or(u32::MAX))
-                        .min(MAX_BACKOFF_PICKS);
-                    record.not_before_pick = pick + backoff;
+                    record.not_before_pick = pick + backoff_for(record.crashes);
                     record.error =
                         Some(format!("crashed (attempt {}): {message}", record.attempts));
                     record.state = JobState::Queued;
+                    record.enqueued_pick = pick;
                     self.tenants
                         .entry(record.spec.tenant.clone())
                         .or_default()
@@ -338,6 +356,28 @@ impl JobQueue {
             }
         }
         record.state
+    }
+
+    /// The monotone pick counter (the backoff/age clock, exposed for metrics).
+    #[must_use]
+    pub fn picks(&self) -> u64 {
+        self.picks
+    }
+
+    /// Queued-job count per tenant, every tenant ever seen included — a drained
+    /// tenant reports 0 rather than vanishing, so gauge series stay continuous.
+    #[must_use]
+    pub fn queued_depths(&self) -> Vec<(String, u64)> {
+        self.tenants
+            .iter()
+            .map(|(tenant, queue)| {
+                let depth = queue
+                    .iter()
+                    .filter(|&&id| self.jobs[id as usize].state == JobState::Queued)
+                    .count() as u64;
+                (tenant.clone(), depth)
+            })
+            .collect()
     }
 
     /// Whether any job is still queued or running.

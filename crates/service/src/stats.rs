@@ -98,6 +98,9 @@ pub fn rows_json(queue: &JobQueue) -> String {
                     spec_rollback_rate: 0.0,
                     snapshot_ms: 0.0,
                     resume_ms: 0.0,
+                    // Per-job phase profiling is not wired through the service
+                    // runner; plain rows keep the original schema.
+                    profile: None,
                 }
                 .to_json(),
             )

@@ -16,12 +16,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::queue::{Claim, JobQueue, SliceResult};
+use crate::http::ServiceHandle;
+use crate::job::JobState;
+use crate::metrics::recover_lock;
+use crate::queue::{Claim, SliceResult};
 use crate::runner::{JobReport, JobRunner, SliceOutcome};
-use crate::stats::ServiceStats;
 
 /// Tuning of a worker pool.
 #[derive(Clone, Copy, Debug)]
@@ -104,27 +106,54 @@ pub fn run_slice(claim: &Claim, slice: u64) -> (SliceResult, f64) {
     (slice_result, seconds)
 }
 
-/// The worker loop: poll, run, report, until `stop` is raised. Meant to run on its
-/// own thread; any number of workers may share one queue.
-pub fn worker_loop(
-    queue: &Arc<Mutex<JobQueue>>,
-    stats: &Arc<Mutex<ServiceStats>>,
-    stop: &Arc<AtomicBool>,
-    config: WorkerConfig,
-) {
-    while !stop.load(Ordering::SeqCst) {
-        let claim = queue.lock().map(|mut q| q.claim_next()).unwrap_or(None);
-        let Some(claim) = claim else {
-            std::thread::sleep(config.idle_poll);
-            continue;
-        };
-        let (result, seconds) = run_slice(&claim, config.slice);
-        let tenant = claim.spec.tenant.clone();
-        if let Ok(mut stats) = stats.lock() {
-            stats.record_slice(&tenant, &result);
+/// Claims and executes one slice: poll, run, report, with every observable
+/// recorded (service counters *and* the `/metrics` families). Returns whether a
+/// job was claimed. This is the single code path behind both the threaded
+/// [`worker_loop`] and the deterministic single-threaded [`drain`], so the two
+/// record identical metrics for identical claim sequences — the property the
+/// metrics determinism suite pins.
+pub fn service_step(service: &ServiceHandle, slice: u64) -> bool {
+    let metrics = &service.metrics;
+    let claim = recover_lock(&service.queue, metrics).claim_next();
+    let Some(claim) = claim else {
+        return false;
+    };
+    metrics.record_claim(&claim);
+    let (result, seconds) = run_slice(&claim, slice);
+    metrics.record_slice(&claim, &result, seconds);
+    recover_lock(&service.stats, metrics).record_slice(&claim.spec.tenant, &result);
+    let crashed = matches!(result, SliceResult::Crashed { .. });
+    let state = recover_lock(&service.queue, metrics).complete_slice(claim.id, result, seconds);
+    if crashed && state == JobState::Queued {
+        metrics.record_retry(&claim);
+    }
+    true
+}
+
+/// Runs the queue dry on the calling thread (tests and scripted runs). Backoff
+/// windows are waited out in picks: an idle poll still advances the pick clock.
+pub fn drain(service: &ServiceHandle, slice: u64) {
+    let mut idle = 0u64;
+    while recover_lock(&service.queue, &service.metrics).has_live_jobs() {
+        if service_step(service, slice) {
+            idle = 0;
+        } else {
+            idle += 1;
+            assert!(
+                idle < 1_000_000,
+                "live jobs but a million empty polls: the queue is wedged"
+            );
         }
-        if let Ok(mut q) = queue.lock() {
-            q.complete_slice(claim.id, result, seconds);
+    }
+}
+
+/// The worker loop: [`service_step`] until `stop` is raised. Meant to run on its
+/// own thread; any number of workers may share one service handle.
+pub fn worker_loop(service: &ServiceHandle, stop: &Arc<AtomicBool>, config: WorkerConfig) {
+    while !stop.load(Ordering::SeqCst) {
+        if !service_step(service, config.slice) {
+            service.metrics.worker_idle_polls.inc();
+            std::thread::sleep(config.idle_poll);
         }
     }
 }
@@ -133,18 +162,16 @@ pub fn worker_loop(
 /// `stop` to shut the pool down.
 #[must_use]
 pub fn spawn_pool(
-    queue: &Arc<Mutex<JobQueue>>,
-    stats: &Arc<Mutex<ServiceStats>>,
+    service: &ServiceHandle,
     stop: &Arc<AtomicBool>,
     config: WorkerConfig,
     workers: usize,
 ) -> Vec<std::thread::JoinHandle<()>> {
     (0..workers.max(1))
         .map(|_| {
-            let queue = Arc::clone(queue);
-            let stats = Arc::clone(stats);
+            let service = service.clone();
             let stop = Arc::clone(stop);
-            std::thread::spawn(move || worker_loop(&queue, &stats, &stop, config))
+            std::thread::spawn(move || worker_loop(&service, &stop, config))
         })
         .collect()
 }
@@ -154,48 +181,42 @@ mod tests {
     use super::*;
     use crate::job::{JobSpec, ProtocolKind};
 
-    fn submit(queue: &mut JobQueue, spec: JobSpec) -> crate::job::JobId {
-        queue.submit(spec)
-    }
-
-    /// Drives the queue single-threadedly until no live jobs remain.
-    fn drain(queue: &mut JobQueue, stats: &mut ServiceStats, slice: u64) {
-        let mut guard = 0;
-        while queue.has_live_jobs() {
-            if let Some(claim) = queue.claim_next() {
-                let (result, seconds) = run_slice(&claim, slice);
-                stats.record_slice(&claim.spec.tenant, &result);
-                queue.complete_slice(claim.id, result, seconds);
-            }
-            guard += 1;
-            assert!(guard < 1_000_000, "the queue must drain");
-        }
+    fn submit(service: &ServiceHandle, spec: JobSpec) -> crate::job::JobId {
+        recover_lock(&service.queue, &service.metrics).submit(spec)
     }
 
     #[test]
     fn a_job_runs_to_done_across_many_slices() {
-        let mut queue = JobQueue::new(3);
-        let mut stats = ServiceStats::default();
-        let id = submit(&mut queue, JobSpec::new(ProtocolKind::Square, 16));
-        drain(&mut queue, &mut stats, 256);
+        let service = ServiceHandle::new(3);
+        let id = submit(&service, JobSpec::new(ProtocolKind::Square, 16));
+        drain(&service, 256);
+        let queue = service.queue.lock().expect("queue");
         let record = queue.get(id).expect("record");
-        assert_eq!(record.state, crate::job::JobState::Done);
+        assert_eq!(record.state, JobState::Done);
         let report = record.report.as_ref().expect("report");
         assert!(report.completed);
         assert!(
             record.slices > 1,
             "slice length 256 must take several slices"
         );
+        // Every productive slice and its steps landed in the metrics.
+        assert_eq!(
+            service.metrics.slices.with("default").value(),
+            record.slices
+        );
+        assert_eq!(service.metrics.sim_steps.value(), record.steps);
     }
 
     #[test]
     fn injected_crash_recovers_to_an_identical_report() {
         // Reference: no crash.
-        let mut queue = JobQueue::new(3);
-        let mut stats = ServiceStats::default();
-        let clean = submit(&mut queue, JobSpec::new(ProtocolKind::Square, 16));
-        drain(&mut queue, &mut stats, 256);
-        let clean_json = queue
+        let service = ServiceHandle::new(3);
+        let clean = submit(&service, JobSpec::new(ProtocolKind::Square, 16));
+        drain(&service, 256);
+        let clean_json = service
+            .queue
+            .lock()
+            .expect("queue")
             .get(clean)
             .expect("record")
             .report
@@ -204,11 +225,12 @@ mod tests {
             .to_json();
 
         // Same spec, crash injected before slice 2 of the first attempt.
-        let mut queue = JobQueue::new(3);
+        let service = ServiceHandle::new(3);
         let mut spec = JobSpec::new(ProtocolKind::Square, 16);
         spec.crash_after_slices = Some(2);
-        let crashed = submit(&mut queue, spec);
-        drain(&mut queue, &mut stats, 256);
+        let crashed = submit(&service, spec);
+        drain(&service, 256);
+        let queue = service.queue.lock().expect("queue");
         let record = queue.get(crashed).expect("record");
         assert_eq!(record.crashes, 1, "the injection fires exactly once");
         assert!(record.attempts >= 2, "the retry is a fresh attempt");
@@ -217,52 +239,56 @@ mod tests {
             crashed_json, clean_json,
             "recovery from the last checkpoint must reproduce the uncrashed report byte for byte"
         );
+        // The crash, the retry and its backoff all registered.
+        assert_eq!(service.metrics.crashes.value(), 1);
+        assert_eq!(service.metrics.retries.value(), 1);
+        assert_eq!(
+            service.metrics.backoff_picks.value(),
+            crate::queue::backoff_for(1)
+        );
     }
 
     #[test]
     fn budget_exhaustion_fails_the_job_with_a_typed_message() {
-        let mut queue = JobQueue::new(3);
-        let mut stats = ServiceStats::default();
+        let service = ServiceHandle::new(3);
         let mut spec = JobSpec::new(ProtocolKind::Line, 64);
         spec.step_budget = 100;
-        let id = submit(&mut queue, spec);
-        drain(&mut queue, &mut stats, 64);
+        let id = submit(&service, spec);
+        drain(&service, 64);
+        let queue = service.queue.lock().expect("queue");
         let record = queue.get(id).expect("record");
-        assert_eq!(record.state, crate::job::JobState::Failed);
+        assert_eq!(record.state, JobState::Failed);
         assert!(record
             .error
             .as_deref()
             .is_some_and(|e| e.contains("step budget")));
+        assert_eq!(service.metrics.jobs_failed.value(), 1);
     }
 
     #[test]
     fn threaded_pool_completes_jobs_from_two_tenants() {
-        let queue = Arc::new(Mutex::new(JobQueue::new(9)));
-        let stats = Arc::new(Mutex::new(ServiceStats::default()));
+        let service = ServiceHandle::new(9);
         let stop = Arc::new(AtomicBool::new(false));
-        let ids: Vec<_> = {
-            let mut q = queue.lock().expect("queue");
-            (0..4)
-                .map(|i| {
-                    let mut spec = JobSpec::new(ProtocolKind::Square, 9);
-                    spec.seed = 100 + i;
-                    spec.tenant = if i % 2 == 0 {
-                        "even".into()
-                    } else {
-                        "odd".into()
-                    };
-                    q.submit(spec)
-                })
-                .collect()
-        };
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                let mut spec = JobSpec::new(ProtocolKind::Square, 9);
+                spec.seed = 100 + i;
+                spec.tenant = if i % 2 == 0 {
+                    "even".into()
+                } else {
+                    "odd".into()
+                };
+                submit(&service, spec)
+            })
+            .collect();
         let config = WorkerConfig {
             slice: 128,
             idle_poll: Duration::from_millis(1),
         };
-        let handles = spawn_pool(&queue, &stats, &stop, config, 3);
+        let handles = spawn_pool(&service, &stop, config, 3);
         let started = Instant::now();
         loop {
-            if !queue.lock().expect("queue").has_live_jobs() {
+            if !service.queue.lock().expect("queue").has_live_jobs() {
                 break;
             }
             assert!(
@@ -275,10 +301,10 @@ mod tests {
         for handle in handles {
             handle.join().expect("worker joins");
         }
-        let q = queue.lock().expect("queue");
+        let q = service.queue.lock().expect("queue");
         for id in ids {
             let record = q.get(id).expect("record");
-            assert_eq!(record.state, crate::job::JobState::Done, "job {id}");
+            assert_eq!(record.state, JobState::Done, "job {id}");
             assert!(record.report.as_ref().expect("report").completed);
         }
     }

@@ -16,21 +16,21 @@
 //!    assert, across protocols and sampling modes.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nc_core::scheduler::SamplingMode;
+use nc_service::http::ServiceHandle;
 use nc_service::job::{JobId, JobSpec, JobState, ProtocolKind};
 use nc_service::queue::JobQueue;
 use nc_service::stats::ServiceStats;
 use nc_service::worker::{spawn_pool, WorkerConfig};
+use std::sync::Arc;
 
 /// Runs `specs` to quiescence on a threaded pool; returns the queue afterwards.
 fn run_pool(specs: Vec<JobSpec>, workers: usize, slice: u64) -> (JobQueue, ServiceStats) {
-    let queue = Arc::new(Mutex::new(JobQueue::new(0xD15C)));
-    let stats = Arc::new(Mutex::new(ServiceStats::default()));
+    let service = ServiceHandle::new(0xD15C);
     {
-        let mut q = queue.lock().expect("queue");
+        let mut q = service.queue.lock().expect("queue");
         for spec in specs {
             q.submit(spec);
         }
@@ -40,10 +40,10 @@ fn run_pool(specs: Vec<JobSpec>, workers: usize, slice: u64) -> (JobQueue, Servi
         slice,
         idle_poll: Duration::from_millis(1),
     };
-    let handles = spawn_pool(&queue, &stats, &stop, config, workers);
+    let handles = spawn_pool(&service, &stop, config, workers);
     let started = Instant::now();
     loop {
-        if !queue.lock().expect("queue").has_live_jobs() {
+        if !service.queue.lock().expect("queue").has_live_jobs() {
             break;
         }
         assert!(
@@ -56,6 +56,7 @@ fn run_pool(specs: Vec<JobSpec>, workers: usize, slice: u64) -> (JobQueue, Servi
     for handle in handles {
         handle.join().expect("worker joins");
     }
+    let ServiceHandle { queue, stats, .. } = service;
     let queue = Arc::try_unwrap(queue)
         .unwrap_or_else(|_| panic!("pool joined"))
         .into_inner()
